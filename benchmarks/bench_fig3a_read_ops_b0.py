@@ -1,0 +1,46 @@
+"""F3a — Figure 3(a): throughput vs read-operation probability at b=0.
+
+Extreme setting (Sec. 5.3.3): replication probability 0.5, read
+transaction probability 0 (every transaction updates), backedge
+probability 0.  Paper shape: PSL wins at read-op probability 0 (it does
+no propagation work at all); BackEdge improves steadily with more reads
+and wins by a wide margin (paper: >5x at 0.5); PSL dips until ~0.5 as
+remote reads pile up, then recovers as contention fades; at 1.0 both are
+abort-free and BackEdge is far ahead.
+"""
+
+from common import bench_params, report, run_once, run_sweep, throughputs
+
+ROP_VALUES = [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0]
+
+
+def base_params():
+    return bench_params(backedge_probability=0.0,
+                        replication_probability=0.5,
+                        read_txn_probability=0.0)
+
+
+def test_fig3a_read_op_probability_b0(benchmark):
+    points = run_once(benchmark, lambda: run_sweep(
+        "read_op_probability", ROP_VALUES, ["backedge", "psl"],
+        base=base_params()))
+    report(points,
+           "Figure 3(a): throughput vs read-op probability (b=0, r=0.5, "
+           "update transactions only)", benchmark)
+
+    backedge = throughputs(points, "backedge")
+    psl = throughputs(points, "psl")
+
+    # All-update workload: PSL does strictly less work and wins.
+    assert psl[0.0] > backedge[0.0]
+    # BackEdge improves with the read fraction.
+    assert backedge[1.0] > backedge[0.0]
+    # The big mid-range gap (paper: >5x at 0.5; we assert a wide margin).
+    assert backedge[0.5] > 1.5 * psl[0.5]
+    # PSL dips into the middle then recovers toward read-only.
+    assert psl[0.5] < psl[0.0]
+    assert psl[1.0] > psl[0.5]
+    # Read-only endpoint: no contention, zero aborts for both.
+    for point in points:
+        if point.value == 1.0:
+            assert point.result.abort_rate == 0.0

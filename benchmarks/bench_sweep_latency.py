@@ -1,0 +1,30 @@
+"""S3 — Table 1 range: network latency 0.15-100 ms.
+
+PSL's remote reads sit *inside* the transaction's lock window, so its
+throughput collapses as latency grows (round trips per transaction);
+the lazy BackEdge protocol only pays latency off the critical path
+(secondary propagation) and for the minority of backedge transactions,
+so it degrades far more gracefully.
+"""
+
+from common import report, run_once, run_sweep, throughputs
+
+LATENCIES = [0.00015, 0.005, 0.020, 0.100]
+
+
+def test_sweep_network_latency(benchmark):
+    points = run_once(benchmark, lambda: run_sweep(
+        "network_latency", LATENCIES, ["backedge", "psl"]))
+    report(points, "Throughput vs one-way network latency "
+                   "(Table 1 range 0.15-100 ms)", benchmark)
+
+    backedge = throughputs(points, "backedge")
+    psl = throughputs(points, "psl")
+
+    # PSL deteriorates sharply with latency; BackEdge holds up.
+    assert psl[0.100] < 0.6 * psl[0.00015]
+    assert backedge[0.100] > 0.5 * backedge[0.00015]
+    # The gap widens with latency.
+    gap_low = backedge[0.00015] / psl[0.00015]
+    gap_high = backedge[0.100] / psl[0.100]
+    assert gap_high > gap_low

@@ -1,0 +1,24 @@
+"""S1 — Table 1 range: number of sites 3-15.
+
+The paper varied m in 3-15 (full results in the technical report).  The
+reproduction checks that the per-site throughput ordering (BackEdge over
+PSL) holds across system sizes and that both protocols keep working at
+the extremes.
+"""
+
+from common import bench_params, report, run_once, run_sweep, throughputs
+
+M_VALUES = [3, 9, 15]
+
+
+def test_sweep_number_of_sites(benchmark):
+    points = run_once(benchmark, lambda: run_sweep(
+        "n_sites", M_VALUES, ["backedge", "psl"]))
+    report(points, "Throughput vs number of sites m (Table 1 range)",
+           benchmark)
+
+    backedge = throughputs(points, "backedge")
+    psl = throughputs(points, "psl")
+    for m in M_VALUES:
+        assert backedge[m] > 0 and psl[m] > 0
+        assert backedge[m] > psl[m], "m={}".format(m)

@@ -1,0 +1,28 @@
+"""S2 — Table 1 range: threads per site 1-5 (multiprogramming level).
+
+More threads raise offered load and contention: committed throughput
+grows toward CPU saturation while the abort rate climbs.
+"""
+
+from common import report, run_once, run_sweep, throughputs
+
+THREADS = [1, 3, 5]
+
+
+def test_sweep_threads_per_site(benchmark):
+    points = run_once(benchmark, lambda: run_sweep(
+        "threads_per_site", THREADS, ["backedge", "psl"]))
+    report(points, "Throughput vs threads/site (Table 1 range)",
+           benchmark)
+
+    backedge = throughputs(points, "backedge")
+    # Going from 1 to 3 threads raises throughput (more parallelism).
+    assert backedge[3] > backedge[1]
+    # Contention rises with the multiprogramming level.
+    aborts = {point.value: point.result.abort_rate for point in points
+              if point.protocol == "backedge"}
+    assert aborts[5] >= aborts[1]
+    # BackEdge stays ahead of PSL at every multiprogramming level.
+    psl = throughputs(points, "psl")
+    for threads in THREADS:
+        assert backedge[threads] > psl[threads]

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""The paper's two worked anomalies, demonstrated live.
+
+**Example 1.1** — with a DAG copy graph, propagating replica updates
+*indiscriminately* can interleave so that T1 is serialized before T2 at
+one site and after it at another.  We first replay that broken
+interleaving through the serializability checker (it finds the cycle),
+then run the same scenario under DAG(WT), DAG(T) and BackEdge and show
+the cycle cannot occur.
+
+**Example 4.1** — with a cyclic copy graph, *no* lazy propagation order
+can serialize two concurrent read-write transactions; the BackEdge
+protocol resolves the resulting global deadlock by aborting one of them.
+
+Usage::
+
+    python examples/anomaly_demo.py
+"""
+
+from repro.core.base import ReplicatedSystem, SystemConfig, make_protocol
+from repro.errors import SerializabilityViolation, TransactionAborted
+from repro.graph.placement import DataPlacement
+from repro.harness.serializability import check_serializable
+from repro.sim.environment import Environment
+from repro.storage.history import SiteHistory
+from repro.types import (
+    GlobalTransactionId,
+    Operation,
+    OpType,
+    SubtransactionKind,
+    TransactionSpec,
+)
+
+
+def spec(site, seq, *ops):
+    operations = tuple(
+        Operation(OpType.READ if kind == "r" else OpType.WRITE, item)
+        for kind, item in ops)
+    return TransactionSpec(GlobalTransactionId(site, seq), site,
+                           operations)
+
+
+def replay_example_11_anomaly() -> None:
+    """Hand-build the broken interleaving of Example 1.1 and let the
+    checker catch it."""
+    print("Example 1.1 — the anomaly under indiscriminate propagation")
+    print("-" * 60)
+    t1, t2, t3 = (GlobalTransactionId(0, 1), GlobalTransactionId(1, 1),
+                  GlobalTransactionId(2, 1))
+    s1 = SiteHistory(1)
+    s1.record(t1, SubtransactionKind.SECONDARY, 1.0, {}, {"a": 1})
+    s1.record(t2, SubtransactionKind.PRIMARY, 2.0, {"a": 1}, {"b": 1})
+    s2 = SiteHistory(2)
+    s2.record(t2, SubtransactionKind.SECONDARY, 3.0, {}, {"b": 1})
+    s2.record(t3, SubtransactionKind.PRIMARY, 4.0, {"a": 0, "b": 1}, {})
+    s2.record(t1, SubtransactionKind.SECONDARY, 5.0, {}, {"a": 1})
+    try:
+        check_serializable([s1, s2])
+        raise AssertionError("the planted anomaly went undetected!")
+    except SerializabilityViolation as violation:
+        print("  checker found the cycle: {}".format(
+            " -> ".join(str(g) for g in violation.cycle)))
+    print()
+
+
+def run_example_11_under(protocol_name: str) -> None:
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    placement.add_item("b", primary=1, replicas=[2])
+    env = Environment()
+    system = ReplicatedSystem(env, placement, SystemConfig())
+    protocol = make_protocol(protocol_name, system)
+    system.use_protocol(protocol)
+
+    def client(delay, transaction):
+        ref = []
+
+        def body():
+            yield env.timeout(delay)
+            yield from protocol.run_transaction(
+                transaction.origin, transaction, ref[0])
+
+        ref.append(env.process(body()))
+
+    client(0.00, spec(0, 1, ("w", "a")))                  # T1
+    client(0.08, spec(1, 1, ("r", "a"), ("w", "b")))      # T2
+    client(0.16, spec(2, 1, ("r", "a"), ("r", "b")))      # T3
+    env.run(until=2.0)
+    check_serializable(site.engine.history for site in system.sites)
+    print("  {:>8}: serializable (T1 -> T2 order enforced at every "
+          "site)".format(protocol_name))
+
+
+def run_example_41() -> None:
+    print("Example 4.1 — cyclic copy graph, concurrent cross updates")
+    print("-" * 60)
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    placement.add_item("b", primary=1, replicas=[0])
+    env = Environment()
+    system = ReplicatedSystem(env, placement, SystemConfig())
+    protocol = make_protocol("backedge", system)
+    system.use_protocol(protocol)
+
+    outcomes = {}
+
+    def client(transaction):
+        ref = []
+
+        def body():
+            try:
+                yield from protocol.run_transaction(
+                    transaction.origin, transaction, ref[0])
+                outcomes[transaction.gid] = "committed"
+            except TransactionAborted as exc:
+                outcomes[transaction.gid] = "aborted ({})".format(
+                    exc.reason.split(" ")[0])
+
+        ref.append(env.process(body()))
+
+    client(spec(0, 1, ("r", "b"), ("w", "a")))   # T1 at s0
+    client(spec(1, 1, ("r", "a"), ("w", "b")))   # T2 at s1
+    env.run(until=3.0)
+
+    for gid, outcome in sorted(outcomes.items()):
+        print("  {} -> {}".format(gid, outcome))
+    check_serializable(site.engine.history for site in system.sites)
+    print("  global deadlock detected via the lock timeout; the "
+          "surviving schedule is serializable")
+    print()
+
+
+def main() -> None:
+    replay_example_11_anomaly()
+    print("Example 1.1 — the same scenario under the paper's protocols")
+    print("-" * 60)
+    for protocol_name in ("dag_wt", "dag_t", "backedge"):
+        run_example_11_under(protocol_name)
+    print()
+    run_example_41()
+
+
+if __name__ == "__main__":
+    main()

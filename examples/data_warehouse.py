@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Distributed data warehouse on a DAG copy graph — the paper's
+motivating deployment ("in many real life situations, for example, a
+data warehousing environment, the copy graph is naturally a DAG").
+
+Topology: one operational headquarters site feeds two regional warehouse
+sites, which in turn feed three departmental data marts.  Reference data
+is mastered at headquarters and replicated downstream; each region also
+masters its own regional aggregates, replicated into its marts.
+
+The example builds this placement explicitly (no random workload
+generator), runs it under the DAG(T) protocol — updates flow directly
+along copy-graph edges, ordered by vector timestamps — and shows that
+every downstream copy converges while analysts' read-only transactions
+run purely locally.
+
+Usage::
+
+    python examples/data_warehouse.py
+"""
+
+from repro.core.base import ReplicatedSystem, SystemConfig, make_protocol
+from repro.errors import TransactionAborted
+from repro.graph.placement import DataPlacement
+from repro.harness.convergence import check_convergence
+from repro.harness.serializability import check_serializable
+from repro.network.message import MessageType
+from repro.sim.environment import Environment
+from repro.types import (
+    GlobalTransactionId,
+    Operation,
+    OpType,
+    TransactionSpec,
+)
+
+HEADQUARTERS = 0
+REGION_EAST, REGION_WEST = 1, 2
+MART_SALES, MART_FINANCE, MART_OPS = 3, 4, 5
+
+SITE_NAMES = {
+    HEADQUARTERS: "headquarters",
+    REGION_EAST: "region-east",
+    REGION_WEST: "region-west",
+    MART_SALES: "mart-sales",
+    MART_FINANCE: "mart-finance",
+    MART_OPS: "mart-ops",
+}
+
+
+def build_placement() -> DataPlacement:
+    placement = DataPlacement(6)
+    # Reference data mastered at HQ, replicated everywhere downstream.
+    for item in ("products", "customers", "fx-rates"):
+        placement.add_item(item, primary=HEADQUARTERS,
+                           replicas=[REGION_EAST, REGION_WEST,
+                                     MART_SALES, MART_FINANCE, MART_OPS])
+    # Regional aggregates, replicated into that region's marts.
+    placement.add_item("east-sales", primary=REGION_EAST,
+                       replicas=[MART_SALES, MART_FINANCE])
+    placement.add_item("west-sales", primary=REGION_WEST,
+                       replicas=[MART_SALES, MART_OPS])
+    # Purely local scratch items at the marts.
+    placement.add_item("sales-dashboard", primary=MART_SALES)
+    placement.add_item("finance-ledger", primary=MART_FINANCE)
+    placement.add_item("ops-report", primary=MART_OPS)
+    return placement
+
+
+def txn(site, seq, *ops) -> TransactionSpec:
+    operations = tuple(
+        Operation(OpType.READ if kind == "r" else OpType.WRITE, item)
+        for kind, item in ops)
+    return TransactionSpec(GlobalTransactionId(site, seq), site,
+                           operations)
+
+
+def main() -> None:
+    placement = build_placement()
+    env = Environment()
+    system = ReplicatedSystem(env, placement, SystemConfig())
+    protocol = make_protocol("dag_t", system)
+    system.use_protocol(protocol)
+
+    print("Copy graph edges (all point downstream -> a DAG):")
+    for src, dst in sorted(system.copy_graph.edges):
+        print("  {} -> {} via {}".format(
+            SITE_NAMES[src], SITE_NAMES[dst],
+            sorted(system.copy_graph.edge_items(src, dst))))
+    print()
+
+    workload = [
+        # HQ refreshes the product catalogue and FX rates.
+        (0.00, txn(HEADQUARTERS, 1, ("w", "products"),
+                   ("w", "fx-rates"))),
+        # Regions post aggregates derived from the reference data.
+        (0.05, txn(REGION_EAST, 1, ("r", "products"),
+                   ("w", "east-sales"))),
+        (0.06, txn(REGION_WEST, 1, ("r", "products"),
+                   ("w", "west-sales"))),
+        # Another HQ refresh races the regional loads.
+        (0.07, txn(HEADQUARTERS, 2, ("w", "customers"))),
+        # Analysts at the marts: read-only, fully local transactions.
+        (0.30, txn(MART_SALES, 1, ("r", "east-sales"),
+                   ("r", "west-sales"), ("w", "sales-dashboard"))),
+        (0.30, txn(MART_FINANCE, 1, ("r", "fx-rates"),
+                   ("r", "east-sales"), ("w", "finance-ledger"))),
+        (0.30, txn(MART_OPS, 1, ("r", "customers"),
+                   ("r", "west-sales"), ("w", "ops-report"))),
+    ]
+
+    outcomes = []
+
+    def client(delay, spec):
+        ref = []
+
+        def body():
+            yield env.timeout(delay)
+            try:
+                yield from protocol.run_transaction(spec.origin, spec,
+                                                    ref[0])
+                outcomes.append((spec.gid, "committed", env.now))
+            except TransactionAborted as exc:
+                outcomes.append((spec.gid, exc.reason, env.now))
+
+        ref.append(env.process(body()))
+
+    for delay, spec in workload:
+        client(delay, spec)
+    env.run(until=3.0)
+
+    print("Transaction outcomes:")
+    for gid, status, when in sorted(outcomes, key=lambda o: o[2]):
+        print("  {} at {:<13} -> {} (t={:.3f}s)".format(
+            gid, SITE_NAMES[gid.site], status, when))
+    print()
+
+    check_serializable(site.engine.history for site in system.sites)
+    check_convergence(system)
+    print("Global serializability verified; every warehouse/mart copy "
+          "converged to the headquarters values.")
+    print("Messages sent: {} ({} secondaries, {} dummies)".format(
+        system.network.total_sent,
+        system.network.sent_by_type[MessageType.SECONDARY],
+        system.network.sent_by_type[MessageType.DUMMY]))
+
+
+if __name__ == "__main__":
+    main()

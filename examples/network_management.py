@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Telecom network management on a *cyclic* copy graph — BackEdge demo.
+
+The paper's introduction motivates strong consistency for "network
+management applications [that] require real-time dissemination of
+updates to replicas".  Here three regional network-operation centres
+(NOCs) each master their own region's device state but mirror their
+neighbours' state for cross-region diagnostics — a fully cyclic copy
+graph, where no purely lazy protocol can guarantee serializability
+(paper Example 4.1 / Sec. 4).
+
+The BackEdge protocol handles it: it removes a minimal set of backedges,
+propagates those updates eagerly (locks + 2PC) and everything else
+lazily.  The demo runs concurrent cross-region updates, prints which
+edges became backedges, and verifies serializability plus replica
+convergence.
+
+Usage::
+
+    python examples/network_management.py
+"""
+
+import random
+
+from repro.core.base import ReplicatedSystem, SystemConfig, make_protocol
+from repro.errors import TransactionAborted
+from repro.graph.placement import DataPlacement
+from repro.harness.convergence import check_convergence
+from repro.harness.serializability import check_serializable
+from repro.sim.environment import Environment
+from repro.types import (
+    GlobalTransactionId,
+    Operation,
+    OpType,
+    TransactionSpec,
+)
+
+NOC = {0: "noc-east", 1: "noc-central", 2: "noc-west"}
+DEVICES_PER_REGION = 6
+
+
+def build_placement() -> DataPlacement:
+    """Each NOC masters its region's device records; the other NOCs hold
+    replicas — every ordered pair of sites gets a copy edge."""
+    placement = DataPlacement(3)
+    for region in range(3):
+        others = [site for site in range(3) if site != region]
+        for device in range(DEVICES_PER_REGION):
+            item = "r{}-dev{}".format(region, device)
+            placement.add_item(item, primary=region, replicas=others)
+    return placement
+
+
+def main() -> None:
+    placement = build_placement()
+    env = Environment()
+    system = ReplicatedSystem(env, placement, SystemConfig())
+    protocol = make_protocol("backedge", system)
+    system.use_protocol(protocol)
+
+    print("Copy graph: every NOC replicates every other NOC's devices.")
+    print("Cycle found: {}".format(
+        " -> ".join(NOC[s] for s in system.copy_graph.find_cycle())))
+    print("Backedges chosen (eager propagation): {}".format(
+        ", ".join("{}->{}".format(NOC[src], NOC[dst])
+                  for src, dst in sorted(protocol.backedges))))
+    print("Propagation chain (lazy propagation): {}".format(
+        " -> ".join(NOC[s] for s in protocol.site_order)))
+    print()
+
+    rng = random.Random(11)
+    outcomes = []
+
+    def operator(site, count):
+        """An operator session at one NOC: updates local devices after
+        consulting mirrored state of the neighbours."""
+        ref = []
+
+        def body():
+            for seq in range(1, count + 1):
+                yield env.timeout(rng.uniform(0.0, 0.02))
+                neighbour = rng.choice(
+                    [s for s in range(3) if s != site])
+                ops = (
+                    Operation(OpType.READ, "r{}-dev{}".format(
+                        neighbour, rng.randrange(DEVICES_PER_REGION))),
+                    Operation(OpType.WRITE, "r{}-dev{}".format(
+                        site, rng.randrange(DEVICES_PER_REGION))),
+                    Operation(OpType.WRITE, "r{}-dev{}".format(
+                        site, rng.randrange(DEVICES_PER_REGION))),
+                )
+                spec = TransactionSpec(GlobalTransactionId(site, seq),
+                                       site, ops)
+                try:
+                    yield from protocol.run_transaction(site, spec,
+                                                        ref[0])
+                    outcomes.append((spec.gid, "committed"))
+                except TransactionAborted as exc:
+                    outcomes.append((spec.gid, exc.reason.split(" ")[0]))
+
+        ref.append(env.process(body()))
+
+    for site in range(3):
+        operator(site, count=25)
+    env.run(until=30.0)
+    env.run(until=env.now + 2.0)  # Drain lazy propagation.
+
+    committed = sum(1 for _gid, status in outcomes
+                    if status == "committed")
+    print("Operator transactions: {} committed, {} aborted "
+          "(global deadlocks resolved by the 50 ms timeout)".format(
+              committed, len(outcomes) - committed))
+
+    check_serializable(site.engine.history for site in system.sites)
+    check_convergence(system)
+    print("Serializability verified across all three NOCs; every mirror "
+          "converged to its master's state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Modern installs use ``pyproject.toml`` (``pip install -e .``).  This file
+exists for environments without the ``wheel`` package, where PEP 660
+editable installs cannot build: ``python setup.py develop`` installs an
+equivalent egg-link.
+"""
+
+from setuptools import setup
+
+setup()

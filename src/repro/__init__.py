@@ -1,0 +1,67 @@
+"""repro — reproduction of *Update Propagation Protocols For Replicated
+Databases* (Breitbart, Komondoor, Rastogi, Seshadri, Silberschatz;
+SIGMOD 1999).
+
+The package implements, from scratch:
+
+- a deterministic discrete-event simulation kernel (:mod:`repro.sim`),
+- a per-site in-memory database engine with strict two-phase locking
+  (:mod:`repro.storage`),
+- a reliable FIFO network substrate (:mod:`repro.network`),
+- copy-graph machinery — DAG tests, propagation trees, feedback-arc sets
+  (:mod:`repro.graph`),
+- the paper's protocols — DAG(WT), DAG(T), BackEdge — plus the PSL and
+  eager baselines (:mod:`repro.core`),
+- the paper's workload generator and data-distribution scheme
+  (:mod:`repro.workload`), and
+- an experiment harness with a global serializability checker
+  (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(protocol="backedge", seed=1)
+    result = run_experiment(config)
+    print(result.average_throughput, result.abort_rate)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ScenarioBuilder",
+    "SystemConfig",
+    "WorkloadParams",
+    "run_experiment",
+]
+
+_LAZY_EXPORTS = {
+    "ExperimentConfig": ("repro.harness.runner", "ExperimentConfig"),
+    "ExperimentResult": ("repro.harness.runner", "ExperimentResult"),
+    "run_experiment": ("repro.harness.runner", "run_experiment"),
+    "WorkloadParams": ("repro.workload.params", "WorkloadParams"),
+    "ScenarioBuilder": ("repro.testing", "ScenarioBuilder"),
+    "SystemConfig": ("repro.core.base", "SystemConfig"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the public API re-exports.
+
+    Keeps ``import repro`` cheap and avoids import cycles between the
+    harness and the substrates.
+    """
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module {!r} has no attribute {!r}".format(__name__, name)
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

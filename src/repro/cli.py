@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``protocols``
+    List the registered protocols.
+``run``
+    Run one experiment and print the Sec. 5.3 metrics.
+``sweep``
+    Vary one workload parameter across protocols and print the
+    paper-style table.
+``figure``
+    Regenerate a named artifact of the paper's evaluation (``table1``,
+    ``fig2a``, ``fig2b``, ``fig3a``, ``fig3b``).
+
+Examples::
+
+    python -m repro run --protocol backedge --txns 100
+    python -m repro sweep --parameter backedge_probability \\
+        --values 0,0.5,1 --protocols backedge,psl
+    python -m repro figure fig2a --txns 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.core.base import PROTOCOLS, make_protocol  # noqa: F401
+from repro.harness.reporting import format_comparison, format_sweep_table
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.sweep import sweep
+from repro.workload.params import WorkloadParams, format_parameter_table
+
+#: Workload fields settable from the command line: flag -> (field, type).
+_PARAM_FLAGS: typing.Dict[str, typing.Tuple[str, type]] = {
+    "sites": ("n_sites", int),
+    "items": ("n_items", int),
+    "replication": ("replication_probability", float),
+    "site-prob": ("site_probability", float),
+    "backedge": ("backedge_probability", float),
+    "ops": ("ops_per_transaction", int),
+    "threads": ("threads_per_site", int),
+    "txns": ("transactions_per_thread", int),
+    "read-op": ("read_op_probability", float),
+    "read-txn": ("read_txn_probability", float),
+    "latency": ("network_latency", float),
+    "timeout": ("deadlock_timeout", float),
+}
+
+#: figure name -> (parameter, values, base-parameter overrides).
+_FIGURES: typing.Dict[str, tuple] = {
+    "fig2a": ("backedge_probability", [0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+              {}),
+    "fig2b": ("replication_probability", [0.0, 0.1, 0.2, 0.4, 0.7, 1.0],
+              {}),
+    "fig3a": ("read_op_probability", [0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0],
+              {"backedge_probability": 0.0,
+               "replication_probability": 0.5,
+               "read_txn_probability": 0.0}),
+    "fig3b": ("read_op_probability", [0.0, 0.3, 0.5, 0.7, 0.9, 1.0],
+              {"backedge_probability": 1.0,
+               "replication_probability": 0.5,
+               "read_txn_probability": 0.0}),
+}
+
+
+def _add_param_flags(parser: argparse.ArgumentParser) -> None:
+    for flag, (field, flag_type) in _PARAM_FLAGS.items():
+        parser.add_argument("--" + flag, dest=field, type=flag_type,
+                            default=None,
+                            help="workload parameter {}".format(field))
+
+
+def _params_from_args(args: argparse.Namespace) -> WorkloadParams:
+    params = WorkloadParams()
+    changes = {}
+    for _flag, (field, _type) in _PARAM_FLAGS.items():
+        value = getattr(args, field, None)
+        if value is not None:
+            changes[field] = value
+    if changes:
+        params = params.replaced(**changes)
+    return params.validate()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Update Propagation Protocols For "
+                    "Replicated Databases' (SIGMOD 1999)")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("protocols",
+                          help="list the registered protocols")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment")
+    run_parser.add_argument("--protocol", default="backedge",
+                            help="protocol name (see 'protocols')")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--verbose", action="store_true",
+                            help="print message counts and per-site "
+                                 "commits")
+    run_parser.add_argument("--trace", type=int, default=0,
+                            metavar="N",
+                            help="print the last N protocol events")
+    _add_param_flags(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="vary one workload parameter across protocols")
+    sweep_parser.add_argument("--parameter", required=True,
+                              help="WorkloadParams field to vary")
+    sweep_parser.add_argument("--values", required=True,
+                              help="comma-separated values")
+    sweep_parser.add_argument("--protocols", default="backedge,psl",
+                              help="comma-separated protocol names")
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument("--export", metavar="PATH",
+                              help="write the sweep rows to a .csv or "
+                                   ".json file")
+    _add_param_flags(sweep_parser)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate a paper artifact")
+    figure_parser.add_argument(
+        "name", choices=sorted(_FIGURES) + ["table1"],
+        help="which artifact to regenerate")
+    figure_parser.add_argument("--seed", type=int, default=42)
+    _add_param_flags(figure_parser)
+
+    return parser
+
+
+def _cmd_protocols(_args: argparse.Namespace,
+                   out: typing.TextIO) -> int:
+    # Importing the package registers every protocol module.
+    import repro.core  # noqa: F401
+    for name in sorted(PROTOCOLS):
+        out.write("{:<16}{}\n".format(
+            name, (PROTOCOLS[name].__doc__ or "").strip().split("\n")[0]))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out: typing.TextIO) -> int:
+    params = _params_from_args(args)
+    strict = args.protocol != "indiscriminate"
+    config = ExperimentConfig(protocol=args.protocol, params=params,
+                              seed=args.seed,
+                              strict_serializability=strict)
+    if args.trace:
+        result, tracer = _run_traced(config)
+    else:
+        result, tracer = run_experiment(config), None
+    out.write(result.summary() + "\n")
+    out.write("committed={} aborted={} duration={:.2f}s "
+              "serializable={}\n".format(
+                  result.committed, result.aborted, result.duration,
+                  result.serializable))
+    if result.mean_propagation_delay:
+        out.write("mean propagation delay: {:.1f} ms\n".format(
+            result.mean_propagation_delay * 1000.0))
+    if not result.serializable and result.violation_cycle:
+        out.write("DSG cycle: {}\n".format(
+            " -> ".join(str(g) for g in result.violation_cycle)))
+        if result.violation_explanation:
+            out.write(result.violation_explanation + "\n")
+    if args.verbose:
+        out.write("messages by type: {}\n".format(
+            dict(sorted(result.messages_by_type.items()))))
+        out.write("committed per site: {}\n".format(
+            dict(sorted(result.committed_per_site.items()))))
+    if tracer is not None:
+        out.write("trace tail:\n" + tracer.tail(args.trace) + "\n")
+    return 0 if result.serializable in (True, None) else 1
+
+
+def _run_traced(config: ExperimentConfig):
+    """Run one experiment with an attached event tracer."""
+    from repro.harness.tracing import Tracer
+
+    tracer = Tracer(capacity=100_000)
+    config.extra_observers.append(tracer)
+    return run_experiment(config), tracer
+
+
+def _parse_values(raw: str) -> typing.List:
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        try:
+            values.append(int(token))
+        except ValueError:
+            values.append(float(token))
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace, out: typing.TextIO) -> int:
+    params = _params_from_args(args)
+    values = _parse_values(args.values)
+    protocols = [name.strip() for name in args.protocols.split(",")]
+    points = sweep(args.parameter, values, protocols,
+                   base_params=params, seed=args.seed)
+    out.write(format_sweep_table(points) + "\n")
+    if len(protocols) == 2:
+        out.write("\n" + format_comparison(points, protocols[1],
+                                           protocols[0]) + "\n")
+    out.write("\n" + format_sweep_table(
+        points, metric="abort_rate", metric_label="Abort rate (%)")
+        + "\n")
+    if args.export:
+        from repro.harness.export import sweep_rows, write_rows
+        write_rows(sweep_rows(points), args.export)
+        out.write("\nwrote {}\n".format(args.export))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, out: typing.TextIO) -> int:
+    if args.name == "table1":
+        out.write(format_parameter_table(_params_from_args(args)) + "\n")
+        return 0
+    from repro.harness.plots import render_sweep
+
+    parameter, values, overrides = _FIGURES[args.name]
+    params = _params_from_args(args).replaced(**overrides)
+    points = sweep(parameter, values, ["backedge", "psl"],
+                   base_params=params, seed=args.seed)
+    out.write(render_sweep(
+        points, title="{}: throughput vs {}".format(args.name,
+                                                    parameter)) + "\n\n")
+    out.write(format_sweep_table(points) + "\n\n")
+    out.write(format_comparison(points, "psl", "backedge") + "\n")
+    return 0
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None,
+         out: typing.TextIO = sys.stdout) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help(out)
+        return 2
+    handlers = {
+        "protocols": _cmd_protocols,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "figure": _cmd_figure,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

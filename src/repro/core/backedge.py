@@ -1,0 +1,445 @@
+"""The BackEdge protocol (paper Sec. 4) — extension of DAG(WT).
+
+For an arbitrary copy graph, a backedge set ``B`` is chosen so that the
+remaining edges form a DAG; updates along ``B`` are propagated *eagerly*
+(backedge subtransactions hold their locks until a distributed commit),
+while updates along the DAG edges stay lazy.
+
+Execution of a primary ``Ti`` at site ``si`` with backedge targets
+``si1..sij`` (replica sites that are tree ancestors of ``si``):
+
+1. ``Ti`` executes locally, then sends a *backedge subtransaction* ``S1``
+   directly to the farthest ancestor ``si1`` and keeps its locks.
+2. ``S1`` applies the updates at ``si1`` (holding locks, not committing)
+   and relays a *special* secondary subtransaction down the tree toward
+   ``si``; each backedge site on the path applies the updates in FIFO
+   queue order and holds its locks; pure relay sites just forward.
+3. When the special reaches ``si`` (after all earlier-queued secondaries
+   committed there), ``Ti`` and ``S1..Sj`` commit atomically via 2PC.
+4. ``Ti``'s updates for *descendant* sites then propagate lazily exactly
+   as in DAG(WT).
+
+Global deadlocks (Example 4.1) are resolved by the timeout victim rules:
+a blocked secondary wounds a conflicting primary; a primary blocked on a
+backedge subtransaction's lock aborts itself; an aborted primary tears
+down its backedge subtransactions with ``ABORT_SUBTXN`` messages.
+
+The performance-study variant (Sec. 5.1) uses the topological *chain* as
+the propagation tree; ``variant="tree"`` enables the general form with a
+minimal backedge set.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import ReplicatedSystem, Site, register_protocol
+from repro.core.dag_wt import DagWtProtocol, _wound_reason
+from repro.errors import ConfigurationError, GraphError, LockTimeout
+from repro.graph.backedges import backedges_of_order, make_minimal
+from repro.graph.tree import build_propagation_tree, chain_tree
+from repro.network.message import Message, MessageType
+from repro.sim.events import Event, Interrupt
+from repro.storage.transaction import Transaction, TransactionStatus
+from repro.types import (
+    GlobalTransactionId,
+    ItemId,
+    SiteId,
+    SubtransactionKind,
+    TransactionSpec,
+)
+
+
+@register_protocol
+class BackEdgeProtocol(DagWtProtocol):
+    """Hybrid eager/lazy propagation for arbitrary copy graphs."""
+
+    name = "backedge"
+    requires_dag = False
+
+    def __init__(self, system: ReplicatedSystem, variant: str = "chain",
+                 site_order: typing.Optional[
+                     typing.Sequence[SiteId]] = None,
+                 strict_fifo_commit: bool = False):
+        graph = system.copy_graph
+        if site_order is None:
+            if graph.is_dag():
+                site_order = graph.topological_order()
+            else:
+                # The paper's experimental setup: the identity order over
+                # sites, consistent with the DAG part (Sec. 5.2).
+                site_order = list(range(graph.n_sites))
+        elif site_order == "greedy":
+            # Sec. 4.2: minimise the *weight* of the backedge set (weight
+            # = number of items propagated along each edge) with the
+            # Eades-Lin-Smyth heuristic.
+            from repro.graph.backedges import greedy_fas_order
+            site_order = greedy_fas_order(graph)
+        backedges = backedges_of_order(graph, site_order)
+        if variant == "chain":
+            tree = chain_tree(site_order)
+        elif variant == "tree":
+            backedges = make_minimal(graph, backedges)
+            dag = graph.without_edges(backedges)
+            tree = build_propagation_tree(dag)
+        else:
+            raise ConfigurationError(
+                "unknown BackEdge variant {!r}".format(variant))
+        self.variant = variant
+        self.site_order = list(site_order)
+        self.backedges = backedges
+        #: With strict FIFO commit, a site's queue blocks while a special
+        #: subtransaction awaits its global decision (and while the origin
+        #: primary finishes 2PC) — the letter of Sec. 4.1's FIFO rule.
+        #: The default relaxes this: the special's *locks* already order
+        #: every conflicting subtransaction, so non-conflicting queue
+        #: traffic may commit meanwhile (the effectively-eager phase is a
+        #: distributed strict-2PL transaction committed atomically, so
+        #: serializability is preserved — and the harness's DSG checker
+        #: verifies it on every run).
+        self.strict_fifo_commit = strict_fifo_commit
+        super().__init__(system, tree=tree)
+        for src, dst in backedges:
+            if not tree.is_ancestor(dst, src):
+                raise GraphError(
+                    "backedge s{}->s{}: target is not a tree ancestor"
+                    .format(src, dst))
+        n = graph.n_sites
+        #: Origin side: gid -> event the primary awaits (special arrival).
+        self._awaiting_special: typing.List[dict] = [dict()
+                                                     for _ in range(n)]
+        #: Origin side: gid -> event the queue processor awaits (2PC done).
+        self._done_events: typing.List[dict] = [dict() for _ in range(n)]
+        #: Participant side: gid -> prepared/active backedge subtxn.
+        self._participants: typing.List[dict] = [dict() for _ in range(n)]
+        #: Participant side: gid -> decision event a blocked processor
+        #: waits on.
+        self._decision_events: typing.List[dict] = [dict()
+                                                    for _ in range(n)]
+        #: Coordinator side: (gid, participant) -> vote event.
+        self._vote_events: typing.Dict[typing.Tuple, Event] = {}
+        #: Globally-aborted gids per site (drop late messages).
+        self._aborted: typing.List[set] = [set() for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+
+    def _make_handler(self, site: Site):
+        queue_types = (MessageType.SECONDARY, MessageType.SPECIAL)
+
+        def handler(message: Message) -> None:
+            if message.msg_type in queue_types:
+                self._queues[site.site_id].put(message)
+            elif message.msg_type is MessageType.BACKEDGE:
+                self.env.process(self._on_backedge(site, message))
+            elif message.msg_type is MessageType.PREPARE:
+                self.env.process(self._on_prepare(site, message))
+            elif message.msg_type is MessageType.VOTE:
+                self.env.process(self._on_vote(site, message))
+            elif message.msg_type is MessageType.DECISION:
+                self.env.process(self._on_decision(site, message))
+            elif message.msg_type is MessageType.ABORT_SUBTXN:
+                self.env.process(self._on_abort_subtxn(site, message))
+            else:  # pragma: no cover - defensive
+                self.system.network.dead_letters.append(message)
+        return handler
+
+    # ------------------------------------------------------------------
+    # Primary subtransactions
+    # ------------------------------------------------------------------
+
+    def run_transaction(self, site_id: SiteId, spec: TransactionSpec,
+                        process):
+        site = self._site(site_id)
+        yield from self._txn_setup(site)
+        gid = spec.gid
+        txn = site.engine.begin(gid, SubtransactionKind.PRIMARY,
+                                process=process)
+        self.system.register_primary(txn)
+        targets: typing.List[SiteId] = []
+        backedge_sent = False
+        try:
+            yield from self._local_operations(site, txn, spec)
+            replicated = self._replicated_writes(txn)
+            targets = self._backedge_targets(site_id, replicated)
+            if targets:
+                backedge_sent = True
+                yield from self._run_backedge_phase(
+                    site, txn, replicated, targets)
+            yield from site.work(self.config.cpu_commit)
+        except LockTimeout as exc:
+            self._teardown(site_id, gid, targets, backedge_sent)
+            self._abort_primary(site, txn, exc.reason)
+        except Interrupt as exc:
+            self._teardown(site_id, gid, targets, backedge_sent)
+            self._abort_primary(site, txn, _wound_reason(exc))
+        # Commit point: atomic with forwarding, as in DAG(WT).
+        site.engine.commit(txn)
+        self.system.unregister_primary(txn)
+        replicated = self._replicated_writes(txn)
+        self.system.notify(
+            "primary_commit", gid=gid, site=site_id, time=self.env.now,
+            expected_replicas=self._expected_replicas(replicated))
+        self._forward(site_id, gid, replicated)
+        self._finish_done(site_id, gid)
+
+    def _backedge_targets(self, origin: SiteId,
+                          writes: typing.Mapping[ItemId, typing.Any]
+                          ) -> typing.List[SiteId]:
+        """Replica sites of updated items that are tree *ancestors* of the
+        origin (i.e. reached via backedges)."""
+        replica_sites = self._expected_replicas(writes)
+        targets = []
+        for replica in sorted(replica_sites):
+            if self.tree.is_ancestor(replica, origin):
+                targets.append(replica)
+            elif not self.tree.is_ancestor(origin, replica):
+                raise GraphError(
+                    "replica site s{} is neither ancestor nor descendant "
+                    "of origin s{} in the propagation tree".format(
+                        replica, origin))
+        return targets
+
+    def _run_backedge_phase(self, site: Site, txn: Transaction,
+                            writes: typing.Mapping[ItemId, typing.Any],
+                            targets: typing.List[SiteId]):
+        """Steps 1-3: dispatch S1, await the special, run 2PC."""
+        origin = site.site_id
+        gid = txn.gid
+        farthest = min(targets, key=self.tree.depth)
+        arrival = Event(self.env)
+        self._awaiting_special[origin][gid] = arrival
+        self.network.send(MessageType.BACKEDGE, origin, farthest,
+                          gid=gid, writes=dict(writes), origin=origin)
+        # Step 1-2 happen remotely; Ti holds its locks and waits.
+        yield arrival
+        # Step 3: the special has arrived (and every secondary queued
+        # before it has committed here) — commit everyone atomically.
+        commit_ok = yield from self._collect_votes(origin, gid, targets)
+        if not commit_ok:
+            # A participant was torn down: global abort.
+            for target in targets:
+                self.network.send(MessageType.DECISION, origin, target,
+                                  gid=gid, commit=False)
+            raise LockTimeout(gid, "backedge-participant")
+        txn.shielded = True
+        for target in targets:
+            self.network.send(MessageType.DECISION, origin, target,
+                              gid=gid, commit=True)
+
+    def _collect_votes(self, origin: SiteId, gid: GlobalTransactionId,
+                       targets: typing.List[SiteId]):
+        """2PC voting round with the backedge sites."""
+        for target in targets:
+            self._vote_events[(gid, target)] = Event(self.env)
+            self.network.send(MessageType.PREPARE, origin, target, gid=gid)
+        all_ok = True
+        for target in targets:
+            vote = yield self._vote_events[(gid, target)]
+            self._vote_events.pop((gid, target), None)
+            all_ok = all_ok and vote
+        return all_ok
+
+    def _teardown(self, origin: SiteId, gid: GlobalTransactionId,
+                  targets: typing.List[SiteId],
+                  backedge_sent: bool) -> None:
+        """Abort-path cleanup at the origin."""
+        self._awaiting_special[origin].pop(gid, None)
+        self._aborted[origin].add(gid)
+        if backedge_sent:
+            for target in targets:
+                self.network.send(MessageType.ABORT_SUBTXN, origin, target,
+                                  gid=gid)
+        for target in list(targets):
+            self._vote_events.pop((gid, target), None)
+        self._finish_done(origin, gid)
+
+    def _finish_done(self, site_id: SiteId,
+                     gid: GlobalTransactionId) -> None:
+        """Unblock the queue processor waiting for this gid, if any."""
+        done = self._done_events[site_id].pop(gid, None)
+        if done is not None:
+            done.succeed()
+
+    # ------------------------------------------------------------------
+    # Backedge subtransaction S1 (arrives directly at the farthest site)
+    # ------------------------------------------------------------------
+
+    def _on_backedge(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        origin = message.payload["origin"]
+        writes = message.payload["writes"]
+        site_id = site.site_id
+        if gid in self._aborted[site_id]:
+            return
+        txn = site.engine.begin(gid, SubtransactionKind.BACKEDGE)
+        self._participants[site_id][gid] = txn
+        yield from self._apply_writes_held(site, txn, writes)
+        if gid in self._aborted[site_id]:
+            self._drop_participant(site, gid)
+            return
+        site.engine.prepare(txn)
+        next_hop = self.tree.path_down(site_id, origin)[0]
+        self.network.send(MessageType.SPECIAL, site_id, next_hop,
+                          gid=gid, writes=dict(writes), origin=origin)
+
+    def _apply_writes_held(self, site: Site, txn: Transaction,
+                           writes: typing.Mapping[ItemId, typing.Any]):
+        """Apply the locally-replicated subset of ``writes`` under locks.
+
+        Never raises on lock waits: non-primary requesters are never
+        chosen as timeout victims (they wound conflicting primaries and
+        keep waiting).
+        """
+        local_items = sorted(
+            item for item in writes
+            if site.site_id in self.placement.replica_sites(item))
+        for item in local_items:
+            yield from site.engine.write(txn, item, writes[item])
+            yield from site.work(self.config.cpu_apply_write)
+
+    def _drop_participant(self, site: Site,
+                          gid: GlobalTransactionId) -> None:
+        txn = self._participants[site.site_id].pop(gid, None)
+        if txn is not None and not txn.is_finished:
+            site.engine.abort(txn)
+
+    # ------------------------------------------------------------------
+    # The special secondary subtransaction (queue path)
+    # ------------------------------------------------------------------
+
+    def _process_message(self, site: Site, message: Message):
+        if message.msg_type is MessageType.SPECIAL:
+            yield from self._handle_special(site, message)
+        else:
+            yield from super()._process_message(site, message)
+
+    def _handle_special(self, site: Site, message: Message):
+        gid = message.payload["gid"]
+        origin = message.payload["origin"]
+        writes = message.payload["writes"]
+        site_id = site.site_id
+
+        if site_id == origin:
+            # The special completed the round trip: hand control to the
+            # waiting primary.  In strict-FIFO mode the queue blocks until
+            # it commits/aborts.
+            arrival = self._awaiting_special[origin].pop(gid, None)
+            if arrival is None:
+                return  # Ti already aborted; drop.
+            if self.strict_fifo_commit:
+                done = Event(self.env)
+                self._done_events[origin][gid] = done
+                arrival.succeed(message)
+                yield done
+            else:
+                arrival.succeed(message)
+            return
+
+        if gid in self._aborted[site_id]:
+            return
+
+        local_items = [item for item in writes
+                       if site_id in self.placement.replica_sites(item)]
+        next_hop = self.tree.path_down(site_id, origin)[0]
+        if not local_items:
+            # Pure relay: no updates here, forward and move on.
+            self.network.send(MessageType.SPECIAL, site_id, next_hop,
+                              gid=gid, writes=dict(writes), origin=origin)
+            return
+
+        # A backedge site on the path: execute, hold locks, forward, then
+        # block this queue until the global decision (step 2).
+        txn = site.engine.begin(gid, SubtransactionKind.SPECIAL)
+        self._participants[site_id][gid] = txn
+        yield from self._apply_writes_held(site, txn, writes)
+        if gid in self._aborted[site_id]:
+            self._drop_participant(site, gid)
+            return
+        site.engine.prepare(txn)
+        self.network.send(MessageType.SPECIAL, site_id, next_hop,
+                          gid=gid, writes=dict(writes), origin=origin)
+        if not self.strict_fifo_commit:
+            # The held locks order all conflicting traffic; the decision
+            # is applied asynchronously by ``_on_decision``.
+            return
+        decision = Event(self.env)
+        self._decision_events[site_id][gid] = decision
+        verdict = yield decision
+        self._decision_events[site_id].pop(gid, None)
+        self._participants[site_id].pop(gid, None)
+        if verdict:
+            yield from site.work(self.config.cpu_commit)
+            site.engine.commit(txn)
+            self.system.notify("replica_commit", gid=gid, site=site_id,
+                               time=self.env.now)
+        else:
+            site.engine.abort(txn)
+
+    # ------------------------------------------------------------------
+    # 2PC participant handlers
+    # ------------------------------------------------------------------
+
+    def _on_prepare(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        txn = self._participants[site.site_id].get(gid)
+        ready = txn is not None and \
+            txn.status is TransactionStatus.PREPARED
+        self.network.send(MessageType.VOTE, site.site_id, message.src,
+                          gid=gid, commit=ready)
+
+    def _on_vote(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        event = self._vote_events.get((gid, message.src))
+        if event is not None and not event.triggered:
+            event.succeed(bool(message.payload["commit"]))
+
+    def _on_decision(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        commit = bool(message.payload["commit"])
+        site_id = site.site_id
+        if not commit:
+            self._aborted[site_id].add(gid)
+        decision = self._decision_events[site_id].get(gid)
+        if decision is not None:
+            if not decision.triggered:
+                decision.succeed(commit)
+            return
+        # Farthest site (S1): its handler process has finished; apply the
+        # decision to the prepared subtransaction directly.
+        txn = self._participants[site_id].pop(gid, None)
+        if txn is None or txn.is_finished:
+            return
+        if commit:
+            yield from site.work(self.config.cpu_commit)
+            site.engine.commit(txn)
+            self.system.notify("replica_commit", gid=gid, site=site_id,
+                               time=self.env.now)
+        else:
+            site.engine.abort(txn)
+
+    def _on_abort_subtxn(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        site_id = site.site_id
+        self._aborted[site_id].add(gid)
+        decision = self._decision_events[site_id].get(gid)
+        if decision is not None:
+            if not decision.triggered:
+                decision.succeed(False)
+            return
+        txn = self._participants[site_id].get(gid)
+        if txn is None:
+            return
+        if txn.status is TransactionStatus.PREPARED:
+            self._participants[site_id].pop(gid, None)
+            site.engine.abort(txn)
+        # An ACTIVE participant is still applying writes; its driving
+        # process checks the aborted set once the writes are in and drops
+        # the subtransaction itself (aborting it from here would strand
+        # the driver on a cancelled lock wait).

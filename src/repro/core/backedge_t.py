@@ -1,0 +1,370 @@
+"""BackEdge over DAG(T) — the extension the paper defers to its
+technical report ("[BKRSS98] discusses extensions to the DAG(T)
+protocol", Sec. 4).
+
+The copy graph is split into a *minimal* backedge set ``B`` and the
+remaining DAG; the lazy part runs DAG(T) on the DAG (direct propagation,
+vector timestamps, epochs, dummies).  Updates along backedges propagate
+eagerly.  For a primary ``Ti`` at ``si`` with backedge targets
+``sj1..sjk``:
+
+1. after executing locally, ``Ti`` sends a backedge subtransaction
+   directly to **each** target in parallel (there is no tree to relay a
+   special subtransaction through);
+2. each target applies the updates under locks, stays prepared, and
+   acknowledges with its *current site timestamp*;
+3. ``Ti`` commits only once its own site's timestamp has advanced past
+   every acknowledged timestamp.  Because ``B`` is minimal, each target
+   is a DAG ancestor of ``si``, so target-site timestamps percolate down
+   to ``si`` through committed secondaries and (relayed) dummies.  This
+   wait plays the role of the chain variant's special-subtransaction
+   round trip: every subtransaction serialized before ``Ti`` at a target
+   has reached and committed at ``si`` (or is blocked on ``Ti``'s locks,
+   in which case the timeout victim rules wound ``Ti`` — the global
+   deadlock resolution of Sec. 4.1);
+4. ``Ti`` then commits atomically with its backedge subtransactions
+   (decision round), takes its DAG(T) timestamp, and propagates to its
+   DAG children lazily.
+
+Step 3's catch-up is accelerated by *relayed* dummies: a target flushes
+its timestamp down its DAG children immediately after preparing, and
+each site that commits a relayed dummy forwards its own, so the origin
+catches up in path-length network hops instead of heartbeat periods.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import ReplicatedSystem, Site, register_protocol
+from repro.core.dag_t import DagTProtocol
+from repro.core.timestamps import VectorTimestamp
+from repro.errors import GraphError, LockTimeout, TransactionAborted
+from repro.graph.backedges import backedges_of_order, make_minimal
+from repro.network.message import Message, MessageType
+from repro.sim.events import Event, Interrupt
+from repro.storage.transaction import TransactionStatus
+from repro.types import (
+    GlobalTransactionId,
+    ItemId,
+    SiteId,
+    SubtransactionKind,
+    TransactionSpec,
+)
+
+
+@register_protocol
+class BackEdgeTProtocol(DagTProtocol):
+    """Hybrid eager/lazy propagation with DAG(T) as the lazy layer."""
+
+    name = "backedge_t"
+    requires_dag = False
+
+    def __init__(self, system: ReplicatedSystem,
+                 site_order: typing.Optional[
+                     typing.Sequence[SiteId]] = None):
+        graph = system.copy_graph
+        if site_order is None:
+            if graph.is_dag():
+                site_order = graph.topological_order()
+            else:
+                site_order = list(range(graph.n_sites))
+        # Minimality matters here: it guarantees every backedge target is
+        # a DAG ancestor of the origin, so the step-3 timestamp catch-up
+        # terminates.
+        backedges = make_minimal(graph,
+                                 backedges_of_order(graph, site_order))
+        dag = graph.without_edges(backedges)
+        super().__init__(system, graph=dag)
+        self.site_order = list(site_order)
+        self.backedges = backedges
+        for src, dst in backedges:
+            if dst not in dag.ancestors(src):
+                raise GraphError(
+                    "backedge s{}->s{}: target is not a DAG ancestor of "
+                    "the origin (backedge set must be minimal)".format(
+                        src, dst))
+        n = graph.n_sites
+        #: Participant side: gid -> prepared backedge subtransaction.
+        self._participants: typing.List[dict] = [dict() for _ in range(n)]
+        #: Coordinator side: (gid, target) -> vote event (value: the
+        #: target's site timestamp, or False on refusal).
+        self._vote_events: typing.Dict[typing.Tuple, Event] = {}
+        #: Globally-aborted gids per site.
+        self._aborted: typing.List[set] = [set() for _ in range(n)]
+        #: Events waiting for a site's base timestamp to advance.
+        self._base_watchers: typing.List[list] = [[] for _ in range(n)]
+
+    # ------------------------------------------------------------------
+    # Message routing: DAG(T) queue traffic plus the eager-phase types
+    # ------------------------------------------------------------------
+
+    def _make_handler(self, site_id: SiteId):
+        dag_handler = super()._make_handler(site_id)
+        site = self.system.site_of(site_id)
+
+        def handler(message: Message) -> None:
+            if message.msg_type in (MessageType.SECONDARY,
+                                    MessageType.DUMMY):
+                dag_handler(message)
+            elif message.msg_type is MessageType.BACKEDGE:
+                self.env.process(self._on_backedge(site, message))
+            elif message.msg_type is MessageType.VOTE:
+                event = self._vote_events.get(
+                    (message.payload["gid"], message.src))
+                if event is not None and not event.triggered:
+                    event.succeed(message.payload["ack"])
+            elif message.msg_type is MessageType.DECISION:
+                self.env.process(self._on_decision(site, message))
+            elif message.msg_type is MessageType.ABORT_SUBTXN:
+                self.env.process(self._on_abort_subtxn(site, message))
+            else:  # pragma: no cover - defensive
+                self.network.dead_letters.append(message)
+        return handler
+
+    # ------------------------------------------------------------------
+    # Timestamp catch-up machinery
+    # ------------------------------------------------------------------
+
+    def _apply_secondary(self, site: Site, message: Message, timestamp):
+        yield from super()._apply_secondary(site, message, timestamp)
+        self._notify_base_watchers(site.site_id)
+        self._maybe_relay(site.site_id, message)
+
+    def _queue_processor(self, site: Site):
+        """Extend the DAG(T) processor: dummies also wake base watchers
+        and relayed dummies are forwarded promptly."""
+        site_id = site.site_id
+        while True:
+            yield self._wait_all_queues(site_id)
+            message = self._pop_minimum(site_id)
+            yield from site.work(self.config.cpu_message)
+            timestamp = message.payload["ts"]
+            if message.msg_type is MessageType.DUMMY:
+                self.clocks[site_id].on_secondary_commit(timestamp)
+                self._notify_base_watchers(site_id)
+                self._maybe_relay(site_id, message)
+                continue
+            yield from self._apply_secondary(site, message, timestamp)
+
+    def _maybe_relay(self, site_id: SiteId, message: Message) -> None:
+        if not message.payload.get("relay"):
+            return
+        self._flush_timestamp(site_id)
+
+    def _flush_timestamp(self, site_id: SiteId) -> None:
+        """Send relayed dummies to all DAG children immediately."""
+        for child in sorted(self.graph.children(site_id)):
+            self.network.send(
+                MessageType.DUMMY, site_id, child,
+                ts=self.clocks[site_id].site_timestamp(), relay=True)
+            self._last_sent[(site_id, child)] = self.env.now
+
+    def _notify_base_watchers(self, site_id: SiteId) -> None:
+        watchers = self._base_watchers[site_id]
+        if not watchers:
+            return
+        base = self.clocks[site_id].base
+        still_waiting = []
+        for threshold, event in watchers:
+            if not event.triggered:
+                if threshold <= base:
+                    event.succeed(base)
+                else:
+                    still_waiting.append((threshold, event))
+        self._base_watchers[site_id] = still_waiting
+
+    def _wait_base_at_least(self, site_id: SiteId,
+                            threshold: VectorTimestamp):
+        """Block until the site's base timestamp reaches ``threshold``."""
+        base = self.clocks[site_id].base
+        while not threshold <= base:
+            event = Event(self.env)
+            self._base_watchers[site_id].append((threshold, event))
+            yield event
+            base = self.clocks[site_id].base
+
+    # ------------------------------------------------------------------
+    # Primary subtransactions
+    # ------------------------------------------------------------------
+
+    def run_transaction(self, site_id: SiteId, spec: TransactionSpec,
+                        process):
+        site = self._site(site_id)
+        yield from self._txn_setup(site)
+        gid = spec.gid
+        txn = site.engine.begin(gid, SubtransactionKind.PRIMARY,
+                                process=process)
+        self.system.register_primary(txn)
+        targets: typing.List[SiteId] = []
+        dispatched = False
+        try:
+            yield from self._local_operations(site, txn, spec)
+            replicated = {item: value
+                          for item, value in txn.writes.items()
+                          if self.placement.is_replicated(item)}
+            targets = self._backedge_targets(site_id, replicated)
+            if targets:
+                dispatched = True
+                acks = yield from self._eager_phase(
+                    site, gid, replicated, targets)
+                if acks is None:
+                    raise LockTimeout(gid, "backedge-participant")
+                # Step 3: catch up to every target's prepare-time
+                # timestamp before committing.
+                for ack in acks:
+                    yield from self._wait_base_at_least(site_id, ack)
+                txn.shielded = True
+                for target in targets:
+                    self.network.send(MessageType.DECISION, site_id,
+                                      target, gid=gid, commit=True)
+            yield from site.work(self.config.cpu_commit)
+        except LockTimeout as exc:
+            self._teardown(site_id, gid, targets, dispatched)
+            self._abort_primary(site, txn, exc.reason)
+        except Interrupt as exc:
+            self._teardown(site_id, gid, targets, dispatched)
+            cause = exc.cause
+            reason = cause.reason if isinstance(
+                cause, TransactionAborted) else str(cause)
+            self._abort_primary(site, txn, reason)
+        # Commit: take the DAG(T) timestamp and propagate lazily to the
+        # DAG children (backedge targets were served eagerly).
+        timestamp = self.clocks[site_id].on_primary_commit()
+        site.engine.commit(txn)
+        self.system.unregister_primary(txn)
+        replicated = {item: value for item, value in txn.writes.items()
+                      if self.placement.is_replicated(item)}
+        self.system.notify(
+            "primary_commit", gid=gid, site=site_id, time=self.env.now,
+            expected_replicas=self._expected_replicas(replicated))
+        self._schedule_lazy(site_id, gid, replicated, timestamp,
+                            exclude=set(targets))
+
+    def _backedge_targets(self, origin: SiteId,
+                          writes: typing.Mapping[ItemId, typing.Any]
+                          ) -> typing.List[SiteId]:
+        """Replica sites reached from ``origin`` via backedges."""
+        targets = set()
+        for item in writes:
+            for replica in self.placement.replica_sites(item):
+                if (origin, replica) in self.backedges:
+                    targets.add(replica)
+                elif not self.graph.has_edge(origin, replica):
+                    raise GraphError(
+                        "replica site s{} of item {} unreachable from "
+                        "s{}".format(replica, item, origin))
+        return sorted(targets)
+
+    def _schedule_lazy(self, site_id: SiteId, gid: GlobalTransactionId,
+                       writes: typing.Mapping[ItemId, typing.Any],
+                       timestamp, exclude: typing.Set[SiteId]) -> None:
+        """DAG(T) step 3, restricted to non-backedge children."""
+        children = self._expected_replicas(writes) - exclude
+        for child in sorted(children):
+            relevant = {item: value for item, value in writes.items()
+                        if child in self.placement.replica_sites(item)}
+            if not relevant:
+                continue
+            self.network.send(MessageType.SECONDARY, site_id, child,
+                              gid=gid, writes=relevant, ts=timestamp)
+            self._last_sent[(site_id, child)] = self.env.now
+
+    # ------------------------------------------------------------------
+    # Eager phase
+    # ------------------------------------------------------------------
+
+    def _eager_phase(self, site: Site, gid: GlobalTransactionId,
+                     writes: typing.Mapping[ItemId, typing.Any],
+                     targets: typing.List[SiteId]):
+        """Dispatch backedge subtransactions in parallel; collect each
+        target's prepare-time timestamp (``None`` on any refusal)."""
+        origin = site.site_id
+        for target in targets:
+            self._vote_events[(gid, target)] = Event(self.env)
+            relevant = {item: value for item, value in writes.items()
+                        if target in self.placement.replica_sites(item)}
+            self.network.send(MessageType.BACKEDGE, origin, target,
+                              gid=gid, writes=relevant, origin=origin)
+        acks: typing.List[VectorTimestamp] = []
+        failed = False
+        for target in targets:
+            event = self._vote_events.get((gid, target))
+            if event is None:
+                failed = True
+                continue
+            ack = yield event
+            self._vote_events.pop((gid, target), None)
+            if ack is False:
+                failed = True
+            else:
+                acks.append(ack)
+        return None if failed else acks
+
+    def _teardown(self, origin: SiteId, gid: GlobalTransactionId,
+                  targets: typing.List[SiteId], dispatched: bool) -> None:
+        self._aborted[origin].add(gid)
+        for target in targets:
+            self._vote_events.pop((gid, target), None)
+            if dispatched:
+                self.network.send(MessageType.ABORT_SUBTXN, origin,
+                                  target, gid=gid)
+
+    # ------------------------------------------------------------------
+    # Participant side
+    # ------------------------------------------------------------------
+
+    def _on_backedge(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        origin = message.payload["origin"]
+        writes = message.payload["writes"]
+        site_id = site.site_id
+        if gid in self._aborted[site_id]:
+            return
+        txn = site.engine.begin(gid, SubtransactionKind.BACKEDGE)
+        self._participants[site_id][gid] = txn
+        for item in sorted(writes):
+            yield from site.engine.write(txn, item, writes[item])
+            yield from site.work(self.config.cpu_apply_write)
+        if gid in self._aborted[site_id]:
+            self._participants[site_id].pop(gid, None)
+            site.engine.abort(txn)
+            return
+        site.engine.prepare(txn)
+        # Acknowledge with this site's current timestamp: everything
+        # committed here before the backedge subtransaction prepared.
+        ack = self.clocks[site_id].site_timestamp()
+        self.network.send(MessageType.VOTE, site_id, origin, gid=gid,
+                          ack=ack)
+        # Flush the timestamp downstream so the origin catches up in
+        # network hops rather than heartbeat periods.
+        self._flush_timestamp(site_id)
+
+    def _on_decision(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        commit = bool(message.payload["commit"])
+        txn = self._participants[site.site_id].pop(gid, None)
+        if txn is None or txn.is_finished:
+            return
+        if commit:
+            yield from site.work(self.config.cpu_commit)
+            site.engine.commit(txn)
+            self.system.notify("replica_commit", gid=gid,
+                               site=site.site_id, time=self.env.now)
+        else:
+            site.engine.abort(txn)
+
+    def _on_abort_subtxn(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid = message.payload["gid"]
+        site_id = site.site_id
+        self._aborted[site_id].add(gid)
+        txn = self._participants[site_id].get(gid)
+        if txn is not None and \
+                txn.status is TransactionStatus.PREPARED:
+            self._participants[site_id].pop(gid, None)
+            site.engine.abort(txn)
+        # An ACTIVE participant cleans itself up after its lock waits
+        # (see _on_backedge's post-application check).

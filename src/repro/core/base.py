@@ -1,0 +1,325 @@
+"""Replicated-system assembly and the protocol interface.
+
+A :class:`ReplicatedSystem` wires together, for one experiment run: the
+simulation environment, one :class:`~repro.storage.engine.StorageEngine`
+and one CPU :class:`~repro.sim.resources.Resource` per site, the FIFO
+:class:`~repro.network.network.Network`, the copy graph derived from the
+data placement, and one :class:`ReplicationProtocol` instance.
+
+Protocols implement ``run_transaction`` (executed inside a client thread's
+simulation process) plus whatever background machinery they need
+(``setup``).  Shared behaviour — local operation execution with CPU
+accounting, deterministic write values, the paper's timeout victim rules —
+lives here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ConfigurationError, TransactionAborted
+from repro.graph.copygraph import CopyGraph
+from repro.graph.placement import DataPlacement
+from repro.network.network import Network
+from repro.sim.environment import Environment
+from repro.sim.resources import Resource
+from repro.storage.engine import StorageEngine
+from repro.storage.locks import (
+    ABORT_WAITER,
+    KEEP_WAITING,
+    LockManager,
+    LockMode,
+    LockRequest,
+)
+from repro.storage.transaction import Transaction
+from repro.types import (
+    GlobalTransactionId,
+    SiteId,
+    SubtransactionKind,
+    TransactionSpec,
+)
+
+
+@dataclasses.dataclass
+class SystemConfig:
+    """Engine/cost knobs of the simulated testbed.
+
+    CPU service times are calibrated so the paper's default workload lands
+    in its reported throughput/response-time range (see EXPERIMENTS.md);
+    they model a late-90s workstation running an in-memory DBMS.
+    """
+
+    #: Lock/deadlock timeout interval (Table 1: 50 ms).
+    lock_timeout: float = 0.050
+    #: One-way network latency (Table 1 default: ~0.15 ms).
+    network_latency: float = 0.00015
+    #: Per-transaction client/setup CPU spent *before* any lock is taken
+    #: (parsing, scheduling, connection work).  Most of a transaction's
+    #: service time sits here, so locks are held only briefly relative to
+    #: the 50 ms deadlock timeout — matching the paper's near-zero abort
+    #: rate for the lazy protocols at b=0.
+    cpu_txn_setup: float = 0.035
+    #: CPU time to execute one read/write operation under locks
+    #: (main-memory engine: cheap).
+    cpu_per_op: float = 0.0005
+    #: CPU time for local commit processing.
+    cpu_commit: float = 0.001
+    #: CPU time to receive/handle one network message.
+    cpu_message: float = 0.001
+    #: CPU time to apply one replica write in a secondary subtransaction.
+    cpu_apply_write: float = 0.0005
+    #: CPU time at the primary site to serve one remote read (PSL).
+    cpu_remote_read: float = 0.004
+    #: Round-robin scheduling quantum of the per-site CPU: long jobs are
+    #: consumed in slices so short (lock-holding) work is not stuck
+    #: behind them.
+    cpu_quantum: float = 0.001
+    #: Cores per site CPU (the paper's testbed is single-core; >1 models
+    #: an SMP site).
+    cpu_cores: int = 1
+    #: DAG(T): dummy-subtransaction interval per idle edge (Sec. 3.3).
+    heartbeat_interval: float = 0.100
+    #: DAG(T): epoch-increment period at source sites (Sec. 3.3).
+    epoch_interval: float = 0.250
+
+
+class Site:
+    """Per-site runtime: the storage engine plus a single-core CPU."""
+
+    def __init__(self, env: Environment, site_id: SiteId,
+                 config: SystemConfig):
+        self.env = env
+        self.site_id = site_id
+        self.config = config
+        self.engine = StorageEngine(env, site_id,
+                                    lock_timeout=config.lock_timeout)
+        self.cpu = Resource(env, capacity=config.cpu_cores)
+
+    def work(self, duration: float):
+        """Consume ``duration`` of this site's CPU under round-robin
+        scheduling.  Use as ``yield from site.work(t)``."""
+        yield from self.cpu.use(duration, quantum=self.config.cpu_quantum)
+
+    def __repr__(self):
+        return "<Site s{}>".format(self.site_id)
+
+
+class ReplicatedSystem:
+    """One fully-wired replicated database system."""
+
+    def __init__(self, env: Environment, placement: DataPlacement,
+                 config: typing.Optional[SystemConfig] = None):
+        self.env = env
+        self.placement = placement
+        self.config = config or SystemConfig()
+        self.copy_graph = CopyGraph.from_placement(placement)
+        self.network = Network(env, placement.n_sites,
+                               latency=self.config.network_latency)
+        self.sites = [Site(env, site_id, self.config)
+                      for site_id in range(placement.n_sites)]
+        self.protocol: typing.Optional["ReplicationProtocol"] = None
+        #: Registry of in-flight primary subtransactions by global id —
+        #: lets a remote site's victim policy wound the owning primary
+        #: (physically this is a tiny control message; the simulation
+        #: applies it directly and only the ensuing cleanup traffic is
+        #: charged to the network).
+        self.primaries: typing.Dict[GlobalTransactionId, Transaction] = {}
+        #: Observer hooks (set by the harness metrics collector).
+        self.observers: typing.List = []
+        # Materialise item copies at their sites.
+        for item in placement.items:
+            self.site_of(placement.primary_site(item)) \
+                .engine.create_item(item)
+            for replica in placement.replica_sites(item):
+                self.site_of(replica).engine.create_item(item)
+
+    def site_of(self, site_id: SiteId) -> Site:
+        return self.sites[site_id]
+
+    def use_protocol(self, protocol: "ReplicationProtocol") -> None:
+        """Install the protocol and run its setup (handlers, processes)."""
+        self.protocol = protocol
+        protocol.setup()
+
+    # ------------------------------------------------------------------
+    # Observer plumbing (metrics)
+    # ------------------------------------------------------------------
+
+    def notify(self, event: str, **details) -> None:
+        for observer in self.observers:
+            handler = getattr(observer, "on_" + event, None)
+            if handler is not None:
+                handler(**details)
+
+    # ------------------------------------------------------------------
+    # Global-txn registry
+    # ------------------------------------------------------------------
+
+    def register_primary(self, txn: Transaction) -> None:
+        self.primaries[txn.gid] = txn
+
+    def unregister_primary(self, txn: Transaction) -> None:
+        self.primaries.pop(txn.gid, None)
+
+
+class ReplicationProtocol:
+    """Base class for update-propagation protocols.
+
+    Subclasses must define :attr:`name`, implement ``run_transaction``
+    (a generator executed inside the client process) and may override
+    ``setup`` to install message handlers and background processes.
+    """
+
+    #: Registry key, e.g. ``"backedge"``.
+    name: str = "base"
+    #: Whether the protocol requires an acyclic copy graph.
+    requires_dag: bool = False
+
+    def __init__(self, system: ReplicatedSystem):
+        self.system = system
+        self.env = system.env
+        self.config = system.config
+        self.placement = system.placement
+        self.network = system.network
+        if self.requires_dag and not system.copy_graph.is_dag():
+            raise ConfigurationError(
+                "{} requires a DAG copy graph; found cycle {}".format(
+                    self.name, system.copy_graph.find_cycle()))
+
+    # -- subclass interface -------------------------------------------
+
+    def setup(self) -> None:
+        """Install message handlers / background processes."""
+
+    def run_transaction(self, site_id: SiteId, spec: TransactionSpec,
+                        process) -> typing.Generator:
+        """Run one primary transaction attempt to commit.
+
+        Must be driven with ``yield from`` inside the client's simulation
+        process (``process`` is that process, used to make the
+        transaction woundable).  Raises
+        :class:`~repro.errors.TransactionAborted` after rolling back on
+        any abort (lock timeout, wound, global deadlock).
+        """
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------
+
+    def _site(self, site_id: SiteId) -> Site:
+        return self.system.site_of(site_id)
+
+    @staticmethod
+    def _write_value(gid: GlobalTransactionId, op_index: int) -> str:
+        """Deterministic value for a write (content is irrelevant to the
+        protocols; versions drive the serializability checker)."""
+        return "{}#{}".format(gid, op_index)
+
+    def _txn_setup(self, site: Site):
+        """Pre-lock per-transaction CPU work (run first in every
+        ``run_transaction``)."""
+        yield from site.work(self.config.cpu_txn_setup)
+
+    def _local_operations(self, site: Site, txn: Transaction,
+                          spec: TransactionSpec):
+        """Execute all of ``spec``'s operations locally under 2PL.
+
+        Lock waits happen while *not* holding the CPU; each operation then
+        costs ``cpu_per_op`` of CPU time.
+        """
+        for index, op in enumerate(spec.operations):
+            if op.is_read:
+                yield from site.engine.read(txn, op.item)
+            else:
+                yield from site.engine.write(
+                    txn, op.item, self._write_value(txn.gid, index))
+            yield from site.work(self.config.cpu_per_op)
+
+    def _abort_primary(self, site: Site, txn: Transaction,
+                       reason: str) -> typing.NoReturn:
+        """Roll back a primary and raise :class:`TransactionAborted`."""
+        site.engine.abort(txn)
+        self.system.unregister_primary(txn)
+        raise TransactionAborted(txn.gid, reason)
+
+    # -- the paper's timeout victim rules ------------------------------
+
+    def install_lazy_timeout_policy(self, manager: LockManager) -> None:
+        """Victim selection for the lazy protocols (Secs. 2, 4.1):
+
+        - a *primary* whose wait times out aborts itself;
+        - a *secondary/special* subtransaction is never the victim — it
+          wounds a conflicting primary (the one that arrived latest, the
+          paper's "fair" example policy) or, when blocked by a backedge
+          subtransaction, wounds that subtransaction's own global primary
+          (the Example 4.1 global-deadlock resolution) and keeps waiting;
+        - a *backedge* subtransaction similarly wounds conflicting
+          primaries and keeps waiting (its own primary aborts itself if
+          the wait cycles back to it).
+        """
+
+        def policy(mgr: LockManager, request: LockRequest) -> str:
+            if request.txn.kind is SubtransactionKind.PRIMARY:
+                return ABORT_WAITER
+            blockers = self._conflicting_holders(mgr, request)
+            wounded = False
+            for holder in sorted(
+                    blockers, key=lambda txn: -txn.start_time):
+                if holder.kind is SubtransactionKind.PRIMARY:
+                    if holder.wound("wounded-by-{}".format(
+                            request.txn.kind.value)):
+                        wounded = True
+                        break
+                elif holder.kind in (SubtransactionKind.BACKEDGE,
+                                     SubtransactionKind.SPECIAL):
+                    primary = self.system.primaries.get(holder.gid)
+                    if primary is not None and primary.wound(
+                            "global-deadlock"):
+                        wounded = True
+                        break
+            del wounded  # Either way the subtransaction keeps waiting.
+            return KEEP_WAITING
+
+        manager.timeout_policy = policy
+
+    @staticmethod
+    def _conflicting_holders(manager: LockManager,
+                             request: LockRequest) -> typing.List:
+        holders = manager.holders(request.item)
+        return [holder for holder, mode in holders.items()
+                if holder is not request.txn
+                and (request.mode is LockMode.EXCLUSIVE
+                     or mode is LockMode.EXCLUSIVE)]
+
+
+#: Protocol registry, populated by the concrete modules at import time via
+#: :func:`register_protocol`.
+PROTOCOLS: typing.Dict[str, typing.Type[ReplicationProtocol]] = {}
+
+
+def register_protocol(cls: typing.Type[ReplicationProtocol]
+                      ) -> typing.Type[ReplicationProtocol]:
+    """Class decorator adding a protocol to :data:`PROTOCOLS`."""
+    PROTOCOLS[cls.name] = cls
+    return cls
+
+
+def make_protocol(name: str, system: ReplicatedSystem,
+                  **kwargs) -> ReplicationProtocol:
+    """Instantiate a registered protocol by name."""
+    # Import the concrete modules so their registrations run.
+    import repro.core.backedge  # noqa: F401
+    import repro.core.backedge_t  # noqa: F401
+    import repro.core.dag_t  # noqa: F401
+    import repro.core.dag_wt  # noqa: F401
+    import repro.core.eager  # noqa: F401
+    import repro.core.indiscriminate  # noqa: F401
+    import repro.core.psl  # noqa: F401
+
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise ConfigurationError(
+            "unknown protocol {!r}; available: {}".format(
+                name, ", ".join(sorted(PROTOCOLS)))) from None
+    return cls(system, **kwargs)

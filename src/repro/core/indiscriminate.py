@@ -1,0 +1,141 @@
+"""Indiscriminate lazy propagation — the commercial baseline the paper
+argues *against* (Sec. 1).
+
+"[Database vendors] provide an option in which each transaction executes
+locally, and then asynchronously propagates its updates to replicas
+after it commits ... A problem with the lazy replication approaches of
+most commercial systems is that they can easily lead to non-serializable
+executions. ... Currently, commercial systems use reconciliation rules
+(e.g., install the update with the later timestamp) to merge conflicting
+updates.  These rules do not guarantee serializability unless the
+updates are commutative."
+
+This protocol does exactly that: after a local commit, the updates are
+sent directly to every replica site and applied in arrival order, with
+an optional last-writer-wins (Thomas write rule) reconciliation on the
+origin commit timestamp.  It exists so the reproduction can *measure*
+the anomalies (Example 1.1 at workload scale) that DAG(WT)/DAG(T)/
+BackEdge are designed to eliminate — run it with
+``strict_serializability=False``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import (
+    ReplicatedSystem,
+    ReplicationProtocol,
+    Site,
+    register_protocol,
+)
+from repro.errors import LockTimeout, TransactionAborted
+from repro.network.message import Message, MessageType
+from repro.sim.events import Interrupt
+from repro.storage.locks import LockMode
+from repro.types import (
+    GlobalTransactionId,
+    ItemId,
+    SiteId,
+    SubtransactionKind,
+    TransactionSpec,
+)
+
+
+@register_protocol
+class IndiscriminateProtocol(ReplicationProtocol):
+    """Commercial-style lazy propagation without ordering control."""
+
+    name = "indiscriminate"
+    requires_dag = False
+
+    def __init__(self, system: ReplicatedSystem,
+                 reconcile: bool = True):
+        super().__init__(system)
+        #: Last-writer-wins reconciliation (Thomas write rule) on the
+        #: origin commit timestamp; without it, updates apply in raw
+        #: arrival order and replicas need not even converge.
+        self.reconcile = reconcile
+        #: Per site: item -> (commit_time, gid) of the newest applied
+        #: update (reconciliation state).
+        self._applied: typing.List[typing.Dict[ItemId, tuple]] = [
+            dict() for _ in range(system.placement.n_sites)]
+
+    def setup(self) -> None:
+        for site in self.system.sites:
+            self.install_lazy_timeout_policy(site.engine.locks)
+            self.network.set_handler(site.site_id, self._make_handler(site))
+
+    def _make_handler(self, site: Site):
+        def handler(message: Message) -> None:
+            self.env.process(self._apply_secondary(site, message))
+        return handler
+
+    def run_transaction(self, site_id: SiteId, spec: TransactionSpec,
+                        process):
+        site = self._site(site_id)
+        yield from self._txn_setup(site)
+        txn = site.engine.begin(spec.gid, SubtransactionKind.PRIMARY,
+                                process=process)
+        self.system.register_primary(txn)
+        try:
+            yield from self._local_operations(site, txn, spec)
+            yield from site.work(self.config.cpu_commit)
+        except LockTimeout as exc:
+            self._abort_primary(site, txn, exc.reason)
+        except Interrupt as exc:
+            cause = exc.cause
+            reason = cause.reason if isinstance(
+                cause, TransactionAborted) else str(cause)
+            self._abort_primary(site, txn, reason)
+        site.engine.commit(txn)
+        self.system.unregister_primary(txn)
+        replicated = {item: value for item, value in txn.writes.items()
+                      if self.placement.is_replicated(item)}
+        expected: typing.Set[SiteId] = set()
+        for item in replicated:
+            expected |= self.placement.replica_sites(item)
+        self.system.notify("primary_commit", gid=spec.gid, site=site_id,
+                           time=self.env.now, expected_replicas=expected)
+        # Indiscriminate: straight to every replica holder, no ordering.
+        for replica in sorted(expected):
+            relevant = {item: value
+                        for item, value in replicated.items()
+                        if replica in self.placement.replica_sites(item)}
+            self.network.send(MessageType.SECONDARY, site_id, replica,
+                              gid=spec.gid, writes=relevant,
+                              commit_time=self.env.now)
+
+    def _apply_secondary(self, site: Site, message: Message):
+        yield from site.work(self.config.cpu_message)
+        gid: GlobalTransactionId = message.payload["gid"]
+        writes = message.payload["writes"]
+        stamp = (message.payload["commit_time"], gid)
+        applied = self._applied[site.site_id]
+
+        def is_stale(item) -> bool:
+            if not self.reconcile:
+                return False
+            return not applied.get(item, (-1.0, None)) < stamp
+
+        items = [item for item in sorted(writes) if not is_stale(item)]
+        if not items:
+            return
+        txn = site.engine.begin(gid, SubtransactionKind.SECONDARY)
+        for item in items:
+            # Lock first, then re-check staleness (the Thomas write
+            # rule): a newer update may have landed during the wait.
+            yield site.engine.locks.acquire(txn, item, LockMode.EXCLUSIVE)
+            if is_stale(item):
+                continue
+            yield from site.engine.write(txn, item, writes[item])
+            yield from site.work(self.config.cpu_apply_write)
+        if not txn.writes:
+            site.engine.abort(txn)  # Everything lost reconciliation.
+            return
+        yield from site.work(self.config.cpu_commit)
+        site.engine.commit(txn)
+        for item in txn.writes:
+            applied[item] = stamp
+        self.system.notify("replica_commit", gid=gid, site=site.site_id,
+                           time=self.env.now)

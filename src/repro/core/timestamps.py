@@ -1,0 +1,106 @@
+"""DAG(T) timestamps (paper Sec. 3.1 and 3.3).
+
+A *tuple* is ``(site, local-counter)`` (Def. 3.1).  A *timestamp* is a
+vector of tuples in ascending site order — one tuple for the site itself
+plus tuples for a subset of its copy-graph ancestors (Def. 3.2).
+
+Timestamps are compared lexicographically with *reversed* site order at
+the first differing position (Def. 3.3):
+
+- a proper prefix is smaller, and
+- at the first differing tuple ``(si, Li)`` vs ``(sj, Lj)``:
+  ``si > sj`` makes the first timestamp smaller; for ``si == sj`` the
+  smaller counter wins.
+
+Sec. 3.3 adds an *epoch number*: timestamps with different epochs compare
+by epoch alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import typing
+
+from repro.errors import ConfigurationError
+from repro.types import SiteId
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SiteTuple:
+    """Def. 3.1: the pair ``(si, LTSi)``."""
+
+    site: SiteId
+    counter: int
+
+    def __str__(self) -> str:
+        return "(s{},{})".format(self.site, self.counter)
+
+
+@functools.total_ordering
+@dataclasses.dataclass(frozen=True)
+class VectorTimestamp:
+    """Def. 3.2 timestamp with the Sec. 3.3 epoch number.
+
+    ``tuples`` must be in strictly ascending site order.
+    """
+
+    tuples: typing.Tuple[SiteTuple, ...] = ()
+    epoch: int = 0
+
+    def __post_init__(self):
+        sites = [entry.site for entry in self.tuples]
+        if any(a >= b for a, b in zip(sites, sites[1:])):
+            raise ConfigurationError(
+                "timestamp tuples must be in strictly ascending site "
+                "order: {}".format(self))
+
+    def __str__(self) -> str:
+        body = "".join(str(entry) for entry in self.tuples)
+        return "e{}:{}".format(self.epoch, body or "()")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        return self.epoch == other.epoch and self.tuples == other.tuples
+
+    def __hash__(self):
+        return hash((self.epoch, self.tuples))
+
+    def __lt__(self, other) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        if self.epoch != other.epoch:
+            return self.epoch < other.epoch
+        for mine, theirs in zip(self.tuples, other.tuples):
+            if mine == theirs:
+                continue
+            if mine.site != theirs.site:
+                # Reversed site order: the *larger* site sorts smaller.
+                return mine.site > theirs.site
+            return mine.counter < theirs.counter
+        # One is a prefix of the other: the prefix is smaller.
+        return len(self.tuples) < len(other.tuples)
+
+    def concat(self, entry: SiteTuple) -> "VectorTimestamp":
+        """Append the tuple for a site (Sec. 3.2.3: ``TS(Ti)(si, LTSi)``).
+
+        The appended site must be larger than every site already present —
+        guaranteed in the protocol because a secondary subtransaction only
+        ever flows from ancestors to descendants in the site total order.
+        """
+        if self.tuples and entry.site <= self.tuples[-1].site:
+            raise ConfigurationError(
+                "cannot append {} to {}: site order violated".format(
+                    entry, self))
+        return VectorTimestamp(self.tuples + (entry,), self.epoch)
+
+    def with_epoch(self, epoch: int) -> "VectorTimestamp":
+        return VectorTimestamp(self.tuples, epoch)
+
+    def counter_of(self, site: SiteId) -> typing.Optional[int]:
+        """The counter recorded for ``site``, if present."""
+        for entry in self.tuples:
+            if entry.site == site:
+                return entry.counter
+        return None

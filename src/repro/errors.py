@@ -1,0 +1,55 @@
+"""Exception hierarchy shared across the package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or system was configured inconsistently."""
+
+
+class PlacementError(ReproError):
+    """A data-placement constraint was violated (e.g. update of a
+    non-primary copy)."""
+
+
+class GraphError(ReproError):
+    """A copy-graph precondition failed (e.g. DAG protocol on a cyclic
+    graph)."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted.
+
+    Attributes
+    ----------
+    reason:
+        Short machine-readable reason, e.g. ``"lock-timeout"``,
+        ``"wounded"``, ``"global-deadlock"``.
+    """
+
+    def __init__(self, txn_id, reason: str = "aborted"):
+        super().__init__("transaction {} aborted: {}".format(txn_id, reason))
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class LockTimeout(TransactionAborted):
+    """A lock request waited longer than the deadlock timeout interval."""
+
+    def __init__(self, txn_id, item_id):
+        super().__init__(txn_id, "lock-timeout on item {}".format(item_id))
+        self.item_id = item_id
+
+
+class SerializabilityViolation(ReproError):
+    """The global direct-serialization graph contains a cycle."""
+
+    def __init__(self, cycle):
+        super().__init__(
+            "non-serializable execution; DSG cycle: {}".format(
+                " -> ".join(str(node) for node in cycle)))
+        self.cycle = list(cycle)

@@ -1,0 +1,33 @@
+"""Copy-graph machinery.
+
+The *copy graph* (paper Sec. 1.1) has one vertex per site and an edge
+``si -> sj`` iff some item's primary copy is at ``si`` and a secondary copy
+at ``sj``.  This package builds copy graphs from data placements, tests
+acyclicity, derives the propagation tree required by DAG(WT) (Sec. 2), and
+computes backedge sets (feedback arc sets, Sec. 4.2).
+"""
+
+from repro.graph.backedges import (
+    backedges_of_order,
+    dfs_backedges,
+    greedy_fas_order,
+    is_feedback_arc_set,
+    make_minimal,
+    minimum_backedges,
+)
+from repro.graph.copygraph import CopyGraph
+from repro.graph.placement import DataPlacement
+from repro.graph.tree import PropagationTree, build_propagation_tree
+
+__all__ = [
+    "CopyGraph",
+    "DataPlacement",
+    "PropagationTree",
+    "backedges_of_order",
+    "build_propagation_tree",
+    "dfs_backedges",
+    "greedy_fas_order",
+    "is_feedback_arc_set",
+    "make_minimal",
+    "minimum_backedges",
+]

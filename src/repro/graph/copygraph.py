@@ -1,0 +1,182 @@
+"""The copy graph: vertices are sites, edges follow primary -> replica.
+
+Edges carry the set of items inducing them, which doubles as the edge
+weight for the weighted feedback-arc-set computation (Sec. 4.2: "weights
+... denote the frequency with which an update has to be propagated along
+the edge").
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.errors import GraphError
+from repro.graph.placement import DataPlacement
+from repro.types import ItemId, SiteId
+
+
+class CopyGraph:
+    """Directed copy graph over sites ``0..n_sites-1``."""
+
+    def __init__(self, n_sites: int):
+        self.n_sites = n_sites
+        self._children: typing.Dict[SiteId, typing.Set[SiteId]] = \
+            collections.defaultdict(set)
+        self._parents: typing.Dict[SiteId, typing.Set[SiteId]] = \
+            collections.defaultdict(set)
+        self._edge_items: typing.Dict[typing.Tuple[SiteId, SiteId],
+                                      typing.Set[ItemId]] = {}
+
+    @classmethod
+    def from_placement(cls, placement: DataPlacement) -> "CopyGraph":
+        """Build the copy graph induced by a data placement."""
+        graph = cls(placement.n_sites)
+        for item in placement.items:
+            primary = placement.primary_site(item)
+            for replica in placement.replica_sites(item):
+                graph.add_edge(primary, replica, item)
+        return graph
+
+    @property
+    def sites(self) -> typing.Iterable[SiteId]:
+        return range(self.n_sites)
+
+    @property
+    def edges(self) -> typing.Set[typing.Tuple[SiteId, SiteId]]:
+        return set(self._edge_items)
+
+    def add_edge(self, src: SiteId, dst: SiteId,
+                 item: typing.Optional[ItemId] = None) -> None:
+        """Add (or reinforce) the edge ``src -> dst``."""
+        if src == dst:
+            raise GraphError("self-loop at s{}".format(src))
+        for site in (src, dst):
+            if not 0 <= site < self.n_sites:
+                raise GraphError("unknown site s{}".format(site))
+        self._children[src].add(dst)
+        self._parents[dst].add(src)
+        items = self._edge_items.setdefault((src, dst), set())
+        if item is not None:
+            items.add(item)
+
+    def has_edge(self, src: SiteId, dst: SiteId) -> bool:
+        return (src, dst) in self._edge_items
+
+    def children(self, site: SiteId) -> typing.FrozenSet[SiteId]:
+        return frozenset(self._children.get(site, ()))
+
+    def parents(self, site: SiteId) -> typing.FrozenSet[SiteId]:
+        return frozenset(self._parents.get(site, ()))
+
+    def sources(self) -> typing.List[SiteId]:
+        """Sites with no parents (the DAG(T) epoch drivers, Sec. 3.3)."""
+        return [site for site in self.sites if not self._parents.get(site)]
+
+    def edge_items(self, src: SiteId, dst: SiteId
+                   ) -> typing.FrozenSet[ItemId]:
+        return frozenset(self._edge_items.get((src, dst), ()))
+
+    def edge_weight(self, src: SiteId, dst: SiteId) -> int:
+        """Number of items propagated along the edge (>= 1 if present)."""
+        return max(1, len(self._edge_items.get((src, dst), ())))
+
+    def without_edges(self, removed: typing.Iterable[
+            typing.Tuple[SiteId, SiteId]]) -> "CopyGraph":
+        """Copy of this graph with ``removed`` edges deleted."""
+        removed_set = set(removed)
+        clone = CopyGraph(self.n_sites)
+        for (src, dst), items in self._edge_items.items():
+            if (src, dst) in removed_set:
+                continue
+            clone.add_edge(src, dst)
+            clone._edge_items[(src, dst)].update(items)
+        return clone
+
+    # ------------------------------------------------------------------
+    # DAG analysis
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> typing.List[SiteId]:
+        """A topological order of all sites (lowest site index first among
+        ready vertices, so the order is deterministic).
+
+        Raises :class:`GraphError` if the graph has a cycle.
+        """
+        import heapq
+
+        indegree = {site: len(self._parents.get(site, ()))
+                    for site in self.sites}
+        ready = [site for site in self.sites if indegree[site] == 0]
+        heapq.heapify(ready)
+        order: typing.List[SiteId] = []
+        while ready:
+            site = heapq.heappop(ready)
+            order.append(site)
+            for child in sorted(self._children.get(site, ())):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    heapq.heappush(ready, child)
+        if len(order) != self.n_sites:
+            raise GraphError("copy graph contains a cycle")
+        return order
+
+    def is_dag(self) -> bool:
+        try:
+            self.topological_order()
+        except GraphError:
+            return False
+        return True
+
+    def find_cycle(self) -> typing.Optional[typing.List[SiteId]]:
+        """One directed cycle as ``[v0, v1, ..., v0]``, or ``None``."""
+        color = {site: 0 for site in self.sites}  # 0 new, 1 open, 2 done
+        stack: typing.List[SiteId] = []
+
+        def visit(site) -> typing.Optional[typing.List[SiteId]]:
+            color[site] = 1
+            stack.append(site)
+            for child in sorted(self._children.get(site, ())):
+                if color[child] == 1:
+                    start = stack.index(child)
+                    return stack[start:] + [child]
+                if color[child] == 0:
+                    found = visit(child)
+                    if found is not None:
+                        return found
+            color[site] = 2
+            stack.pop()
+            return None
+
+        for site in self.sites:
+            if color[site] == 0:
+                found = visit(site)
+                if found is not None:
+                    return found
+        return None
+
+    def ancestors(self, site: SiteId) -> typing.Set[SiteId]:
+        """All sites that can reach ``site`` (excluding itself)."""
+        seen: typing.Set[SiteId] = set()
+        frontier = list(self._parents.get(site, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._parents.get(node, ()))
+        seen.discard(site)
+        return seen
+
+    def descendants(self, site: SiteId) -> typing.Set[SiteId]:
+        """All sites reachable from ``site`` (excluding itself)."""
+        seen: typing.Set[SiteId] = set()
+        frontier = list(self._children.get(site, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._children.get(node, ()))
+        seen.discard(site)
+        return seen

@@ -1,0 +1,95 @@
+"""Data placement: which site holds each item's primary copy and which
+sites hold secondary copies (replicas)."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import PlacementError
+from repro.types import ItemId, SiteId
+
+
+class DataPlacement:
+    """Primary/replica assignment of items to sites.
+
+    The paper's model (Sec. 1.1): every item has exactly one primary site;
+    the other copies are replicas.  A transaction may update only items
+    whose primary copy is at its originating site.
+    """
+
+    def __init__(self, n_sites: int):
+        if n_sites < 1:
+            raise PlacementError("need at least one site")
+        self.n_sites = n_sites
+        self._primary: typing.Dict[ItemId, SiteId] = {}
+        self._replicas: typing.Dict[ItemId, typing.Set[SiteId]] = {}
+
+    def __contains__(self, item: ItemId) -> bool:
+        return item in self._primary
+
+    def __len__(self) -> int:
+        return len(self._primary)
+
+    @property
+    def items(self) -> typing.Iterable[ItemId]:
+        return self._primary.keys()
+
+    def add_item(self, item: ItemId, primary: SiteId,
+                 replicas: typing.Iterable[SiteId] = ()) -> None:
+        """Register ``item`` with its primary site and replica sites."""
+        self._check_site(primary)
+        if item in self._primary:
+            raise PlacementError("item {} already placed".format(item))
+        replica_set = set(replicas)
+        for site in replica_set:
+            self._check_site(site)
+        if primary in replica_set:
+            raise PlacementError(
+                "item {}: primary site s{} listed as replica".format(
+                    item, primary))
+        self._primary[item] = primary
+        self._replicas[item] = replica_set
+
+    def primary_site(self, item: ItemId) -> SiteId:
+        """Primary site of ``item``."""
+        try:
+            return self._primary[item]
+        except KeyError:
+            raise PlacementError("unknown item {}".format(item)) from None
+
+    def replica_sites(self, item: ItemId) -> typing.FrozenSet[SiteId]:
+        """Secondary-copy sites of ``item``."""
+        if item not in self._primary:
+            raise PlacementError("unknown item {}".format(item))
+        return frozenset(self._replicas[item])
+
+    def sites_of(self, item: ItemId) -> typing.FrozenSet[SiteId]:
+        """All sites holding a copy (primary + replicas)."""
+        return self.replica_sites(item) | {self.primary_site(item)}
+
+    def is_replicated(self, item: ItemId) -> bool:
+        return bool(self._replicas.get(item))
+
+    def items_at(self, site: SiteId) -> typing.Set[ItemId]:
+        """All items with any copy at ``site``."""
+        self._check_site(site)
+        return {item for item in self._primary
+                if site in self.sites_of(item)}
+
+    def primary_items_at(self, site: SiteId) -> typing.Set[ItemId]:
+        self._check_site(site)
+        return {item for item, primary in self._primary.items()
+                if primary == site}
+
+    def replica_items_at(self, site: SiteId) -> typing.Set[ItemId]:
+        self._check_site(site)
+        return {item for item, replicas in self._replicas.items()
+                if site in replicas}
+
+    def replica_count(self) -> int:
+        """Total number of secondary copies in the system."""
+        return sum(len(replicas) for replicas in self._replicas.values())
+
+    def _check_site(self, site: SiteId) -> None:
+        if not 0 <= site < self.n_sites:
+            raise PlacementError("unknown site s{}".format(site))

@@ -1,0 +1,108 @@
+"""Multi-seed replication and statistics for experiments.
+
+The paper reports single runs of 1000 transactions/thread; for a
+simulation study it is cheap to replicate each configuration across
+seeds and report mean ± standard deviation — which the sweep benches can
+use to separate signal from placement noise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import statistics
+import typing
+
+from repro.harness.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSummary:
+    """Mean / stddev / extremes of one metric across seeds."""
+
+    metric: str
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n < 2:
+            return 0.0
+        return self.stdev / math.sqrt(self.n)
+
+    def ci95(self) -> typing.Tuple[float, float]:
+        """A ~95% normal-approximation confidence interval."""
+        delta = 1.96 * self.sem
+        return (self.mean - delta, self.mean + delta)
+
+    def __str__(self) -> str:
+        return "{}: {:.2f} +/- {:.2f} (n={}, range {:.2f}-{:.2f})".format(
+            self.metric, self.mean, self.stdev, self.n, self.minimum,
+            self.maximum)
+
+
+@dataclasses.dataclass
+class Replication:
+    """Results of running one configuration across several seeds."""
+
+    config: ExperimentConfig
+    results: typing.List[ExperimentResult]
+
+    def summary(self, metric: str = "average_throughput"
+                ) -> MetricSummary:
+        values = [float(getattr(result, metric))
+                  for result in self.results]
+        return MetricSummary(
+            metric=metric,
+            n=len(values),
+            mean=statistics.fmean(values),
+            stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+
+def replicate(config: ExperimentConfig, seeds: typing.Iterable[int]
+              ) -> Replication:
+    """Run ``config`` once per seed."""
+    results = []
+    for seed in seeds:
+        results.append(run_experiment(
+            dataclasses.replace(config, seed=seed)))
+    return Replication(config=config, results=results)
+
+
+def compare(config_a: ExperimentConfig, config_b: ExperimentConfig,
+            seeds: typing.Iterable[int],
+            metric: str = "average_throughput") -> typing.Dict[str, float]:
+    """Paired comparison of two configurations across common seeds.
+
+    Returns the per-seed-paired mean ratio and the fraction of seeds in
+    which ``config_a`` wins — a robust, assumption-light summary for
+    'who wins, by roughly what factor'.
+    """
+    seeds = list(seeds)
+    rep_a = replicate(config_a, seeds)
+    rep_b = replicate(config_b, seeds)
+    ratios = []
+    wins = 0
+    for result_a, result_b in zip(rep_a.results, rep_b.results):
+        value_a = float(getattr(result_a, metric))
+        value_b = float(getattr(result_b, metric))
+        if value_b > 0:
+            ratios.append(value_a / value_b)
+        if value_a > value_b:
+            wins += 1
+    return {
+        "mean_ratio": statistics.fmean(ratios) if ratios else 0.0,
+        "win_fraction": wins / len(seeds) if seeds else 0.0,
+        "n": float(len(seeds)),
+    }

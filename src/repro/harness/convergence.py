@@ -1,0 +1,48 @@
+"""Replica convergence checking.
+
+For the propagating protocols (DAG(WT), DAG(T), BackEdge, eager), once
+the system quiesces every replica must hold the same value and committed
+version as its primary copy.  (PSL is excluded by design: it never pushes
+updates; replicas are refreshed on access only.)
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.base import ReplicatedSystem
+from repro.errors import ReproError
+
+
+class ConvergenceViolation(ReproError):
+    """A replica diverged from its primary copy after quiescence."""
+
+
+def divergent_replicas(system: ReplicatedSystem
+                       ) -> typing.List[typing.Tuple]:
+    """All ``(item, primary_site, replica_site, primary_version,
+    replica_version)`` tuples where a replica disagrees with the primary.
+    """
+    problems = []
+    placement = system.placement
+    for item in placement.items:
+        primary_site = placement.primary_site(item)
+        primary_record = system.site_of(primary_site).engine.item(item)
+        for replica_site in sorted(placement.replica_sites(item)):
+            replica_record = system.site_of(replica_site).engine.item(item)
+            if replica_record.value != primary_record.value:
+                problems.append((item, primary_site, replica_site,
+                                 primary_record.committed_version,
+                                 replica_record.committed_version))
+    return problems
+
+
+def check_convergence(system: ReplicatedSystem) -> None:
+    """Raise :class:`ConvergenceViolation` when replicas diverged."""
+    problems = divergent_replicas(system)
+    if problems:
+        raise ConvergenceViolation(
+            "{} divergent replicas, first: item {} primary s{} (v{}) vs "
+            "replica s{} (v{})".format(
+                len(problems), problems[0][0], problems[0][1],
+                problems[0][3], problems[0][2], problems[0][4]))

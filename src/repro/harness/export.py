@@ -1,0 +1,85 @@
+"""Export experiment and sweep results as CSV or JSON.
+
+Keeps downstream analysis (spreadsheets, notebooks, the paper's own
+gnuplot-style plotting) out of the library: everything measurable is a
+flat row.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import typing
+
+from repro.harness.runner import ExperimentResult
+from repro.harness.sweep import SweepPoint
+
+#: Scalar result fields exported per run, in column order.
+RESULT_FIELDS = [
+    "protocol",
+    "seed",
+    "average_throughput",
+    "abort_rate",
+    "mean_response_time",
+    "mean_propagation_delay",
+    "committed",
+    "aborted",
+    "duration",
+    "total_messages",
+    "serializable",
+]
+
+
+def result_row(result: ExperimentResult) -> typing.Dict[str, typing.Any]:
+    """Flatten one result into an export row."""
+    row: typing.Dict[str, typing.Any] = {
+        "protocol": result.config.protocol,
+        "seed": result.config.seed,
+    }
+    for field in RESULT_FIELDS[2:]:
+        row[field] = getattr(result, field)
+    return row
+
+
+def sweep_rows(points: typing.Iterable[SweepPoint]
+               ) -> typing.List[typing.Dict[str, typing.Any]]:
+    """Flatten a sweep into rows with the swept parameter first."""
+    rows = []
+    for point in points:
+        row = {"parameter": point.parameter, "value": point.value}
+        row.update(result_row(point.result))
+        rows.append(row)
+    return rows
+
+
+def to_csv(rows: typing.Sequence[typing.Mapping[str, typing.Any]]) -> str:
+    """Render rows as CSV text (header from the first row's keys)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def to_json(rows: typing.Sequence[typing.Mapping[str, typing.Any]]) -> str:
+    """Render rows as pretty-printed JSON."""
+    return json.dumps(list(rows), indent=2, sort_keys=True, default=str)
+
+
+def write_rows(rows: typing.Sequence[typing.Mapping[str, typing.Any]],
+               path: str) -> None:
+    """Write rows to ``path``; format chosen by extension (.csv/.json)."""
+    if path.endswith(".json"):
+        payload = to_json(rows)
+    elif path.endswith(".csv"):
+        payload = to_csv(rows)
+    else:
+        raise ValueError(
+            "unsupported export extension for {!r} (use .csv or .json)"
+            .format(path))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

@@ -1,0 +1,116 @@
+"""Performance metrics — the paper's Sec. 5.3 measures.
+
+- **Average throughput**: committed *primary* subtransactions per second,
+  averaged over sites (Sec. 5.3 metric 1).
+- **Abort rate**: percentage of primary subtransactions that abort
+  (Sec. 5.3 metric 2).
+- **Response time**: mean commit latency of committed primaries
+  (Sec. 5.3.4).
+- **Propagation delay**: time from a primary's commit until its updates
+  are applied at *all* replica sites (Sec. 5.3.4).
+"""
+
+from __future__ import annotations
+
+import collections
+import statistics
+import typing
+
+from repro.types import GlobalTransactionId, SiteId
+
+
+class MetricsCollector:
+    """Gathers per-site counters plus propagation tracking.
+
+    Registers as a system observer (``on_primary_commit`` /
+    ``on_replica_commit`` notifications from the protocols); the client
+    loop reports response times and aborts directly.
+    """
+
+    def __init__(self, n_sites: int):
+        self.n_sites = n_sites
+        self.committed = collections.Counter()
+        self.aborted = collections.Counter()
+        self.abort_reasons = collections.Counter()
+        self.response_times: typing.List[float] = []
+        self.propagation_delays: typing.List[float] = []
+        self._pending_propagation: typing.Dict[
+            GlobalTransactionId,
+            typing.Tuple[float, typing.Set[SiteId]]] = {}
+
+    # ------------------------------------------------------------------
+    # Client-side reporting
+    # ------------------------------------------------------------------
+
+    def transaction_committed(self, site: SiteId,
+                              response_time: float) -> None:
+        self.committed[site] += 1
+        self.response_times.append(response_time)
+
+    def transaction_aborted(self, site: SiteId, reason: str) -> None:
+        self.aborted[site] += 1
+        self.abort_reasons[reason.split(" ")[0]] += 1
+
+    # ------------------------------------------------------------------
+    # System observer interface
+    # ------------------------------------------------------------------
+
+    def on_primary_commit(self, gid: GlobalTransactionId, site: SiteId,
+                          time: float,
+                          expected_replicas: typing.Set[SiteId]) -> None:
+        remaining = set(expected_replicas)
+        if remaining:
+            self._pending_propagation[gid] = (time, remaining)
+
+    def on_replica_commit(self, gid: GlobalTransactionId, site: SiteId,
+                          time: float) -> None:
+        pending = self._pending_propagation.get(gid)
+        if pending is None:
+            return
+        commit_time, remaining = pending
+        remaining.discard(site)
+        if not remaining:
+            del self._pending_propagation[gid]
+            self.propagation_delays.append(time - commit_time)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_committed(self) -> int:
+        return sum(self.committed.values())
+
+    @property
+    def total_aborted(self) -> int:
+        return sum(self.aborted.values())
+
+    def average_throughput(self, duration: float) -> float:
+        """Mean of per-site committed-primary throughputs (txn/s)."""
+        if duration <= 0:
+            return 0.0
+        per_site = [self.committed[site] / duration
+                    for site in range(self.n_sites)]
+        return sum(per_site) / self.n_sites
+
+    def abort_rate(self) -> float:
+        """Percentage of primary subtransactions that aborted."""
+        total = self.total_committed + self.total_aborted
+        if total == 0:
+            return 0.0
+        return 100.0 * self.total_aborted / total
+
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return statistics.fmean(self.response_times)
+
+    def mean_propagation_delay(self) -> float:
+        if not self.propagation_delays:
+            return 0.0
+        return statistics.fmean(self.propagation_delays)
+
+    def unpropagated_count(self) -> int:
+        """Transactions whose updates had not reached every replica when
+        the run stopped (expected to be small: the tail of the run)."""
+        return len(self._pending_propagation)

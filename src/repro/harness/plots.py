@@ -1,0 +1,112 @@
+"""ASCII rendering of sweep results — the figures, not just the tables.
+
+Terminal-friendly line charts for one metric across protocols, used by
+the CLI's ``figure`` command and handy in benchmark output::
+
+    Figure 2(a): throughput vs backedge probability
+    22.5 |*
+         |   *    *
+         |             *    *
+    ...
+     8.5 |o--o----o----o----o----o
+         +-------------------------
+          0   0.2  0.4  0.6  0.8  1
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.harness.sweep import SweepPoint, series
+
+#: Plot glyphs per series, in assignment order.
+MARKERS = "*o+x@#"
+
+
+def render_series(named_series: typing.Mapping[
+        str, typing.Sequence[typing.Tuple[typing.Any, float]]],
+        width: int = 64, height: int = 16,
+        y_label: str = "", title: str = "") -> str:
+    """Render ``{name: [(x, y), ...]}`` as an ASCII chart.
+
+    X positions are spread evenly by sample index (parameter sweeps use
+    categorical/irregular grids); Y is scaled linearly from 0 to the max.
+    """
+    if not named_series or all(not points
+                               for points in named_series.values()):
+        return "(no data)"
+
+    x_values: typing.List = []
+    for points in named_series.values():
+        for x_value, _y in points:
+            if x_value not in x_values:
+                x_values.append(x_value)
+    n_cols = len(x_values)
+    col_of = {x_value: index for index, x_value in enumerate(x_values)}
+
+    y_max = max(y for points in named_series.values()
+                for _x, y in points)
+    y_max = y_max if y_max > 0 else 1.0
+
+    plot_width = max(n_cols, min(width, n_cols * 6))
+    grid = [[" "] * plot_width for _ in range(height)]
+
+    def cell(x_index: int, y_value: float
+             ) -> typing.Tuple[int, int]:
+        column = 0 if n_cols == 1 else round(
+            x_index * (plot_width - 1) / (n_cols - 1))
+        row = (height - 1) - round(y_value / y_max * (height - 1))
+        return row, column
+
+    legend = []
+    for index, (name, points) in enumerate(named_series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append("{} {}".format(marker, name))
+        for x_value, y_value in points:
+            row, column = cell(col_of[x_value], y_value)
+            grid[row][column] = marker
+
+    left_labels = ["{:8.2f} |".format(
+        y_max * (height - 1 - row) / (height - 1)) if row % 4 == 0
+        else "         |" for row in range(height)]
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append("  " + y_label)
+    for row in range(height):
+        lines.append(left_labels[row] + "".join(grid[row]))
+    lines.append("         +" + "-" * plot_width)
+    axis = [" "] * plot_width
+    for x_value, index in col_of.items():
+        label = _short(x_value)
+        column = 0 if n_cols == 1 else round(
+            index * (plot_width - 1) / (n_cols - 1))
+        for offset, char in enumerate(label):
+            position = column + offset
+            if position < plot_width:
+                axis[position] = char
+    lines.append("          " + "".join(axis))
+    lines.append("  legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_sweep(points: typing.Sequence[SweepPoint],
+                 metric: str = "average_throughput",
+                 title: str = "", width: int = 64,
+                 height: int = 16) -> str:
+    """Render one metric of a sweep as an ASCII chart."""
+    if not points:
+        return "(no data)"
+    protocols = list(dict.fromkeys(point.protocol for point in points))
+    named = {protocol: series(points, protocol, metric)
+             for protocol in protocols}
+    return render_series(named, width=width, height=height,
+                         y_label=metric.replace("_", " "),
+                         title=title)
+
+
+def _short(value) -> str:
+    if isinstance(value, float):
+        return "{:g}".format(value)
+    return str(value)

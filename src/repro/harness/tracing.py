@@ -1,0 +1,80 @@
+"""Structured event tracing for protocol runs.
+
+A :class:`Tracer` registers as a system observer and records every
+``primary_commit`` / ``primary_abort`` / ``replica_commit`` notification
+as a timestamped event.  Tests use it to assert protocol event
+sequences; the CLI's ``run --trace`` prints the tail of a run's trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.types import GlobalTransactionId, SiteId
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One observed protocol event."""
+
+    time: float
+    kind: str
+    gid: typing.Optional[GlobalTransactionId]
+    site: typing.Optional[SiteId]
+    details: typing.Mapping[str, typing.Any]
+
+    def __str__(self) -> str:
+        return "[{:10.4f}s] {:<16} {} @s{}".format(
+            self.time, self.kind, self.gid, self.site)
+
+
+class Tracer:
+    """System observer collecting a bounded event trace."""
+
+    def __init__(self, capacity: typing.Optional[int] = None):
+        self.capacity = capacity
+        self.events: typing.List[TraceEvent] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _record(self, kind: str, gid, site, time, **details) -> None:
+        if self.capacity is not None and \
+                len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time=time, kind=kind, gid=gid,
+                                      site=site, details=details))
+
+    # -- observer interface -------------------------------------------
+
+    def on_primary_commit(self, gid, site, time,
+                          expected_replicas) -> None:
+        self._record("primary_commit", gid, site, time,
+                     expected_replicas=frozenset(expected_replicas))
+
+    def on_replica_commit(self, gid, site, time) -> None:
+        self._record("replica_commit", gid, site, time)
+
+    # -- queries --------------------------------------------------------
+
+    def of_kind(self, kind: str) -> typing.List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def of_gid(self, gid: GlobalTransactionId
+               ) -> typing.List[TraceEvent]:
+        return [event for event in self.events if event.gid == gid]
+
+    def propagation_events(self, gid: GlobalTransactionId
+                           ) -> typing.List[TraceEvent]:
+        """Commit + replica applications of one transaction, in time
+        order."""
+        return sorted(self.of_gid(gid), key=lambda event: event.time)
+
+    def tail(self, count: int = 20) -> str:
+        lines = [str(event) for event in self.events[-count:]]
+        if self.dropped:
+            lines.append("... ({} events dropped)".format(self.dropped))
+        return "\n".join(lines)

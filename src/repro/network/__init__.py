@@ -1,0 +1,14 @@
+"""Simulated network substrate.
+
+The paper assumes "the underlying network delivers messages reliably and in
+FIFO order between any two sites" (Sec. 1.1).  :class:`Network` provides
+exactly that: per-ordered-pair channels with configurable latency, FIFO
+delivery into per-site mailboxes, and message accounting for the
+performance study.
+"""
+
+from repro.network.channel import Channel
+from repro.network.message import Message, MessageType
+from repro.network.network import Network
+
+__all__ = ["Channel", "Message", "MessageType", "Network"]

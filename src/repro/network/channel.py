@@ -1,0 +1,49 @@
+"""A reliable FIFO point-to-point channel with latency.
+
+Delivery order is enforced even under variable (jittered) latency by
+clamping each message's delivery time to be no earlier than the previous
+message's — the FIFO guarantee the paper's protocols rely on.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.network.message import Message
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class Channel:
+    """One direction of a site-to-site link."""
+
+    def __init__(self, env: "Environment", src: int, dst: int,
+                 latency: typing.Union[float, typing.Callable[[], float]],
+                 deliver: typing.Callable[[Message], None]):
+        self.env = env
+        self.src = src
+        self.dst = dst
+        self._latency = latency
+        self._deliver = deliver
+        self._last_delivery = -float("inf")
+        #: Messages sent through this channel.
+        self.sent_count = 0
+
+    def latency_sample(self) -> float:
+        if callable(self._latency):
+            return float(self._latency())
+        return float(self._latency)
+
+    def send(self, message: Message) -> None:
+        """Schedule FIFO delivery of ``message``."""
+        message.send_time = self.env.now
+        delay = self.latency_sample()
+        if delay < 0:
+            raise ValueError("negative latency {!r}".format(delay))
+        deliver_at = max(self.env.now + delay, self._last_delivery)
+        self._last_delivery = deliver_at
+        message.deliver_time = deliver_at
+        self.sent_count += 1
+        timer = self.env.timeout(deliver_at - self.env.now)
+        timer.callbacks.append(lambda _ev, msg=message: self._deliver(msg))

@@ -1,0 +1,91 @@
+"""The site-to-site message fabric.
+
+Each site registers a synchronous handler; incoming messages are delivered
+to it in channel-FIFO order.  Handlers typically just enqueue into
+protocol-level mailboxes or trigger events, so delivery itself never
+blocks.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.network.channel import Channel
+from repro.network.message import Message, MessageType
+from repro.types import SiteId
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class Network:
+    """Reliable FIFO network between ``n_sites`` sites.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    n_sites:
+        Number of sites.
+    latency:
+        Constant one-way latency in simulated seconds, or a zero-arg
+        callable sampled per message (FIFO order is preserved regardless).
+    """
+
+    def __init__(self, env: "Environment", n_sites: int,
+                 latency: typing.Union[float, typing.Callable[[], float]]
+                 = 0.00015):
+        if n_sites < 1:
+            raise ValueError("need at least one site")
+        self.env = env
+        self.n_sites = n_sites
+        self.latency = latency
+        self._handlers: typing.Dict[SiteId, typing.Callable] = {}
+        self._channels: typing.Dict[typing.Tuple[SiteId, SiteId],
+                                    Channel] = {}
+        #: Undeliverable messages (no handler registered) — should stay
+        #: empty in a correctly wired system.
+        self.dead_letters: typing.List[Message] = []
+        #: Message counts by type, for the performance metrics.
+        self.sent_by_type: typing.Counter = collections.Counter()
+        self.total_sent = 0
+
+    def set_handler(self, site: SiteId,
+                    handler: typing.Callable[[Message], None]) -> None:
+        """Register ``site``'s synchronous message handler."""
+        self._check_site(site)
+        self._handlers[site] = handler
+
+    def send(self, msg_type: MessageType, src: SiteId, dst: SiteId,
+             **payload) -> Message:
+        """Send a message; returns the in-flight :class:`Message`."""
+        self._check_site(src)
+        self._check_site(dst)
+        if src == dst:
+            raise ValueError("site s{} sending to itself".format(src))
+        message = Message(msg_type, src, dst, payload)
+        channel = self._channel(src, dst)
+        self.sent_by_type[msg_type] += 1
+        self.total_sent += 1
+        channel.send(message)
+        return message
+
+    def _channel(self, src: SiteId, dst: SiteId) -> Channel:
+        key = (src, dst)
+        if key not in self._channels:
+            self._channels[key] = Channel(
+                self.env, src, dst, self.latency,
+                lambda msg, site=dst: self._dispatch(site, msg))
+        return self._channels[key]
+
+    def _dispatch(self, site: SiteId, message: Message) -> None:
+        handler = self._handlers.get(site)
+        if handler is None:
+            self.dead_letters.append(message)
+            return
+        handler(message)
+
+    def _check_site(self, site: SiteId) -> None:
+        if not 0 <= site < self.n_sites:
+            raise ValueError("unknown site s{}".format(site))

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate on which the replicated-database system runs.
+It provides a small, SimPy-flavoured event loop:
+
+- :class:`~repro.sim.environment.Environment` — the simulation clock and
+  event scheduler.
+- :class:`~repro.sim.events.Event` — one-shot events that succeed or fail.
+- :class:`~repro.sim.process.Process` — generator-based coroutines that
+  ``yield`` events to wait on them.
+- :mod:`~repro.sim.resources` — FIFO resources (CPU) and mailboxes.
+- :mod:`~repro.sim.rng` — named, seeded random streams for reproducibility.
+
+The kernel is deterministic: given a seed, every run produces the identical
+schedule, which the test suite relies on heavily.
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Mailbox, Resource
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Mailbox",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Timeout",
+]

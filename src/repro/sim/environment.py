@@ -1,0 +1,136 @@
+"""The simulation environment: clock plus event scheduler.
+
+Events are processed in ``(time, priority, insertion-order)`` order, which
+makes every simulation run fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import NORMAL, Event, Timeout
+from repro.sim.process import Process
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Typical usage::
+
+        env = Environment()
+
+        def clock(env):
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(clock(env))
+        env.run(until=10.0)
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = 0
+        #: Number of events processed so far (useful for debugging/stats).
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Schedule a triggered ``event`` for processing after ``delay``."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid,
+                                     event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create a :class:`Timeout` that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self.events_processed += 1
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody handled: surface it loudly.
+            raise event._value
+
+    def run(self, until: typing.Optional[float] = None):
+        """Run until the schedule is empty or ``until`` is reached.
+
+        If ``until`` is an :class:`Event`, run until that event is processed
+        and return its value (re-raising its exception on failure).
+        """
+        if until is None:
+            stop_time = float("inf")
+            stop_event = None
+        elif isinstance(until, Event):
+            stop_time = float("inf")
+            stop_event = until
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    "until ({}) is earlier than now ({})".format(
+                        stop_time, self._now))
+            stop_event = None
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+        else:
+            if stop_time != float("inf"):
+                self._now = stop_time
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                return None
+            if not stop_event.ok:
+                stop_event.defuse()
+                raise stop_event.value
+            return stop_event.value
+        return None

@@ -1,0 +1,38 @@
+"""Per-site in-memory database engine (the DataBlitz stand-in).
+
+Each simulated site runs one :class:`~repro.storage.engine.StorageEngine`
+holding hash-indexed items, a strict two-phase-locking
+:class:`~repro.storage.locks.LockManager` with timeout-based deadlock
+resolution, undo logging for aborts, and a committed-operation history used
+by the global serializability checker.
+"""
+
+from repro.storage.deadlock import find_waits_for_cycle, waits_for_graph
+from repro.storage.engine import StorageEngine
+from repro.storage.history import CommittedSubtransaction, SiteHistory
+from repro.storage.items import ItemRecord
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.log import (
+    LogRecord,
+    LogRecordKind,
+    WriteAheadLog,
+    recover,
+)
+from repro.storage.transaction import Transaction, TransactionStatus
+
+__all__ = [
+    "CommittedSubtransaction",
+    "ItemRecord",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "LogRecordKind",
+    "WriteAheadLog",
+    "recover",
+    "SiteHistory",
+    "StorageEngine",
+    "Transaction",
+    "TransactionStatus",
+    "find_waits_for_cycle",
+    "waits_for_graph",
+]

@@ -1,0 +1,38 @@
+"""Item records: the unit of storage and locking.
+
+Each record tracks its current value, the count of *committed* writes
+(``committed_version``), and which global transaction produced each
+committed version — the raw material for the serializability checker.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.types import GlobalTransactionId, ItemId
+
+
+class ItemRecord:
+    """One item copy stored at one site."""
+
+    __slots__ = ("item_id", "value", "committed_version", "writers")
+
+    def __init__(self, item_id: ItemId, value=0):
+        self.item_id = item_id
+        self.value = value
+        #: Number of committed writes applied to this copy; version 0 is
+        #: the initial value.
+        self.committed_version = 0
+        #: ``writers[v - 1]`` is the global txn id that created version v.
+        self.writers: typing.List[GlobalTransactionId] = []
+
+    def __repr__(self):
+        return "<Item {} v{}={!r}>".format(
+            self.item_id, self.committed_version, self.value)
+
+    def writer_of(self, version: int
+                  ) -> typing.Optional[GlobalTransactionId]:
+        """Global txn id that wrote ``version`` (``None`` for version 0)."""
+        if version == 0:
+            return None
+        return self.writers[version - 1]

@@ -1,0 +1,97 @@
+"""Shared value types: identifiers, operations, transaction specs.
+
+Sites are identified by dense integer indices ``0..m-1``.  Throughout the
+package the *site order* ``s0 < s1 < ... < s(m-1)`` is a total order
+consistent with a topological order of the copy graph's DAG part — exactly
+the total order the paper's Section 5.2 data-distribution scheme uses to
+distinguish DAG edges from backedges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+SiteId = int
+ItemId = int
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class GlobalTransactionId:
+    """System-wide identifier of a (logical) transaction.
+
+    The primary subtransaction and all secondary/backedge subtransactions
+    spawned from it share one global id.
+    """
+
+    site: SiteId
+    seq: int
+
+    def __str__(self) -> str:
+        return "T{}.{}".format(self.site, self.seq)
+
+
+class OpType(enum.Enum):
+    """The two operation kinds of the paper's transaction model."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclasses.dataclass(frozen=True)
+class Operation:
+    """One read or write in a transaction program."""
+
+    op_type: OpType
+    item: ItemId
+
+    @property
+    def is_read(self) -> bool:
+        return self.op_type is OpType.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op_type is OpType.WRITE
+
+
+@dataclasses.dataclass(frozen=True)
+class TransactionSpec:
+    """A transaction program: where it originates and what it does.
+
+    Per the paper's model a transaction may read any item present at its
+    originating site but may only update items whose *primary* copy is at
+    that site (enforced by the workload generator and re-checked by the
+    engine).
+    """
+
+    gid: GlobalTransactionId
+    origin: SiteId
+    operations: typing.Tuple[Operation, ...]
+
+    @property
+    def read_items(self) -> typing.Tuple[ItemId, ...]:
+        return tuple(op.item for op in self.operations if op.is_read)
+
+    @property
+    def write_items(self) -> typing.Tuple[ItemId, ...]:
+        return tuple(op.item for op in self.operations if op.is_write)
+
+    @property
+    def is_read_only(self) -> bool:
+        return all(op.is_read for op in self.operations)
+
+
+class SubtransactionKind(enum.Enum):
+    """Roles a subtransaction can play at a site (paper Secs. 2-4)."""
+
+    #: Originated at this site by a client.
+    PRIMARY = "primary"
+    #: A committed primary's updates applied lazily at a replica site.
+    SECONDARY = "secondary"
+    #: Eagerly-executed update along a backedge (BackEdge protocol, step 1).
+    BACKEDGE = "backedge"
+    #: The "special" subtransaction relayed down the tree (BackEdge, step 2).
+    SPECIAL = "special"
+    #: A dummy heartbeat pushing epoch/timestamps forward (DAG(T), Sec 3.3).
+    DUMMY = "dummy"

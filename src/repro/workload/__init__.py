@@ -1,0 +1,13 @@
+"""The paper's workload: Table 1 parameters, the Sec. 5.2 data
+distribution, and the transaction generator."""
+
+from repro.workload.distribution import generate_placement
+from repro.workload.generator import TransactionGenerator
+from repro.workload.params import DEFAULT_PARAMS, WorkloadParams
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "TransactionGenerator",
+    "WorkloadParams",
+    "generate_placement",
+]

@@ -1,0 +1,64 @@
+"""The paper's data-distribution scheme (Sec. 5.2).
+
+Primary copies are assigned uniformly across the ``m`` sites (round-robin,
+matching the paper's "each site is the primary site for approximately
+``n/m`` items").  A fraction ``r`` of each site's primaries is replicated.
+For a replicated item with primary at ``si``:
+
+- with probability ``b`` *all* other sites are candidates for replicas
+  (edges to earlier sites become backedges),
+- with probability ``1 - b`` only the sites *following* ``si`` in the
+  total site order are candidates;
+
+each candidate then receives a replica with probability ``s``.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.graph.placement import DataPlacement
+from repro.workload.params import WorkloadParams
+
+
+def generate_placement(params: WorkloadParams,
+                       rng: random.Random) -> DataPlacement:
+    """Generate a :class:`DataPlacement` per Sec. 5.2."""
+    params.validate()
+    m = params.n_sites
+    placement = DataPlacement(m)
+    for item in range(params.n_items):
+        primary = item % m
+        replicas: typing.List[int] = []
+        if rng.random() < params.replication_probability:
+            if rng.random() < params.backedge_probability:
+                candidates = [site for site in range(m) if site != primary]
+            else:
+                candidates = list(range(primary + 1, m))
+            replicas = [site for site in candidates
+                        if rng.random() < params.site_probability]
+        placement.add_item(item, primary, replicas)
+    return placement
+
+
+def placement_statistics(placement: DataPlacement
+                         ) -> typing.Dict[str, float]:
+    """Summary statistics used when reporting experiments."""
+    items = list(placement.items)
+    replicated = [item for item in items if placement.is_replicated(item)]
+    total_replicas = placement.replica_count()
+    backedge_count = 0
+    for item in replicated:
+        primary = placement.primary_site(item)
+        backedge_count += sum(
+            1 for replica in placement.replica_sites(item)
+            if replica < primary)
+    return {
+        "items": float(len(items)),
+        "replicated_items": float(len(replicated)),
+        "replicas": float(total_replicas),
+        "replicas_per_replicated_item": (
+            total_replicas / len(replicated) if replicated else 0.0),
+        "backedge_replica_pairs": float(backedge_count),
+    }

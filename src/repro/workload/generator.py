@@ -1,0 +1,117 @@
+"""Transaction generation (Sec. 5.2, "Transaction Generation").
+
+Each transaction is a sequence of ``ops_per_transaction`` read/write
+operations.  A transaction is read-only with ``read_txn_probability``;
+otherwise each operation is a read with ``read_op_probability``.  Reads
+draw from all items present at the originating site; writes draw from the
+items whose primary copy is local (the paper's model restriction).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import typing
+
+from repro.errors import ConfigurationError
+from repro.graph.placement import DataPlacement
+from repro.types import (
+    GlobalTransactionId,
+    Operation,
+    OpType,
+    SiteId,
+    TransactionSpec,
+)
+from repro.workload.params import WorkloadParams
+
+
+class TransactionGenerator:
+    """Produces per-thread streams of :class:`TransactionSpec`."""
+
+    def __init__(self, params: WorkloadParams, placement: DataPlacement,
+                 seed_rng: random.Random):
+        params.validate()
+        self.params = params
+        self.placement = placement
+        self._seed_rng = seed_rng
+        self._site_counters: typing.Dict[SiteId, typing.Iterator[int]] = {}
+        self._readable: typing.Dict[SiteId, typing.List] = {}
+        self._writable: typing.Dict[SiteId, typing.List] = {}
+        for site in range(placement.n_sites):
+            self._readable[site] = sorted(placement.items_at(site))
+            self._writable[site] = sorted(placement.primary_items_at(site))
+            if not self._writable[site]:
+                raise ConfigurationError(
+                    "site s{} has no primary items".format(site))
+            self._site_counters[site] = itertools.count(1)
+
+    def thread_stream(self, site: SiteId, thread_index: int
+                      ) -> typing.Iterator[TransactionSpec]:
+        """The finite transaction stream for one client thread."""
+        rng = random.Random(self._seed_rng.getrandbits(64)
+                            ^ hash((site, thread_index)))
+        for _ in range(self.params.transactions_per_thread):
+            yield self.make_transaction(site, rng)
+
+    def make_transaction(self, site: SiteId,
+                         rng: random.Random) -> TransactionSpec:
+        """Generate one transaction originating at ``site``."""
+        params = self.params
+        n_ops = params.ops_per_transaction
+        if rng.random() < params.read_txn_probability:
+            op_types = [OpType.READ] * n_ops
+        else:
+            op_types = [OpType.READ
+                        if rng.random() < params.read_op_probability
+                        else OpType.WRITE
+                        for _ in range(n_ops)]
+        n_reads = sum(1 for op in op_types if op is OpType.READ)
+        n_writes = n_ops - n_reads
+        read_items = iter(self._pick_items(self._readable[site],
+                                           n_reads, rng))
+        write_items = iter(self._pick_items(self._writable[site],
+                                            n_writes, rng))
+        operations = tuple(
+            Operation(op_type,
+                      next(read_items) if op_type is OpType.READ
+                      else next(write_items))
+            for op_type in op_types)
+        gid = GlobalTransactionId(site, next(self._site_counters[site]))
+        return TransactionSpec(gid=gid, origin=site, operations=operations)
+
+
+    def _pick_items(self, pool: typing.Sequence, count: int,
+                    rng: random.Random) -> typing.List:
+        """Choose ``count`` items from ``pool``, honouring the optional
+        hot-spot skew (the hot subset is the pool's prefix, so it is the
+        same across threads and protocols)."""
+        skew = self.params.hotspot_access_probability
+        if skew <= 0.0 or count == 0 or len(pool) < 2:
+            return _sample(pool, count, rng)
+        hot_size = max(1, int(len(pool)
+                              * self.params.hotspot_item_fraction))
+        hot, cold = pool[:hot_size], pool[hot_size:]
+        chosen: typing.List = []
+        seen: typing.Set = set()
+        for _ in range(count):
+            source = hot if (rng.random() < skew or not cold) else cold
+            item = rng.choice(source)
+            if item in seen and len(seen) < len(pool):
+                # Prefer distinct items, like the uniform sampler.
+                alternatives = [candidate for candidate in pool
+                                if candidate not in seen]
+                item = rng.choice(alternatives)
+            seen.add(item)
+            chosen.append(item)
+        return chosen
+
+
+def _sample(pool: typing.Sequence, count: int,
+            rng: random.Random) -> typing.List:
+    """``count`` items from ``pool``: distinct when the pool allows it,
+    with replacement otherwise (tiny sites)."""
+    if count == 0:
+        return []
+    if count <= len(pool):
+        return rng.sample(pool, count)
+    return [rng.choice(pool) for _ in range(count)]

@@ -1,0 +1,131 @@
+"""Experiment parameters — the paper's Table 1.
+
+Default values and studied ranges are reproduced verbatim; the ``range``
+entries in :data:`PARAMETER_TABLE` regenerate Table 1 itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class WorkloadParams:
+    """Table 1 parameter settings (defaults as published)."""
+
+    #: Number of sites ``m`` (range 3-15).
+    n_sites: int = 9
+    #: Number of distinct items ``n`` (not counting replicas).
+    n_items: int = 200
+    #: Replication probability ``r`` (range 0-1).
+    replication_probability: float = 0.2
+    #: Site probability ``s``.
+    site_probability: float = 0.5
+    #: Backedge probability ``b`` (range 0-1).
+    backedge_probability: float = 0.2
+    #: Operations per transaction.
+    ops_per_transaction: int = 10
+    #: Concurrent threads per site (range 1-5).
+    threads_per_site: int = 3
+    #: Transactions run by each thread.
+    transactions_per_thread: int = 1000
+    #: Fraction of operations that are reads in update transactions
+    #: (range 0-1).
+    read_op_probability: float = 0.7
+    #: Probability that a transaction is read-only (range 0-1).
+    read_txn_probability: float = 0.5
+    #: One-way network latency, seconds (~0.15 ms measured ethernet;
+    #: range 0.15-100 ms).
+    network_latency: float = 0.00015
+    #: Deadlock timeout interval, seconds.
+    deadlock_timeout: float = 0.050
+    #: Relative latency jitter (extension): each message's latency is
+    #: drawn uniformly from ``latency * [1-j, 1+j]``.  FIFO order is
+    #: preserved by the channel regardless.  0 = the paper's constant
+    #: latency.
+    network_jitter: float = 0.0
+    #: Hot-spot skew (an extension beyond the paper's uniform access):
+    #: with this probability an operation targets the hot subset of the
+    #: eligible items.  0 reproduces the paper's uniform workload.
+    hotspot_access_probability: float = 0.0
+    #: Fraction of each site's eligible items forming the hot subset.
+    hotspot_item_fraction: float = 0.1
+
+    def validate(self) -> "WorkloadParams":
+        """Raise :class:`ConfigurationError` on out-of-range settings."""
+        if self.n_sites < 1:
+            raise ConfigurationError("n_sites must be >= 1")
+        if self.n_items < self.n_sites:
+            raise ConfigurationError(
+                "need at least one item per site "
+                "(n_items={} < n_sites={})".format(
+                    self.n_items, self.n_sites))
+        for name in ("replication_probability", "site_probability",
+                     "backedge_probability", "read_op_probability",
+                     "read_txn_probability", "hotspot_access_probability",
+                     "hotspot_item_fraction", "network_jitter"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    "{} must be in [0, 1], got {}".format(name, value))
+        for name in ("ops_per_transaction", "threads_per_site",
+                     "transactions_per_thread"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError("{} must be >= 1".format(name))
+        if self.network_latency < 0 or self.deadlock_timeout <= 0:
+            raise ConfigurationError("non-positive timing parameter")
+        return self
+
+    def replaced(self, **changes) -> "WorkloadParams":
+        """Copy with some fields changed (validated)."""
+        return dataclasses.replace(self, **changes).validate()
+
+
+#: The published defaults.
+DEFAULT_PARAMS = WorkloadParams()
+
+#: Table 1 rows: (parameter, symbol, default rendering, range rendering).
+PARAMETER_TABLE: typing.List[typing.Tuple[str, str, str, str]] = [
+    ("Number of Sites", "m", "9", "3 - 15"),
+    ("Number of Items", "n", "200", ""),
+    ("Replication Probability", "r", "0.2", "0 - 1"),
+    ("Site Probability", "s", "0.5", ""),
+    ("Backedge Probability", "b", "0.2", "0 - 1"),
+    ("Operations/Transaction", "", "10", ""),
+    ("Threads/Site", "", "3", "1 - 5"),
+    ("Transactions/Thread", "", "1000", ""),
+    ("Read Operation Probability", "", "0.7", "0 - 1"),
+    ("Read Transaction Probability", "", "0.5", "0 - 1"),
+    ("Network Latency", "", "Approx 0.15 millisec", "0.15 - 100 millisec"),
+    ("Deadlock Timeout Interval", "", "50 millisec", ""),
+]
+
+
+def format_parameter_table(params: WorkloadParams = DEFAULT_PARAMS) -> str:
+    """Render Table 1 (with the live values from ``params``)."""
+    live = {
+        "Number of Sites": str(params.n_sites),
+        "Number of Items": str(params.n_items),
+        "Replication Probability": str(params.replication_probability),
+        "Site Probability": str(params.site_probability),
+        "Backedge Probability": str(params.backedge_probability),
+        "Operations/Transaction": str(params.ops_per_transaction),
+        "Threads/Site": str(params.threads_per_site),
+        "Transactions/Thread": str(params.transactions_per_thread),
+        "Read Operation Probability": str(params.read_op_probability),
+        "Read Transaction Probability": str(params.read_txn_probability),
+        "Network Latency": "{:g} millisec".format(
+            params.network_latency * 1000),
+        "Deadlock Timeout Interval": "{:g} millisec".format(
+            params.deadlock_timeout * 1000),
+    }
+    header = "{:<30} {:<8} {:<22} {}".format(
+        "Parameter", "Symbol", "Default Value", "Range")
+    lines = [header, "-" * len(header)]
+    for name, symbol, _default, value_range in PARAMETER_TABLE:
+        lines.append("{:<30} {:<8} {:<22} {}".format(
+            name, symbol, live[name], value_range))
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--sites", "3", "--items", "30", "--txns", "8",
+         "--threads", "2"]
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_no_command_prints_help():
+    code, output = run_cli()
+    assert code == 2
+    assert "usage" in output
+
+
+def test_protocols_lists_all():
+    code, output = run_cli("protocols")
+    assert code == 0
+    for name in ("backedge", "backedge_t", "dag_wt", "dag_t", "psl",
+                 "eager", "indiscriminate"):
+        assert name in output
+
+
+def test_run_default_protocol():
+    code, output = run_cli("run", *SMALL)
+    assert code == 0
+    assert "backedge" in output
+    assert "serializable=True" in output
+
+
+def test_run_verbose_includes_message_counts():
+    code, output = run_cli("run", "--verbose", *SMALL)
+    assert code == 0
+    assert "messages by type" in output
+    assert "committed per site" in output
+
+
+def test_run_unknown_protocol_raises():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        run_cli("run", "--protocol", "bogus", *SMALL)
+
+
+def test_run_indiscriminate_reports_violation_nonzero_exit():
+    code, output = run_cli(
+        "run", "--protocol", "indiscriminate", "--sites", "5",
+        "--items", "40", "--txns", "30", "--replication", "0.6",
+        "--threads", "3")
+    assert "serializable=False" in output
+    assert "DSG cycle" in output
+    assert code == 1
+
+
+def test_sweep_prints_table_and_speedup():
+    code, output = run_cli(
+        "sweep", "--parameter", "backedge_probability",
+        "--values", "0,1", "--protocols", "backedge,psl", *SMALL)
+    assert code == 0
+    assert "backedge_probability" in output
+    assert "speedup" in output
+    assert "Abort rate" in output
+
+
+def test_sweep_value_parsing_handles_ints_and_floats():
+    code, output = run_cli(
+        "sweep", "--parameter", "threads_per_site", "--values", "1,2",
+        "--protocols", "backedge", "--sites", "3", "--items", "30",
+        "--txns", "8")
+    assert code == 0
+    assert "threads_per_site" in output
+
+
+def test_figure_table1():
+    code, output = run_cli("figure", "table1")
+    assert code == 0
+    assert "Deadlock Timeout Interval" in output
+
+
+def test_figure_fig2a_reduced():
+    code, output = run_cli("figure", "fig2a", *SMALL)
+    assert code == 0
+    assert "backedge_probability" in output
+    assert "speedup" in output
+
+
+def test_parser_rejects_unknown_figure():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["figure", "fig9z"])
+
+
+def test_parameter_flags_reach_workload():
+    code, output = run_cli("run", "--latency", "0.01", "--timeout",
+                           "0.1", *SMALL)
+    assert code == 0

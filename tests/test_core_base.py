@@ -1,0 +1,152 @@
+"""Tests for the protocol base layer: system assembly, registry,
+observer dispatch, and the timeout victim rules."""
+
+import pytest
+
+from repro.core.base import (
+    PROTOCOLS,
+    ReplicatedSystem,
+    ReplicationProtocol,
+    SystemConfig,
+    make_protocol,
+    register_protocol,
+)
+from repro.errors import ConfigurationError
+from repro.graph.placement import DataPlacement
+from repro.sim.environment import Environment
+from repro.storage.locks import ABORT_WAITER, KEEP_WAITING, LockMode
+from repro.types import GlobalTransactionId, SubtransactionKind
+
+
+def build(n_sites=2, cyclic=False):
+    placement = DataPlacement(n_sites)
+    placement.add_item("a", primary=0, replicas=[1])
+    if cyclic:
+        placement.add_item("b", primary=1, replicas=[0])
+    env = Environment()
+    return env, ReplicatedSystem(env, placement, SystemConfig())
+
+
+def test_system_materialises_item_copies():
+    _env, system = build()
+    assert system.site_of(0).engine.has_item("a")
+    assert system.site_of(1).engine.has_item("a")
+    assert system.copy_graph.has_edge(0, 1)
+
+
+def test_registry_contains_all_protocols():
+    make_protocol("backedge", build()[1])  # Forces registration imports.
+    assert set(PROTOCOLS) >= {"dag_wt", "dag_t", "backedge",
+                              "backedge_t", "psl", "eager",
+                              "indiscriminate"}
+
+
+def test_make_protocol_unknown_name():
+    _env, system = build()
+    with pytest.raises(ConfigurationError) as excinfo:
+        make_protocol("nope", system)
+    assert "backedge" in str(excinfo.value)  # Lists what's available.
+
+
+def test_requires_dag_enforced():
+    _env, system = build(cyclic=True)
+    with pytest.raises(ConfigurationError):
+        make_protocol("dag_wt", system)
+    with pytest.raises(ConfigurationError):
+        make_protocol("dag_t", system)
+    make_protocol("backedge", system)  # Cyclic is fine here.
+
+
+def test_observer_dispatch_ignores_missing_handlers():
+    _env, system = build()
+
+    class OnlyCommits:
+        def __init__(self):
+            self.seen = []
+
+        def on_primary_commit(self, **details):
+            self.seen.append(details)
+
+    observer = OnlyCommits()
+    system.observers.append(observer)
+    system.notify("primary_commit", gid="g", site=0, time=1.0,
+                  expected_replicas=set())
+    system.notify("replica_commit", gid="g", site=1, time=2.0)  # No-op.
+    assert len(observer.seen) == 1
+
+
+def test_register_protocol_decorator():
+    @register_protocol
+    class Dummy(ReplicationProtocol):
+        name = "dummy-test-protocol"
+
+    try:
+        assert PROTOCOLS["dummy-test-protocol"] is Dummy
+    finally:
+        PROTOCOLS.pop("dummy-test-protocol", None)
+
+
+def test_primary_registry_roundtrip():
+    _env, system = build()
+    txn = system.site_of(0).engine.begin(GlobalTransactionId(0, 1))
+    system.register_primary(txn)
+    assert system.primaries[txn.gid] is txn
+    system.unregister_primary(txn)
+    assert txn.gid not in system.primaries
+    system.unregister_primary(txn)  # Idempotent.
+
+
+def test_timeout_policy_primary_waiter_aborts_itself():
+    env, system = build()
+    protocol = make_protocol("dag_wt", system)
+    system.use_protocol(protocol)
+    site = system.site_of(0)
+    manager = site.engine.locks
+    holder = site.engine.begin(GlobalTransactionId(0, 1),
+                               SubtransactionKind.SECONDARY)
+    waiter = site.engine.begin(GlobalTransactionId(0, 2),
+                               SubtransactionKind.PRIMARY)
+    manager.acquire(holder, "a", LockMode.EXCLUSIVE)
+    request_event = manager.acquire(waiter, "a", LockMode.SHARED)
+    request = manager.waiting_requests()[0]
+    assert manager.timeout_policy(manager, request) == ABORT_WAITER
+    request_event.defuse()
+
+
+def test_timeout_policy_secondary_wounds_latest_primary():
+    env, system = build()
+    protocol = make_protocol("dag_wt", system)
+    system.use_protocol(protocol)
+    site = system.site_of(0)
+    manager = site.engine.locks
+
+    # Two primary holders with distinct start times, driven by processes
+    # so they are woundable.
+    held = []
+
+    def holder_proc(seq, delay):
+        ref = []
+
+        def body():
+            yield env.timeout(delay)
+            txn = site.engine.begin(GlobalTransactionId(0, seq),
+                                    SubtransactionKind.PRIMARY,
+                                    process=ref[0])
+            held.append(txn)
+            yield site.engine.locks.acquire(txn, "a", LockMode.SHARED)
+            yield env.timeout(10.0)
+
+        ref.append(env.process(body()))
+
+    holder_proc(1, 0.0)
+    holder_proc(2, 0.1)
+    env.run(until=0.5)
+    waiter = site.engine.begin(GlobalTransactionId(0, 3),
+                               SubtransactionKind.SECONDARY)
+    manager.acquire(waiter, "a", LockMode.EXCLUSIVE)
+    request = manager.waiting_requests()[0]
+    assert manager.timeout_policy(manager, request) == KEEP_WAITING
+    # The *latest-arrived* primary was wounded (the paper's example
+    # fairness policy).
+    wounded = [txn for txn in held if txn.wound_reason]
+    assert [txn.gid.seq for txn in wounded] == [2]

@@ -1,0 +1,148 @@
+"""Tests for DAG(T) vector timestamps, including the paper's worked
+examples after Def. 3.3 and property-based total-order checks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timestamps import SiteTuple, VectorTimestamp
+from repro.errors import ConfigurationError
+
+
+def ts(*pairs, epoch=0):
+    return VectorTimestamp(
+        tuple(SiteTuple(site, counter) for site, counter in pairs),
+        epoch=epoch)
+
+
+def test_paper_example_1_prefix_is_smaller():
+    # (s1,1) < (s1,1)(s2,1)
+    assert ts((1, 1)) < ts((1, 1), (2, 1))
+
+
+def test_paper_example_2_reversed_site_order():
+    # (s1,1)(s3,1) < (s1,1)(s2,1)
+    assert ts((1, 1), (3, 1)) < ts((1, 1), (2, 1))
+
+
+def test_paper_example_3_counter_order():
+    # (s1,1)(s2,1) < (s1,1)(s2,2)
+    assert ts((1, 1), (2, 1)) < ts((1, 1), (2, 2))
+
+
+def test_example_from_section_3_3_progress_discussion():
+    """(s2, j) < (s1, 1) for all j — the starvation scenario motivating
+    epochs: site s3 would never execute T1 with timestamp (s1,1)."""
+    for j in range(5):
+        assert ts((2, j)) < ts((1, 1))
+
+
+def test_epoch_dominates_vector_comparison():
+    low_epoch = ts((1, 100), epoch=0)
+    high_epoch = ts((5, 1), epoch=1)
+    assert low_epoch < high_epoch
+    assert not high_epoch < low_epoch
+
+
+def test_equal_timestamps():
+    assert ts((1, 1), (2, 2)) == ts((1, 1), (2, 2))
+    assert ts((1, 1)) != ts((1, 1), epoch=1)
+    assert hash(ts((1, 1))) == hash(ts((1, 1)))
+
+
+def test_empty_timestamp_is_minimum_of_its_epoch():
+    assert ts() < ts((0, 0))
+    assert ts() < ts((3, 7))
+
+
+def test_tuples_must_be_site_ascending():
+    with pytest.raises(ConfigurationError):
+        ts((2, 1), (1, 1))
+    with pytest.raises(ConfigurationError):
+        ts((1, 1), (1, 2))
+
+
+def test_concat_appends_larger_site():
+    base = ts((0, 1))
+    extended = base.concat(SiteTuple(2, 5))
+    assert extended == ts((0, 1), (2, 5))
+    with pytest.raises(ConfigurationError):
+        extended.concat(SiteTuple(1, 1))
+
+
+def test_concat_preserves_epoch():
+    base = ts((0, 1), epoch=7)
+    assert base.concat(SiteTuple(1, 1)).epoch == 7
+
+
+def test_with_epoch():
+    assert ts((0, 1)).with_epoch(3) == ts((0, 1), epoch=3)
+
+
+def test_counter_of():
+    stamp = ts((0, 4), (2, 9))
+    assert stamp.counter_of(0) == 4
+    assert stamp.counter_of(2) == 9
+    assert stamp.counter_of(1) is None
+
+
+def test_str_rendering():
+    assert str(ts((1, 2), (3, 4), epoch=5)) == "e5:(s1,2)(s3,4)"
+    assert str(ts()) == "e0:()"
+
+
+# ----------------------------------------------------------------------
+# Property-based total-order checks
+# ----------------------------------------------------------------------
+
+timestamp_strategy = st.builds(
+    lambda sites, counters, epoch: VectorTimestamp(
+        tuple(SiteTuple(site, counter)
+              for site, counter in zip(sorted(sites), counters)),
+        epoch=epoch),
+    st.sets(st.integers(0, 5), max_size=4),
+    st.lists(st.integers(0, 3), min_size=4, max_size=4),
+    st.integers(0, 2),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=timestamp_strategy, b=timestamp_strategy)
+def test_property_trichotomy(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=timestamp_strategy, b=timestamp_strategy, c=timestamp_strategy)
+def test_property_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=timestamp_strategy)
+def test_property_irreflexive(a):
+    assert not a < a
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=timestamp_strategy, b=timestamp_strategy)
+def test_property_consistent_with_sorting(a, b):
+    ordered = sorted([a, b])
+    assert ordered[0] <= ordered[1]
+
+
+def test_exhaustive_total_order_on_small_universe():
+    """Brute-force check: sorting a family of timestamps yields a strict
+    chain under the Def. 3.3 comparison."""
+    pool = []
+    for sites in itertools.chain.from_iterable(
+            itertools.combinations(range(3), k) for k in range(3)):
+        for counters in itertools.product(range(2), repeat=len(sites)):
+            pool.append(ts(*zip(sites, counters)) if sites else ts())
+    ordered = sorted(pool)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert earlier < later or earlier == later
+        assert not later < earlier

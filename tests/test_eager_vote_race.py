@@ -1,0 +1,52 @@
+"""Regression test: a 2PC vote must never be lost to the
+handler/coordinator race.
+
+The original eager implementation popped the vote event inside the
+message handler; a NO vote arriving while the coordinator was still
+awaiting a *different* participant's vote vanished, and the coordinator
+committed.  The fix leaves the event registered until the coordinator
+consumes it.
+"""
+
+from repro.graph.placement import DataPlacement
+from repro.network.message import Message, MessageType
+from repro.testing import ScenarioBuilder
+from repro.types import GlobalTransactionId
+
+
+def test_late_no_vote_is_not_lost():
+    scenario = (ScenarioBuilder(n_sites=3, protocol="eager")
+                .item("a", primary=0, replicas=[1, 2]))
+    env, system, protocol = scenario.build()
+    gid = GlobalTransactionId(0, 77)
+    handler = protocol._make_handler(system.site_of(0))
+
+    outcome = []
+
+    def coordinator():
+        ok = yield from protocol._collect_votes(0, gid, {1, 2})
+        outcome.append(ok)
+
+    def voters():
+        # Let the coordinator register its events and block on s1's
+        # vote, then deliver s2's NO first and s1's YES afterwards.
+        yield env.timeout(0.01)
+        handler(Message(MessageType.VOTE, 2, 0,
+                        {"gid": gid, "commit": False}))
+        yield env.timeout(0.01)
+        handler(Message(MessageType.VOTE, 1, 0,
+                        {"gid": gid, "commit": True}))
+
+    env.process(coordinator())
+    env.process(voters())
+    env.run(until=1.0)
+    assert outcome == [False]
+
+
+def test_all_yes_votes_still_commit():
+    scenario = (ScenarioBuilder(n_sites=3, protocol="eager")
+                .item("a", primary=0, replicas=[1, 2]))
+    scenario.transaction(0, at=0.0, ops=[("w", "a")])
+    result = scenario.run(until=1.0)
+    assert result.all_committed
+    result.check()

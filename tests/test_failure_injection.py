@@ -1,0 +1,146 @@
+"""Failure/perturbation injection: jittered latency, latency spikes,
+tiny deadlock timeouts, heartbeat starvation — serializability and
+liveness must survive all of them."""
+
+import random
+
+import pytest
+
+from repro.graph.placement import DataPlacement
+from repro.harness.convergence import check_convergence
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.serializability import check_serializable
+from repro.workload.params import WorkloadParams
+from tests.helpers import histories, make_system, run_client, spec
+
+SMALL = WorkloadParams(n_sites=4, n_items=24, threads_per_site=2,
+                       transactions_per_thread=12,
+                       replication_probability=0.6,
+                       backedge_probability=0.4,
+                       deadlock_timeout=0.02)
+
+FAST_COSTS = dict(cpu_txn_setup=0.002, cpu_per_op=0.0003,
+                  cpu_commit=0.0003, cpu_message=0.0002,
+                  cpu_apply_write=0.0003, cpu_remote_read=0.0003)
+
+
+@pytest.mark.parametrize("protocol", ["backedge", "psl", "backedge_t"])
+def test_jittered_latency_preserves_serializability(protocol):
+    """Random per-message latency (the FIFO clamp keeps channel order)
+    must not break any protocol."""
+    for seed in range(3):
+        env, system, proto = _build_with_jitter(protocol, seed)
+        outcomes = _drive(env, system, proto, seed)
+        check_serializable(histories(system))
+        assert any(status == "committed" for _g, status, _t in outcomes)
+
+
+def _build_with_jitter(protocol, seed):
+    from repro.harness.runner import build_system
+    config = ExperimentConfig(protocol=protocol, params=SMALL, seed=seed,
+                              cost_overrides=dict(FAST_COSTS))
+    env, system, proto, _generator = build_system(config)
+    rng = random.Random(seed)
+    system.network.latency = lambda: rng.uniform(0.0001, 0.01)
+    # Channels created lazily pick the new latency sampler.
+    return env, system, proto
+
+
+def _drive(env, system, proto, seed):
+    from repro.errors import TransactionAborted
+    from repro.workload.distribution import generate_placement
+    from repro.workload.generator import TransactionGenerator
+
+    rng = random.Random(seed + 1000)
+    generator = TransactionGenerator(SMALL, system.placement, rng)
+    outcomes = []
+    processes = []
+
+    def client(site_id, thread):
+        ref = []
+
+        def body():
+            for transaction in generator.thread_stream(site_id, thread):
+                try:
+                    yield from proto.run_transaction(
+                        site_id, transaction, ref[0])
+                    outcomes.append((transaction.gid, "committed",
+                                     env.now))
+                except TransactionAborted as exc:
+                    outcomes.append((transaction.gid, exc.reason,
+                                     env.now))
+
+        ref.append(env.process(body()))
+        processes.append(ref[0])
+
+    for site_id in range(SMALL.n_sites):
+        for thread in range(SMALL.threads_per_site):
+            client(site_id, thread)
+    from repro.sim.events import AllOf
+    env.run(until=AllOf(env, processes))
+    env.run(until=env.now + 3.0)
+    return outcomes
+
+
+@pytest.mark.parametrize("protocol", ["backedge", "psl"])
+def test_extreme_latency_spike_only_slows_things_down(protocol):
+    """100 ms one-way latency (the top of Table 1's range): still
+    serializable, still live."""
+    params = SMALL.replaced(network_latency=0.1,
+                            transactions_per_thread=6,
+                            deadlock_timeout=0.5)
+    config = ExperimentConfig(protocol=protocol, params=params, seed=2,
+                              cost_overrides=dict(FAST_COSTS),
+                              drain_time=5.0)
+    result = run_experiment(config)
+    assert result.serializable is True
+    assert result.committed > 0
+
+
+def test_tiny_deadlock_timeout_causes_aborts_not_corruption():
+    """A 2 ms timeout aborts aggressively but never corrupts state."""
+    params = SMALL.replaced(deadlock_timeout=0.002)
+    config = ExperimentConfig(protocol="backedge", params=params, seed=3,
+                              cost_overrides=dict(FAST_COSTS),
+                              drain_time=3.0)
+    result = run_experiment(config)
+    assert result.serializable is True
+    assert result.committed + result.aborted == \
+        SMALL.n_sites * SMALL.threads_per_site * \
+        SMALL.transactions_per_thread
+
+
+def test_dag_t_survives_slow_heartbeats():
+    """Heartbeats 10x slower than default: propagation crawls but
+    everything still converges."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[2])
+    placement.add_item("b", primary=1, replicas=[2])
+    env, system, proto = make_system(placement, "dag_t")
+    proto.config.heartbeat_interval = 0.5
+    proto.config.epoch_interval = 1.0
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    run_client(env, proto, spec(1, 1, ("w", "b")), 0.1, outcomes)
+    env.run(until=10.0)
+    assert [status for _g, status, _t in outcomes] == ["committed"] * 2
+    check_convergence(system)
+
+
+def test_burst_arrivals_do_not_reorder_fifo_channels():
+    """Hammer one channel with a burst under jittered latency; FIFO
+    delivery order must hold."""
+    from repro.network import MessageType, Network
+    from repro.sim import Environment
+
+    env = Environment()
+    rng = random.Random(9)
+    network = Network(env, n_sites=2,
+                      latency=lambda: rng.uniform(0.0, 0.05))
+    received = []
+    network.set_handler(1, lambda msg: received.append(
+        msg.payload["seq"]))
+    for seq in range(200):
+        network.send(MessageType.SECONDARY, 0, 1, seq=seq)
+    env.run()
+    assert received == list(range(200))

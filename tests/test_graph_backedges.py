@@ -1,0 +1,148 @@
+"""Tests for feedback-arc-set (backedge) computation, incl. property-based
+tests on random graphs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    CopyGraph,
+    backedges_of_order,
+    dfs_backedges,
+    greedy_fas_order,
+    is_feedback_arc_set,
+    make_minimal,
+    minimum_backedges,
+)
+
+
+def two_cycle():
+    graph = CopyGraph(2)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 0)
+    return graph
+
+
+def random_graph(n_sites, n_edges, seed):
+    rng = random.Random(seed)
+    graph = CopyGraph(n_sites)
+    added = 0
+    while added < n_edges:
+        src = rng.randrange(n_sites)
+        dst = rng.randrange(n_sites)
+        if src == dst or graph.has_edge(src, dst):
+            continue
+        graph.add_edge(src, dst)
+        added += 1
+    return graph
+
+
+def test_dag_needs_no_backedges():
+    graph = CopyGraph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    assert minimum_backedges(graph, "dfs") == set()
+    assert minimum_backedges(graph, "greedy") == set()
+
+
+def test_two_cycle_needs_exactly_one_backedge():
+    graph = two_cycle()
+    for method in ("dfs", "greedy"):
+        backedges = minimum_backedges(graph, method)
+        assert len(backedges) == 1
+        assert is_feedback_arc_set(graph, backedges)
+
+
+def test_make_minimal_drops_redundant_edges():
+    graph = two_cycle()
+    # Both edges form a (non-minimal) feedback arc set.
+    minimal = make_minimal(graph, {(0, 1), (1, 0)})
+    assert len(minimal) == 1
+
+
+def test_make_minimal_rejects_non_fas():
+    graph = two_cycle()
+    with pytest.raises(GraphError):
+        make_minimal(graph, set())
+
+
+def test_backedges_of_order_matches_paper_definition():
+    graph = CopyGraph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 0)
+    graph.add_edge(1, 2)
+    backedges = backedges_of_order(graph, [0, 1, 2])
+    assert backedges == {(2, 0)}
+    assert is_feedback_arc_set(graph, backedges)
+
+
+def test_greedy_order_covers_all_sites():
+    graph = random_graph(8, 20, seed=1)
+    order = greedy_fas_order(graph)
+    assert sorted(order) == list(range(8))
+
+
+def test_greedy_respects_weights():
+    """With a heavy 0->1 edge, the greedy order should avoid making it a
+    backedge if it can sacrifice the light 1->0 edge instead."""
+    graph = CopyGraph(2)
+    for item in ("a", "b", "c", "d"):
+        graph.add_edge(0, 1, item)
+    graph.add_edge(1, 0, "z")
+    order = greedy_fas_order(graph)
+    backedges = backedges_of_order(graph, order)
+    assert backedges == {(1, 0)}
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(GraphError):
+        minimum_backedges(two_cycle(), method="magic")
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("method", ["dfs", "greedy"])
+def test_random_graphs_yield_valid_minimal_fas(seed, method):
+    graph = random_graph(7, 15, seed)
+    backedges = minimum_backedges(graph, method)
+    assert is_feedback_arc_set(graph, backedges)
+    # Minimality: returning any single backedge recreates a cycle.
+    for edge in backedges:
+        assert not is_feedback_arc_set(graph, backedges - {edge})
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_sites=st.integers(min_value=2, max_value=8),
+    edges=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=30),
+)
+def test_property_dfs_backedges_always_break_all_cycles(n_sites, edges):
+    graph = CopyGraph(n_sites)
+    for src, dst in edges:
+        if src != dst and src < n_sites and dst < n_sites \
+                and not graph.has_edge(src, dst):
+            graph.add_edge(src, dst)
+    backedges = dfs_backedges(graph)
+    assert is_feedback_arc_set(graph, backedges)
+    remaining = graph.without_edges(backedges)
+    assert remaining.is_dag()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_sites=st.integers(min_value=2, max_value=8),
+    edges=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=30),
+)
+def test_property_greedy_order_backedges_break_all_cycles(n_sites, edges):
+    graph = CopyGraph(n_sites)
+    for src, dst in edges:
+        if src != dst and src < n_sites and dst < n_sites \
+                and not graph.has_edge(src, dst):
+            graph.add_edge(src, dst)
+    order = greedy_fas_order(graph)
+    backedges = backedges_of_order(graph, order)
+    assert is_feedback_arc_set(graph, backedges)

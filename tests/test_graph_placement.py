@@ -1,0 +1,118 @@
+"""Tests for data placement and copy-graph construction."""
+
+import pytest
+
+from repro.errors import GraphError, PlacementError
+from repro.graph import CopyGraph, DataPlacement
+
+
+@pytest.fixture
+def paper_placement():
+    """The 3-site placement of the paper's Example 1.1: item a primary at
+    s0 with replicas at s1, s2; item b primary at s1 with replica at s2."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    placement.add_item("b", primary=1, replicas=[2])
+    return placement
+
+
+def test_placement_basic_queries(paper_placement):
+    assert paper_placement.primary_site("a") == 0
+    assert paper_placement.replica_sites("a") == {1, 2}
+    assert paper_placement.sites_of("b") == {1, 2}
+    assert paper_placement.is_replicated("a")
+    assert paper_placement.items_at(2) == {"a", "b"}
+    assert paper_placement.primary_items_at(1) == {"b"}
+    assert paper_placement.replica_items_at(1) == {"a"}
+    assert paper_placement.replica_count() == 3
+    assert len(paper_placement) == 2
+    assert "a" in paper_placement
+
+
+def test_placement_rejects_duplicates_and_bad_sites():
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0)
+    with pytest.raises(PlacementError):
+        placement.add_item("a", primary=1)
+    with pytest.raises(PlacementError):
+        placement.add_item("b", primary=5)
+    with pytest.raises(PlacementError):
+        placement.add_item("c", primary=0, replicas=[0])
+    with pytest.raises(PlacementError):
+        placement.primary_site("zzz")
+
+
+def test_unreplicated_item_has_no_replica_sites():
+    placement = DataPlacement(2)
+    placement.add_item("local", primary=1)
+    assert placement.replica_sites("local") == frozenset()
+    assert not placement.is_replicated("local")
+    assert placement.sites_of("local") == {1}
+
+
+def test_copy_graph_from_placement(paper_placement):
+    graph = CopyGraph.from_placement(paper_placement)
+    assert graph.edges == {(0, 1), (0, 2), (1, 2)}
+    assert graph.children(0) == {1, 2}
+    assert graph.parents(2) == {0, 1}
+    assert graph.edge_items(0, 1) == {"a"}
+    assert graph.edge_items(1, 2) == {"b"}
+    assert graph.sources() == [0]
+
+
+def test_copy_graph_rejects_self_loop():
+    graph = CopyGraph(2)
+    with pytest.raises(GraphError):
+        graph.add_edge(0, 0)
+
+
+def test_topological_order_of_dag(paper_placement):
+    graph = CopyGraph.from_placement(paper_placement)
+    order = graph.topological_order()
+    assert order == [0, 1, 2]
+    assert graph.is_dag()
+
+
+def test_cycle_detected():
+    graph = CopyGraph(2)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 0)
+    assert not graph.is_dag()
+    with pytest.raises(GraphError):
+        graph.topological_order()
+    cycle = graph.find_cycle()
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    assert set(cycle) == {0, 1}
+
+
+def test_find_cycle_none_on_dag(paper_placement):
+    graph = CopyGraph.from_placement(paper_placement)
+    assert graph.find_cycle() is None
+
+
+def test_ancestors_descendants():
+    graph = CopyGraph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 3)
+    assert graph.ancestors(2) == {0, 1}
+    assert graph.descendants(0) == {1, 2, 3}
+    assert graph.ancestors(0) == set()
+    assert graph.descendants(2) == set()
+
+
+def test_without_edges_preserves_items():
+    graph = CopyGraph(3)
+    graph.add_edge(0, 1, "a")
+    graph.add_edge(1, 2, "b")
+    pruned = graph.without_edges([(0, 1)])
+    assert pruned.edges == {(1, 2)}
+    assert pruned.edge_items(1, 2) == {"b"}
+
+
+def test_edge_weight_counts_items():
+    graph = CopyGraph(2)
+    graph.add_edge(0, 1, "a")
+    graph.add_edge(0, 1, "b")
+    assert graph.edge_weight(0, 1) == 2

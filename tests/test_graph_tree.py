@@ -1,0 +1,123 @@
+"""Tests for propagation-tree construction (paper Sec. 2 property)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CopyGraph, PropagationTree, build_propagation_tree
+from repro.graph.tree import chain_tree
+
+
+def diamond_graph():
+    graph = CopyGraph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 3)
+    return graph
+
+
+def test_chain_tree_structure():
+    tree = chain_tree([0, 1, 2])
+    assert tree.parent == {0: None, 1: 0, 2: 1}
+    assert tree.roots() == [0]
+    assert tree.children(0) == (1,)
+    assert tree.depth(2) == 2
+    assert tree.root_path(2) == [0, 1, 2]
+
+
+def test_chain_tree_satisfies_property_for_any_dag():
+    graph = diamond_graph()
+    tree = chain_tree(graph.topological_order())
+    assert tree.satisfies_property_for(graph)
+
+
+def test_greedy_tree_on_paper_example():
+    """Example 1.1's copy graph forces the chain s0-s1-s2 (the paper's own
+    argument: s2 is a child of s1 which is a child of s0 in T)."""
+    graph = CopyGraph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 2)
+    tree = build_propagation_tree(graph)
+    assert tree.satisfies_property_for(graph)
+    assert tree.parent[1] == 0
+    assert tree.parent[2] == 1
+
+
+def test_greedy_tree_falls_back_to_chain_on_diamond():
+    graph = diamond_graph()
+    tree = build_propagation_tree(graph)
+    assert tree.satisfies_property_for(graph)
+    # s3 needs both s1 and s2 as ancestors, impossible without a chain.
+    assert tree.depth(3) == 3
+
+
+def test_greedy_tree_keeps_independent_branches_shallow():
+    graph = CopyGraph(5)
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 4)
+    tree = build_propagation_tree(graph)
+    assert tree.satisfies_property_for(graph)
+    # No constraint links {1,3} to {2,4}: the tree can branch.
+    assert tree.depth(3) == 2
+    assert tree.depth(4) == 2
+
+
+def test_tree_with_multiple_roots_for_disconnected_sites():
+    graph = CopyGraph(3)
+    graph.add_edge(0, 1)
+    # Site 2 holds no replicas of anything and nothing of its own.
+    tree = build_propagation_tree(graph)
+    assert tree.satisfies_property_for(graph)
+    assert 2 in tree.parent
+
+
+def test_prefer_chain_forces_chain():
+    graph = CopyGraph(4)
+    graph.add_edge(0, 1)
+    tree = build_propagation_tree(graph, prefer_chain=True)
+    order = graph.topological_order()
+    for earlier, later in zip(order, order[1:]):
+        assert tree.parent[later] == earlier
+
+
+def test_non_topological_order_rejected():
+    graph = CopyGraph(2)
+    graph.add_edge(0, 1)
+    with pytest.raises(GraphError):
+        build_propagation_tree(graph, order=[1, 0])
+
+
+def test_path_down():
+    tree = chain_tree([0, 1, 2, 3])
+    assert tree.path_down(0, 3) == [1, 2, 3]
+    assert tree.path_down(2, 3) == [3]
+    with pytest.raises(GraphError):
+        tree.path_down(3, 0)
+
+
+def test_is_ancestor_is_strict():
+    tree = chain_tree([0, 1, 2])
+    assert tree.is_ancestor(0, 2)
+    assert tree.is_ancestor(1, 2)
+    assert not tree.is_ancestor(2, 2)
+    assert not tree.is_ancestor(2, 0)
+
+
+def test_subtree():
+    tree = PropagationTree({0: None, 1: 0, 2: 0, 3: 1})
+    assert tree.subtree(0) == {0, 1, 2, 3}
+    assert tree.subtree(1) == {1, 3}
+    assert tree.subtree(2) == {2}
+
+
+def test_tree_rejects_cyclic_parent_map():
+    with pytest.raises(GraphError):
+        PropagationTree({0: 1, 1: 0})
+
+
+def test_tree_rejects_unknown_parent():
+    with pytest.raises(GraphError):
+        PropagationTree({0: 7})

@@ -1,0 +1,205 @@
+"""Tests for the harness extras: ASCII plots, multi-seed analysis,
+serialization-order witnesses, and event tracing."""
+
+import pytest
+
+from repro.errors import SerializabilityViolation
+from repro.harness.analysis import MetricSummary, compare, replicate
+from repro.harness.plots import render_series, render_sweep
+from repro.harness.runner import ExperimentConfig
+from repro.harness.serializability import serialization_order
+from repro.harness.sweep import sweep
+from repro.harness.tracing import Tracer
+from repro.types import GlobalTransactionId
+from repro.workload.params import WorkloadParams
+
+TINY = WorkloadParams(n_sites=3, n_items=30, transactions_per_thread=6,
+                      threads_per_site=2)
+
+
+# ----------------------------------------------------------------------
+# serialization_order
+# ----------------------------------------------------------------------
+
+
+def gid(seq):
+    return GlobalTransactionId(0, seq)
+
+
+def test_witness_respects_edges():
+    graph = {gid(1): {gid(2)}, gid(2): {gid(3)}, gid(3): set(),
+             gid(4): {gid(3)}}
+    order = serialization_order(graph)
+    assert set(order) == set(graph)
+    position = {node: index for index, node in enumerate(order)}
+    for node, successors in graph.items():
+        for succ in successors:
+            assert position[node] < position[succ]
+
+
+def test_witness_raises_on_cycle():
+    graph = {gid(1): {gid(2)}, gid(2): {gid(1)}}
+    with pytest.raises(SerializabilityViolation):
+        serialization_order(graph)
+
+
+def test_witness_deterministic_tie_break():
+    graph = {gid(3): set(), gid(1): set(), gid(2): set()}
+    assert serialization_order(graph) == [gid(1), gid(2), gid(3)]
+
+
+def test_witness_from_real_run():
+    from repro.harness.runner import run_experiment
+    from repro.harness.serializability import build_serialization_graph
+    from repro.harness.runner import build_system
+    result = run_experiment(
+        ExperimentConfig(protocol="backedge", params=TINY, seed=1))
+    assert result.serializable
+
+
+# ----------------------------------------------------------------------
+# Plots
+# ----------------------------------------------------------------------
+
+
+def test_render_series_contains_markers_axis_and_legend():
+    chart = render_series(
+        {"backedge": [(0.0, 20.0), (0.5, 15.0), (1.0, 12.0)],
+         "psl": [(0.0, 10.0), (0.5, 9.0), (1.0, 8.0)]},
+        title="demo")
+    assert "demo" in chart
+    assert "*" in chart and "o" in chart
+    assert "legend: * backedge   o psl" in chart
+    assert "+" + "-" * 3 in chart  # The x axis baseline.
+
+
+def test_render_series_empty():
+    assert render_series({}) == "(no data)"
+    assert render_series({"a": []}) == "(no data)"
+
+
+def test_render_series_single_point():
+    chart = render_series({"only": [(5, 3.0)]})
+    assert "*" in chart
+    assert "5" in chart
+
+
+def test_render_sweep_end_to_end():
+    points = sweep("backedge_probability", [0.0, 1.0], ["backedge"],
+                   base_params=TINY, seed=1)
+    chart = render_sweep(points, title="fig")
+    assert "fig" in chart
+    assert "average throughput" in chart
+    assert render_sweep([], title="x") == "(no data)"
+
+
+def test_render_handles_zero_values():
+    chart = render_series({"flat": [(0, 0.0), (1, 0.0)]})
+    assert "legend" in chart
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+
+
+def test_replicate_runs_each_seed():
+    replication = replicate(
+        ExperimentConfig(protocol="backedge", params=TINY), seeds=[1, 2])
+    assert len(replication.results) == 2
+    summary = replication.summary()
+    assert summary.n == 2
+    assert summary.minimum <= summary.mean <= summary.maximum
+
+
+def test_metric_summary_statistics():
+    summary = MetricSummary("m", n=4, mean=10.0, stdev=2.0,
+                            minimum=8.0, maximum=12.0)
+    assert summary.sem == pytest.approx(1.0)
+    low, high = summary.ci95()
+    assert low == pytest.approx(10 - 1.96)
+    assert high == pytest.approx(10 + 1.96)
+    assert "10.00 +/- 2.00" in str(summary)
+
+
+def test_single_seed_summary_has_zero_stdev():
+    replication = replicate(
+        ExperimentConfig(protocol="backedge", params=TINY), seeds=[3])
+    summary = replication.summary()
+    assert summary.stdev == 0.0
+    assert summary.sem == 0.0
+
+
+def test_compare_backedge_beats_psl():
+    outcome = compare(
+        ExperimentConfig(protocol="backedge", params=TINY),
+        ExperimentConfig(protocol="psl", params=TINY),
+        seeds=[1, 2, 3])
+    assert outcome["n"] == 3
+    assert outcome["mean_ratio"] > 1.0
+    assert outcome["win_fraction"] >= 2 / 3
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+
+def test_tracer_collects_protocol_events():
+    from repro.harness.runner import build_system
+    from repro.sim.events import AllOf
+    from repro.errors import TransactionAborted
+
+    config = ExperimentConfig(protocol="backedge", params=TINY, seed=1)
+    env, system, protocol, generator = build_system(config)
+    tracer = Tracer()
+    system.observers.append(tracer)
+
+    processes = []
+    for site_id in range(TINY.n_sites):
+        ref = []
+
+        def client(site_id=site_id, ref=ref):
+            for spec in generator.thread_stream(site_id, 0):
+                try:
+                    yield from protocol.run_transaction(site_id, spec,
+                                                        ref[0])
+                except TransactionAborted:
+                    pass
+
+        ref.append(env.process(client()))
+        processes.append(ref[0])
+    env.run(until=AllOf(env, processes))
+    env.run(until=env.now + 2.0)
+
+    commits = tracer.of_kind("primary_commit")
+    assert commits
+    # For some committed txn with replicas, applications follow commit.
+    for event in commits:
+        if event.details["expected_replicas"]:
+            chain = tracer.propagation_events(event.gid)
+            assert chain[0].kind == "primary_commit"
+            assert all(later.time >= event.time for later in chain)
+            break
+    assert "primary_commit" in tracer.tail()
+
+
+def test_tracer_capacity_bound():
+    tracer = Tracer(capacity=2)
+    tracer.on_primary_commit(gid(1), 0, 1.0, set())
+    tracer.on_replica_commit(gid(1), 1, 2.0)
+    tracer.on_replica_commit(gid(1), 2, 3.0)
+    assert len(tracer) == 2
+    assert tracer.dropped == 1
+    assert "dropped" in tracer.tail()
+
+
+def test_tracer_queries():
+    tracer = Tracer()
+    tracer.on_primary_commit(gid(1), 0, 1.0, {1})
+    tracer.on_replica_commit(gid(1), 1, 2.0)
+    tracer.on_primary_commit(gid(2), 0, 3.0, set())
+    assert len(tracer.of_gid(gid(1))) == 2
+    assert len(tracer.of_kind("primary_commit")) == 2
+    assert [event.site for event
+            in tracer.propagation_events(gid(1))] == [0, 1]

@@ -1,0 +1,161 @@
+"""Tests for the experiment runner, metrics, sweeps and reporting."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.metrics import MetricsCollector
+from repro.harness.reporting import format_comparison, format_sweep_table
+from repro.harness.runner import (
+    ExperimentConfig,
+    build_system,
+    run_experiment,
+)
+from repro.harness.sweep import series, sweep
+from repro.workload.params import WorkloadParams
+
+SMALL = WorkloadParams(n_sites=3, n_items=30, transactions_per_thread=10,
+                       threads_per_site=2)
+
+
+def small_config(protocol="backedge", **kwargs):
+    return ExperimentConfig(protocol=protocol, params=SMALL, seed=1,
+                            **kwargs)
+
+
+def test_run_experiment_counts_add_up():
+    result = run_experiment(small_config())
+    total = SMALL.n_sites * SMALL.threads_per_site \
+        * SMALL.transactions_per_thread
+    assert result.committed + result.aborted == total
+    assert result.serializable is True
+    assert result.duration > 0
+    assert result.average_throughput > 0
+
+
+def test_run_experiment_is_deterministic():
+    first = run_experiment(small_config())
+    second = run_experiment(small_config())
+    assert first.average_throughput == second.average_throughput
+    assert first.committed == second.committed
+    assert first.total_messages == second.total_messages
+    assert first.duration == second.duration
+
+
+def test_different_seeds_differ():
+    first = run_experiment(small_config())
+    second = run_experiment(dataclasses.replace(small_config(), seed=2))
+    assert (first.duration, first.total_messages) != \
+        (second.duration, second.total_messages)
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ConfigurationError):
+        run_experiment(small_config(protocol="nope"))
+
+
+def test_max_sim_time_caps_run():
+    config = small_config(max_sim_time=0.25)
+    result = run_experiment(config)
+    assert result.duration <= 0.25 + 1e-9
+
+
+def test_cost_overrides_applied_and_validated():
+    env, system, _protocol, _generator = build_system(
+        small_config(cost_overrides={"cpu_txn_setup": 0.123}))
+    assert system.config.cpu_txn_setup == 0.123
+    with pytest.raises(AttributeError):
+        build_system(small_config(cost_overrides={"bogus": 1.0}))
+
+
+def test_protocol_options_forwarded():
+    _env, _system, protocol, _generator = build_system(
+        small_config(protocol_options={"variant": "tree"}))
+    assert protocol.variant == "tree"
+
+
+def test_summary_renders():
+    result = run_experiment(small_config())
+    line = result.summary()
+    assert "backedge" in line
+    assert "txn/s/site" in line
+
+
+def test_every_registered_protocol_runs_and_serializes():
+    params = SMALL.replaced(backedge_probability=0.0)
+    for protocol in ("dag_wt", "dag_t", "backedge", "psl", "eager"):
+        config = ExperimentConfig(protocol=protocol, params=params, seed=3)
+        result = run_experiment(config)
+        assert result.serializable is True
+        assert result.committed > 0
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def test_metrics_throughput_and_abort_rate():
+    metrics = MetricsCollector(2)
+    metrics.transaction_committed(0, 0.1)
+    metrics.transaction_committed(0, 0.3)
+    metrics.transaction_committed(1, 0.2)
+    metrics.transaction_aborted(1, "lock-timeout on item 3")
+    assert metrics.total_committed == 3
+    assert metrics.total_aborted == 1
+    assert metrics.abort_rate() == pytest.approx(25.0)
+    assert metrics.average_throughput(10.0) == pytest.approx(
+        (2 / 10 + 1 / 10) / 2)
+    assert metrics.mean_response_time() == pytest.approx(0.2)
+    assert metrics.abort_reasons["lock-timeout"] == 1
+
+
+def test_metrics_propagation_tracking():
+    metrics = MetricsCollector(3)
+    from repro.types import GlobalTransactionId
+    g = GlobalTransactionId(0, 1)
+    metrics.on_primary_commit(g, 0, 1.0, expected_replicas={1, 2})
+    assert metrics.unpropagated_count() == 1
+    metrics.on_replica_commit(g, 1, 1.5)
+    assert metrics.unpropagated_count() == 1
+    metrics.on_replica_commit(g, 2, 2.0)
+    assert metrics.unpropagated_count() == 0
+    assert metrics.mean_propagation_delay() == pytest.approx(1.0)
+
+
+def test_metrics_empty_aggregates_are_zero():
+    metrics = MetricsCollector(1)
+    assert metrics.average_throughput(0) == 0.0
+    assert metrics.abort_rate() == 0.0
+    assert metrics.mean_response_time() == 0.0
+    assert metrics.mean_propagation_delay() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Sweeps and reporting
+# ----------------------------------------------------------------------
+
+
+def test_sweep_runs_grid_and_series_extracts():
+    points = sweep("backedge_probability", [0.0, 1.0],
+                   ["backedge", "psl"], base_params=SMALL, seed=1)
+    assert len(points) == 4
+    backedge_series = series(points, "backedge")
+    assert [value for value, _m in backedge_series] == [0.0, 1.0]
+    assert all(throughput > 0 for _v, throughput in backedge_series)
+
+
+def test_sweep_table_rendering():
+    points = sweep("backedge_probability", [0.0], ["backedge", "psl"],
+                   base_params=SMALL, seed=1)
+    table = format_sweep_table(points)
+    assert "backedge_probability" in table
+    assert "psl" in table
+    comparison = format_comparison(points, "psl", "backedge")
+    assert "speedup" in comparison
+    assert "x" in comparison.splitlines()[-1]
+
+
+def test_format_sweep_table_empty():
+    assert format_sweep_table([]) == "(no data)"

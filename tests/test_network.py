@@ -1,0 +1,123 @@
+"""Tests for the FIFO network substrate."""
+
+import pytest
+
+from repro.network import MessageType, Network
+from repro.sim import Environment
+
+
+def collect(network, site):
+    """Register a collector handler; returns the list it appends to."""
+    received = []
+    network.set_handler(
+        site, lambda msg: received.append((network.env.now, msg)))
+    return received
+
+
+def test_message_delivered_after_latency():
+    env = Environment()
+    network = Network(env, n_sites=2, latency=0.5)
+    received = collect(network, 1)
+    network.send(MessageType.SECONDARY, 0, 1, gid="t1")
+    env.run()
+    assert len(received) == 1
+    time, msg = received[0]
+    assert time == 0.5
+    assert msg.payload["gid"] == "t1"
+    assert msg.send_time == 0.0
+    assert msg.deliver_time == 0.5
+
+
+def test_fifo_order_between_pair():
+    env = Environment()
+    network = Network(env, n_sites=2, latency=0.1)
+    received = collect(network, 1)
+    for seq in range(5):
+        network.send(MessageType.SECONDARY, 0, 1, seq=seq)
+    env.run()
+    assert [msg.payload["seq"] for _t, msg in received] == [0, 1, 2, 3, 4]
+
+
+def test_fifo_preserved_under_jittered_latency():
+    env = Environment()
+    # Decreasing latency would reorder without the FIFO clamp.
+    samples = iter([1.0, 0.1, 0.05])
+    network = Network(env, n_sites=2, latency=lambda: next(samples))
+    received = collect(network, 1)
+
+    def sender(env):
+        for seq in range(3):
+            network.send(MessageType.SECONDARY, 0, 1, seq=seq)
+            yield env.timeout(0.01)
+
+    env.process(sender(env))
+    env.run()
+    assert [msg.payload["seq"] for _t, msg in received] == [0, 1, 2]
+    times = [t for t, _msg in received]
+    assert times == sorted(times)
+    # All clamped to >= first message's arrival.
+    assert times[0] == pytest.approx(1.0)
+
+
+def test_independent_pairs_do_not_clamp_each_other():
+    env = Environment()
+    network = Network(env, n_sites=3, latency=0.2)
+    first = collect(network, 1)
+    second = collect(network, 2)
+
+    def sender(env):
+        network.send(MessageType.SECONDARY, 0, 1, seq="a")
+        yield env.timeout(0.05)
+        network.send(MessageType.SECONDARY, 0, 2, seq="b")
+
+    env.process(sender(env))
+    env.run()
+    assert first[0][0] == pytest.approx(0.2)
+    assert second[0][0] == pytest.approx(0.25)
+
+
+def test_send_to_self_rejected():
+    network = Network(Environment(), n_sites=2)
+    with pytest.raises(ValueError):
+        network.send(MessageType.SECONDARY, 0, 0)
+
+
+def test_unknown_site_rejected():
+    network = Network(Environment(), n_sites=2)
+    with pytest.raises(ValueError):
+        network.send(MessageType.SECONDARY, 0, 5)
+    with pytest.raises(ValueError):
+        network.set_handler(9, lambda msg: None)
+
+
+def test_missing_handler_goes_to_dead_letters():
+    env = Environment()
+    network = Network(env, n_sites=2, latency=0.1)
+    network.send(MessageType.SECONDARY, 0, 1, seq=1)
+    env.run()
+    assert len(network.dead_letters) == 1
+
+
+def test_message_counters_by_type():
+    env = Environment()
+    network = Network(env, n_sites=2, latency=0.1)
+    collect(network, 1)
+    network.send(MessageType.SECONDARY, 0, 1)
+    network.send(MessageType.SECONDARY, 0, 1)
+    network.send(MessageType.LOCK_REQUEST, 0, 1)
+    env.run()
+    assert network.total_sent == 3
+    assert network.sent_by_type[MessageType.SECONDARY] == 2
+    assert network.sent_by_type[MessageType.LOCK_REQUEST] == 1
+
+
+def test_negative_latency_rejected():
+    env = Environment()
+    network = Network(env, n_sites=2, latency=-1.0)
+    with pytest.raises(ValueError):
+        network.send(MessageType.SECONDARY, 0, 1)
+
+
+def test_needs_at_least_one_site():
+    with pytest.raises(ValueError):
+        Network(Environment(), n_sites=0)

@@ -1,0 +1,110 @@
+"""Property tests for the 2PL lock manager's core invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Environment
+from repro.storage import LockManager, LockMode
+from repro.storage.transaction import Transaction
+from repro.types import GlobalTransactionId, SubtransactionKind
+
+N_TXNS = 4
+N_ITEMS = 3
+
+step_strategy = st.tuples(
+    st.integers(0, N_TXNS - 1),
+    st.sampled_from(["acquire_s", "acquire_x", "release", "cancel"]),
+    st.integers(0, N_ITEMS - 1),
+)
+
+
+def make_txns():
+    return [Transaction(GlobalTransactionId(0, seq), 0,
+                        SubtransactionKind.PRIMARY, 0.0)
+            for seq in range(N_TXNS)]
+
+
+def holders_compatible(manager, item) -> bool:
+    holders = manager.holders(item)
+    modes = list(holders.values())
+    if modes.count(LockMode.EXCLUSIVE) > 1:
+        return False
+    if LockMode.EXCLUSIVE in modes and len(modes) > 1:
+        return False
+    return True
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=st.lists(step_strategy, max_size=40))
+def test_property_holder_compatibility_invariant(steps):
+    """At every point: at most one X holder per item, and an X holder
+    excludes all others."""
+    manager = LockManager(Environment(), timeout=None)
+    txns = make_txns()
+    for slot, action, item in steps:
+        txn = txns[slot]
+        if action == "acquire_s":
+            manager.acquire(txn, item, LockMode.SHARED)
+        elif action == "acquire_x":
+            manager.acquire(txn, item, LockMode.EXCLUSIVE)
+        elif action == "release":
+            manager.release_all(txn)
+        elif action == "cancel":
+            manager.cancel_waits(txn)
+        for check_item in range(N_ITEMS):
+            assert holders_compatible(manager, check_item)
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=st.lists(step_strategy, max_size=40))
+def test_property_full_release_drains_everything(steps):
+    """After every transaction releases and cancels, the lock table is
+    empty and every grant event was triggered exactly once or
+    withdrawn."""
+    manager = LockManager(Environment(), timeout=None)
+    txns = make_txns()
+    events = []
+    for slot, action, item in steps:
+        txn = txns[slot]
+        if action == "acquire_s":
+            events.append(manager.acquire(txn, item, LockMode.SHARED))
+        elif action == "acquire_x":
+            events.append(manager.acquire(txn, item,
+                                          LockMode.EXCLUSIVE))
+        elif action == "release":
+            manager.release_all(txn)
+        elif action == "cancel":
+            manager.cancel_waits(txn)
+    for txn in txns:
+        manager.cancel_waits(txn)
+        manager.release_all(txn)
+    assert manager.waiting_requests() == []
+    for item in range(N_ITEMS):
+        assert manager.holders(item) == {}
+    # Internal table fully garbage-collected.
+    assert manager._table == {}  # noqa: SLF001 - invariant check
+
+
+@settings(max_examples=150, deadline=None)
+@given(steps=st.lists(step_strategy, max_size=30))
+def test_property_granted_requests_recorded_in_held_sets(steps):
+    """items_held agrees with the holder table at all times."""
+    manager = LockManager(Environment(), timeout=None)
+    txns = make_txns()
+    for slot, action, item in steps:
+        txn = txns[slot]
+        if action == "acquire_s":
+            manager.acquire(txn, item, LockMode.SHARED)
+        elif action == "acquire_x":
+            manager.acquire(txn, item, LockMode.EXCLUSIVE)
+        elif action == "release":
+            manager.release_all(txn)
+        elif action == "cancel":
+            manager.cancel_waits(txn)
+        for txn_check in txns:
+            held = manager.items_held(txn_check)
+            for item_check in held:
+                assert txn_check in manager.holders(item_check)
+        for item_check in range(N_ITEMS):
+            for holder in manager.holders(item_check):
+                assert item_check in manager.items_held(holder)

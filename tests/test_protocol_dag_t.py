@@ -1,0 +1,140 @@
+"""Integration tests for the DAG(T) protocol (paper Sec. 3): direct
+propagation, timestamp ordering at merge sites, and the Sec. 3.3
+progress machinery (epochs + dummies)."""
+
+import pytest
+
+from repro.core.dag_t import DagTProtocol
+from repro.core.timestamps import VectorTimestamp
+from repro.errors import ConfigurationError
+from repro.graph.placement import DataPlacement
+from repro.harness.convergence import check_convergence
+from repro.harness.serializability import check_serializable
+from repro.network.message import MessageType
+from tests.helpers import histories, make_system, run_client, spec
+
+
+def merge_placement():
+    """s2 has two incomparable parents s0 and s1 — the Sec. 3.3
+    starvation example."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[2])
+    placement.add_item("b", primary=1, replicas=[2])
+    return placement
+
+
+def test_updates_travel_one_hop_directly():
+    """DAG(T) sends secondaries straight to replica sites — no relaying
+    through intermediate sites (contrast with DAG(WT))."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    placement.add_item("b", primary=1, replicas=[2])
+    env, system, proto = make_system(placement, "dag_t")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    env.run(until=0.05)  # Before heartbeats muddy the counts.
+    secondaries = system.network.sent_by_type[MessageType.SECONDARY]
+    assert secondaries == 2  # s0->s1 and s0->s2 directly.
+    assert outcomes[0][1] == "committed"
+
+
+def test_progress_despite_idle_parent():
+    """The Sec. 3.3 example: T1 from s0 must eventually execute at s2
+    even though s1 never commits anything — epochs advance via dummy
+    subtransactions."""
+    env, system, proto = make_system(merge_placement(), "dag_t")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    env.run(until=1.0)
+    assert outcomes[0][1] == "committed"
+    assert system.site_of(2).engine.item("a").committed_version == 1
+    assert system.network.sent_by_type[MessageType.DUMMY] > 0
+    check_convergence(system)
+
+
+def test_without_dummies_merge_site_starves():
+    """Sanity check of the starvation scenario itself: with heartbeats
+    effectively disabled, s2 cannot execute s0's update because s1's
+    queue stays empty."""
+    env, system, proto = make_system(merge_placement(), "dag_t")
+    proto.config.heartbeat_interval = 1e9
+    proto.config.epoch_interval = 1e9
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    env.run(until=1.0)
+    assert outcomes[0][1] == "committed"  # The primary is unaffected.
+    assert system.site_of(2).engine.item("a").committed_version == 0
+
+
+def test_secondaries_commit_in_timestamp_order_at_merge_site():
+    """Two updates through different parents commit at s2 in timestamp
+    order even if they arrive interleaved."""
+    env, system, proto = make_system(merge_placement(), "dag_t")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.000, outcomes)
+    run_client(env, proto, spec(1, 1, ("w", "b")), 0.001, outcomes)
+    run_client(env, proto, spec(0, 2, ("w", "a")), 0.002, outcomes)
+    env.run(until=1.0)
+    entries = [entry for entry in system.site_of(2).engine.history
+               if entry.writes]
+    # All three applied; a's versions in order.
+    a_versions = [entry.writes.get("a") for entry in entries
+                  if "a" in entry.writes]
+    assert a_versions == [1, 2]
+    check_serializable(histories(system))
+    check_convergence(system)
+
+
+def test_primary_timestamps_increase_at_a_site():
+    placement = merge_placement()
+    env, system, proto = make_system(placement, "dag_t")
+    clock = proto.clocks[0]
+    first = clock.on_primary_commit()
+    second = clock.on_primary_commit()
+    assert first < second
+    assert second.counter_of(proto.ranks[0]) == 2
+
+
+def test_site_timestamp_concatenates_base():
+    env, system, proto = make_system(merge_placement(), "dag_t")
+    clock = proto.clocks[2]
+    incoming = VectorTimestamp().concat(
+        __import__("repro.core.timestamps",
+                   fromlist=["SiteTuple"]).SiteTuple(0, 3))
+    clock.on_secondary_commit(incoming)
+    stamp = clock.site_timestamp()
+    assert stamp.counter_of(0) == 3
+    assert stamp.counter_of(proto.ranks[2]) == 0
+
+
+def test_requires_dag():
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    placement.add_item("b", primary=1, replicas=[0])
+    with pytest.raises(ConfigurationError):
+        make_system(placement, "dag_t")
+
+
+def test_ranks_follow_topological_order_not_site_ids():
+    """A DAG whose edges point against site-id order still works: ranks
+    come from the topological order."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=2, replicas=[0, 1])
+    placement.add_item("b", primary=1, replicas=[0])
+    env, system, proto = make_system(placement, "dag_t")
+    assert proto.ranks[2] < proto.ranks[1] < proto.ranks[0]
+    outcomes = []
+    run_client(env, proto, spec(2, 1, ("w", "a")), 0.0, outcomes)
+    run_client(env, proto, spec(1, 1, ("r", "a"), ("w", "b")), 0.05,
+               outcomes)
+    env.run(until=1.0)
+    assert [status for _g, status, _t in outcomes] == ["committed"] * 2
+    check_serializable(histories(system))
+    check_convergence(system)
+
+
+def test_dummy_messages_do_not_create_history_entries():
+    env, system, proto = make_system(merge_placement(), "dag_t")
+    env.run(until=0.5)  # Only heartbeats run.
+    for site in system.sites:
+        assert len(site.engine.history) == 0

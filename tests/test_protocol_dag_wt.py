@@ -1,0 +1,160 @@
+"""Integration tests for the DAG(WT) protocol (paper Sec. 2),
+including the Example 1.1 scenario it must serialize correctly."""
+
+import pytest
+
+from repro.graph.placement import DataPlacement
+from repro.harness.convergence import check_convergence
+from repro.harness.serializability import check_serializable
+from tests.helpers import (
+    histories,
+    make_system,
+    no_locks_leaked,
+    run_client,
+    spec,
+)
+
+
+def example_11_placement():
+    """Paper Example 1.1: item a primary at s0, replicas at s1 and s2;
+    item b primary at s1, replica at s2."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    placement.add_item("b", primary=1, replicas=[2])
+    return placement
+
+
+@pytest.mark.parametrize("protocol", ["dag_wt", "dag_t", "backedge"])
+def test_example_11_is_serialized_correctly(protocol):
+    """T1 updates a at s0; T2 reads a and writes b at s1; T3 reads a and
+    b at s2.  The resulting execution must be serializable with T1 before
+    T2 (the indiscriminate-propagation anomaly of Example 1.1 must not
+    occur)."""
+    env, system, proto = make_system(example_11_placement(), protocol)
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    # T2 starts after T1's update reached s1.
+    run_client(env, proto, spec(1, 1, ("r", "a"), ("w", "b")), 0.05,
+               outcomes)
+    # T3 reads both replicas at s2, after T2's update propagates.
+    run_client(env, proto, spec(2, 1, ("r", "a"), ("r", "b")), 0.15,
+               outcomes)
+    env.run(until=2.0)
+
+    assert [status for _gid, status, _t in outcomes] == ["committed"] * 3
+    graph = check_serializable(histories(system))
+    # T3 must observe T1's write of a and T2's write of b.
+    t1 = spec(0, 1, ("w", "a")).gid
+    t2 = spec(1, 1, ("w", "b")).gid
+    t3 = spec(2, 1, ("r", "a")).gid
+    assert t3 in graph[t1]
+    assert t3 in graph[t2]
+    # T1 serialized before T2 everywhere (T2 read T1's a at s1).
+    assert t2 in graph[t1]
+    check_convergence(system)
+    assert no_locks_leaked(system)
+
+
+def test_secondary_applies_only_replicated_items():
+    placement = DataPlacement(2)
+    placement.add_item("rep", primary=0, replicas=[1])
+    placement.add_item("local", primary=0)
+    env, system, proto = make_system(placement, "dag_wt")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "rep"), ("w", "local")), 0.0,
+               outcomes)
+    env.run(until=1.0)
+    assert outcomes[0][1] == "committed"
+    replica_engine = system.site_of(1).engine
+    assert replica_engine.item("rep").committed_version == 1
+    assert not replica_engine.has_item("local")
+    check_convergence(system)
+
+
+def test_forwarding_skips_irrelevant_subtrees():
+    """A chain s0-s1-s2 where the updated item is replicated only at s1:
+    no secondary message should travel to s2."""
+    placement = DataPlacement(3)
+    placement.add_item("x", primary=0, replicas=[1])
+    placement.add_item("y", primary=1, replicas=[2])  # Forces the chain.
+    env, system, proto = make_system(placement, "dag_wt")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "x")), 0.0, outcomes)
+    env.run(until=1.0)
+    sent = system.network.sent_by_type
+    from repro.network.message import MessageType
+    assert sent[MessageType.SECONDARY] == 1  # s0 -> s1 only.
+
+
+def test_updates_relay_through_tree_in_order():
+    """Two writes committed in order at s0 must commit in the same order
+    at every replica site down the chain."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    placement.add_item("b", primary=1, replicas=[2])
+    env, system, proto = make_system(placement, "dag_wt")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    run_client(env, proto, spec(0, 2, ("w", "a")), 0.001, outcomes)
+    env.run(until=1.0)
+    for site_id in (1, 2):
+        entries = [entry for entry
+                   in system.site_of(site_id).engine.history
+                   if "a" in entry.writes]
+        assert [entry.gid.seq for entry in entries] == [1, 2]
+        assert [entry.writes["a"] for entry in entries] == [1, 2]
+    check_convergence(system)
+
+
+def test_read_only_transaction_sends_nothing():
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    env, system, proto = make_system(placement, "dag_wt")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("r", "a")), 0.0, outcomes)
+    env.run(until=1.0)
+    assert outcomes[0][1] == "committed"
+    assert system.network.total_sent == 0
+
+
+def test_secondary_wounds_blocking_primary():
+    """A local primary holding a replica's lock past the timeout is
+    wounded so the secondary subtransaction can commit (Sec. 2 fairness:
+    secondaries are never starved)."""
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    placement.add_item("z", primary=1)
+    env, system, proto = make_system(placement, "dag_wt",
+                                     lock_timeout=0.02)
+    outcomes = []
+    # A slow local primary at s1 grabs the replica of "a" via a read and
+    # then stalls on CPU-free waiting (simulated via many ops).
+    blocker = spec(1, 1, ("r", "a"), *[("w", "z")] * 8)
+
+    def slow_client():
+        process = process_ref[0]
+        from repro.errors import TransactionAborted
+        try:
+            site = system.site_of(1)
+            txn = site.engine.begin(blocker.gid, process=process)
+            from repro.types import SubtransactionKind
+            txn.kind = SubtransactionKind.PRIMARY
+            value = yield from site.engine.read(txn, "a")
+            del value
+            yield env.timeout(10.0)  # Holds the lock far too long.
+            site.engine.commit(txn)
+            outcomes.append((blocker.gid, "committed", env.now))
+        except BaseException:
+            site.engine.abort(txn)
+            outcomes.append((blocker.gid, "wounded", env.now))
+
+    process_ref = []
+    process_ref.append(env.process(slow_client()))
+    # The writer at s0 whose secondary needs the X lock at s1.
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.01, outcomes)
+    env.run(until=1.0)
+    statuses = {gid: status for gid, status, _t in outcomes}
+    assert statuses[blocker.gid] == "wounded"
+    assert statuses[spec(0, 1).gid] == "committed"
+    # The secondary finally applied at s1.
+    assert system.site_of(1).engine.item("a").committed_version == 1

@@ -1,0 +1,110 @@
+"""Integration tests for the eager write-all / 2PC baseline."""
+
+from repro.graph.placement import DataPlacement
+from repro.harness.convergence import check_convergence
+from repro.harness.serializability import check_serializable
+from repro.network.message import MessageType
+from repro.types import SubtransactionKind
+from tests.helpers import (
+    histories,
+    make_system,
+    no_locks_leaked,
+    run_client,
+    spec,
+)
+
+
+def placement_three_sites():
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    placement.add_item("b", primary=1, replicas=[2])
+    return placement
+
+
+def test_write_applies_at_all_replicas_before_commit_returns():
+    env, system, proto = make_system(placement_three_sites(), "eager")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    env.run(until=1.0)
+    assert outcomes[0][1] == "committed"
+    for site_id in (0, 1, 2):
+        assert system.site_of(site_id).engine.item("a") \
+            .committed_version == 1
+    sent = system.network.sent_by_type
+    assert sent[MessageType.EAGER_WRITE] == 2
+    assert sent[MessageType.PREPARE] == 2
+    assert sent[MessageType.DECISION] == 2
+    check_convergence(system)
+
+
+def test_replica_read_is_local_and_current():
+    """Read-one: after an eager write commits, a replica site reads the
+    new value locally with zero messages."""
+    env, system, proto = make_system(placement_three_sites(), "eager")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    run_client(env, proto, spec(2, 1, ("r", "a")), 0.5, outcomes)
+    env.run(until=1.0)
+    assert [status for _g, status, _t in outcomes] == ["committed"] * 2
+    # The reader's history entry is at its own site with version 1.
+    entries = [entry for entry in system.site_of(2).engine.history
+               if entry.gid == spec(2, 1).gid]
+    assert entries[0].reads == {"a": 1}
+    check_serializable(histories(system))
+
+
+def test_remote_lock_conflict_aborts_whole_transaction():
+    """A replica site pinning the item causes the eager write to time
+    out; the origin aborts everywhere."""
+    env, system, proto = make_system(placement_three_sites(), "eager",
+                                     lock_timeout=0.02)
+    outcomes = []
+
+    def pin_replica():
+        site = system.site_of(1)
+        txn = site.engine.begin(spec(1, 99).gid,
+                                SubtransactionKind.PRIMARY)
+        value = yield from site.engine.read(txn, "a")
+        del value
+        yield env.timeout(0.5)
+        site.engine.commit(txn)
+
+    env.process(pin_replica())
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.005, outcomes)
+    env.run(until=2.0)
+    assert outcomes[0][1] != "committed"
+    env.run(until=3.0)
+    # No replica applied the aborted write.
+    for site_id in (0, 1, 2):
+        assert system.site_of(site_id).engine.item("a") \
+            .committed_version == 0
+    assert no_locks_leaked(system)
+    check_convergence(system)
+
+
+def test_concurrent_writers_serialize_or_abort():
+    env, system, proto = make_system(placement_three_sites(), "eager",
+                                     lock_timeout=0.02)
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    run_client(env, proto, spec(0, 2, ("w", "a")), 0.0005, outcomes)
+    env.run(until=3.0)
+    committed = [gid for gid, status, _t in outcomes
+                 if status == "committed"]
+    version = system.site_of(0).engine.item("a").committed_version
+    assert version == len(committed)
+    check_serializable(histories(system))
+    check_convergence(system)
+    assert no_locks_leaked(system)
+
+
+def test_unreplicated_write_needs_no_messages():
+    placement = DataPlacement(2)
+    placement.add_item("solo", primary=0)
+    placement.add_item("other", primary=1)
+    env, system, proto = make_system(placement, "eager")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "solo")), 0.0, outcomes)
+    env.run(until=1.0)
+    assert outcomes[0][1] == "committed"
+    assert system.network.total_sent == 0

@@ -1,0 +1,140 @@
+"""Tests for the indiscriminate (commercial-style) lazy baseline —
+including demonstrating the anomalies the paper's protocols eliminate."""
+
+from repro.graph.placement import DataPlacement
+from repro.harness.convergence import check_convergence
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.serializability import (
+    build_serialization_graph,
+    find_dsg_cycle,
+)
+from repro.workload.params import WorkloadParams
+from tests.helpers import histories, make_system, run_client, spec
+
+CONTENDED = WorkloadParams(
+    n_sites=5, n_items=30, threads_per_site=3,
+    transactions_per_thread=25, replication_probability=0.6,
+    site_probability=0.8, backedge_probability=0.4,
+    read_op_probability=0.5, read_txn_probability=0.2,
+    deadlock_timeout=0.02)
+
+
+def test_updates_reach_replicas_and_reconcile():
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    env, system, proto = make_system(placement, "indiscriminate")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    run_client(env, proto, spec(0, 2, ("w", "a")), 0.1, outcomes)
+    env.run(until=1.0)
+    assert [status for _g, status, _t in outcomes] == ["committed"] * 2
+    check_convergence(system)
+
+
+def test_last_writer_wins_discards_stale_update():
+    """Feed the replica an old update after a newer one was applied: the
+    Thomas write rule drops it and the replica keeps the newer value."""
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    env, system, proto = make_system(placement, "indiscriminate")
+    site1 = system.site_of(1)
+
+    from repro.network.message import Message, MessageType
+    from repro.types import GlobalTransactionId
+
+    def feed():
+        newer = Message(MessageType.SECONDARY, 0, 1,
+                        {"gid": GlobalTransactionId(0, 2),
+                         "writes": {"a": "new"}, "commit_time": 5.0})
+        older = Message(MessageType.SECONDARY, 0, 1,
+                        {"gid": GlobalTransactionId(0, 1),
+                         "writes": {"a": "old"}, "commit_time": 1.0})
+        yield env.timeout(0.01)
+        proto._make_handler(site1)(newer)
+        yield env.timeout(0.05)
+        proto._make_handler(site1)(older)
+
+    env.process(feed())
+    env.run(until=1.0)
+    assert site1.engine.item("a").value == "new"
+    assert site1.engine.item("a").committed_version == 1
+
+
+def test_without_reconciliation_arrival_order_wins():
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    env, system, proto = make_system(
+        placement, "indiscriminate",
+        protocol_options={"reconcile": False})
+    site1 = system.site_of(1)
+
+    from repro.network.message import Message, MessageType
+    from repro.types import GlobalTransactionId
+
+    def feed():
+        yield env.timeout(0.01)
+        proto._make_handler(site1)(Message(
+            MessageType.SECONDARY, 0, 1,
+            {"gid": GlobalTransactionId(0, 2), "writes": {"a": "new"},
+             "commit_time": 5.0}))
+        yield env.timeout(0.05)
+        proto._make_handler(site1)(Message(
+            MessageType.SECONDARY, 0, 1,
+            {"gid": GlobalTransactionId(0, 1), "writes": {"a": "old"},
+             "commit_time": 1.0}))
+
+    env.process(feed())
+    env.run(until=1.0)
+    # Raw arrival order: the stale value overwrote the newer one.
+    assert site1.engine.item("a").value == "old"
+    assert site1.engine.item("a").committed_version == 2
+
+
+def test_contended_workload_produces_anomalies_checker_catches():
+    """The headline negative result: across seeds, indiscriminate
+    propagation yields DSG cycles on a contended workload."""
+    violation_seen = False
+    for seed in range(4):
+        config = ExperimentConfig(protocol="indiscriminate",
+                                  params=CONTENDED, seed=seed,
+                                  strict_serializability=False,
+                                  drain_time=2.0)
+        result = run_experiment(config)
+        if not result.serializable:
+            violation_seen = True
+            assert result.violation_cycle is not None
+            assert result.violation_cycle[0] == \
+                result.violation_cycle[-1]
+    assert violation_seen
+
+
+def test_same_workload_is_serializable_under_backedge():
+    for seed in range(4):
+        config = ExperimentConfig(protocol="backedge", params=CONTENDED,
+                                  seed=seed, drain_time=2.0)
+        assert run_experiment(config).serializable is True
+
+
+def test_example_11_interleaving_breaks_under_indiscriminate():
+    """Reconstruct Example 1.1's bad interleaving: delay the s0->s2 link
+    so T1's update reaches s2 after T2's, while s1 sees them in order."""
+    placement = DataPlacement(3)
+    placement.add_item("a", primary=0, replicas=[1, 2])
+    placement.add_item("b", primary=1, replicas=[2])
+    env, system, proto = make_system(placement, "indiscriminate",
+                                     latency=0.001)
+    # Delay only the s0 -> s2 channel.
+    slow = system.network._channel(0, 2)
+    slow._latency = 0.5
+
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.00, outcomes)
+    run_client(env, proto, spec(1, 1, ("r", "a"), ("w", "b")), 0.05,
+               outcomes)
+    run_client(env, proto, spec(2, 1, ("r", "a"), ("r", "b")), 0.10,
+               outcomes)
+    env.run(until=2.0)
+    assert [status for _g, status, _t in outcomes] == ["committed"] * 3
+    graph = build_serialization_graph(histories(system))
+    cycle = find_dsg_cycle(graph)
+    assert cycle is not None  # The Example 1.1 anomaly, reproduced.

@@ -1,0 +1,168 @@
+"""Integration tests for the primary-site-locking baseline (Sec. 5.1)."""
+
+import pytest
+
+from repro.errors import PlacementError, TransactionAborted
+from repro.graph.placement import DataPlacement
+from repro.harness.serializability import check_serializable
+from repro.network.message import MessageType
+from repro.types import SubtransactionKind
+from tests.helpers import (
+    histories,
+    make_system,
+    no_locks_leaked,
+    run_client,
+    spec,
+)
+
+
+def two_site_placement():
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    placement.add_item("b", primary=1, replicas=[0])
+    return placement
+
+
+def test_remote_read_ships_latest_value():
+    """A replica read goes to the primary site and sees the latest
+    committed value there, not the stale local replica."""
+    env, system, proto = make_system(two_site_placement(), "psl")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    run_client(env, proto, spec(1, 1, ("r", "a")), 0.1, outcomes)
+    env.run(until=1.0)
+    assert [status for _g, status, _t in outcomes] == ["committed"] * 2
+    # The read was recorded at the *primary* site (s0) with version 1.
+    s0_entries = [entry for entry in system.site_of(0).engine.history
+                  if entry.gid.site == 1]
+    assert len(s0_entries) == 1
+    assert s0_entries[0].reads == {"a": 1}
+    check_serializable(histories(system))
+    assert no_locks_leaked(system)
+
+
+def test_local_reads_and_writes_stay_local():
+    env, system, proto = make_system(two_site_placement(), "psl")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("r", "a"), ("w", "a")), 0.0,
+               outcomes)
+    env.run(until=1.0)
+    assert outcomes[0][1] == "committed"
+    assert system.network.total_sent == 0
+
+
+def test_updates_never_propagate_to_replicas():
+    """PSL never pushes updates: the replica copy stays at version 0."""
+    env, system, proto = make_system(two_site_placement(), "psl")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.0, outcomes)
+    env.run(until=1.0)
+    assert system.site_of(0).engine.item("a").committed_version == 1
+    assert system.site_of(1).engine.item("a").committed_version == 0
+
+
+def test_remote_lock_held_until_release_message():
+    """The remote S lock must block a local writer at the primary site
+    until the reader commits and its release message arrives."""
+    env, system, proto = make_system(two_site_placement(), "psl",
+                                     lock_timeout=10.0)
+    outcomes = []
+    # Reader at s1 reads a (remote) then b (local, slow path via many
+    # ops to stretch the transaction).
+    run_client(env, proto, spec(1, 1, ("r", "a"), *[("r", "b")] * 9),
+               0.0, outcomes)
+    # Writer at s0 wants X on a shortly after the remote lock lands.
+    run_client(env, proto, spec(0, 1, ("w", "a")), 0.005, outcomes)
+    env.run(until=2.0)
+    statuses = {gid: (status, when) for gid, status, when in outcomes}
+    reader_done = statuses[spec(1, 1).gid][1]
+    writer_done = statuses[spec(0, 1).gid][1]
+    assert statuses[spec(1, 1).gid][0] == "committed"
+    assert statuses[spec(0, 1).gid][0] == "committed"
+    assert writer_done > reader_done  # Blocked until the release.
+    check_serializable(histories(system))
+
+
+def test_remote_lock_timeout_aborts_origin():
+    """If the primary site cannot grant within the timeout, the origin
+    transaction aborts (LOCK_DENIED path)."""
+    env, system, proto = make_system(two_site_placement(), "psl",
+                                     lock_timeout=0.02)
+    outcomes = []
+
+    # A long-running writer at s0 pins item a with an X lock.
+    def hog():
+        site = system.site_of(0)
+        txn = site.engine.begin(spec(0, 99).gid,
+                                SubtransactionKind.PRIMARY)
+        yield from site.engine.write(txn, "a", "pinned")
+        yield env.timeout(1.0)
+        site.engine.commit(txn)
+
+    env.process(hog())
+    run_client(env, proto, spec(1, 1, ("r", "a")), 0.005, outcomes)
+    env.run(until=2.0)
+    gid, status, _when = outcomes[0]
+    assert gid == spec(1, 1).gid
+    assert status != "committed"
+    assert system.network.sent_by_type[MessageType.LOCK_DENIED] == 1
+    assert no_locks_leaked(system)
+
+
+def test_denied_proxy_with_earlier_locks_released_on_abort():
+    """A transaction whose second remote read is denied must release the
+    locks its proxy already holds at that site."""
+    placement = DataPlacement(2)
+    placement.add_item("a", primary=0, replicas=[1])
+    placement.add_item("c", primary=0, replicas=[1])
+    placement.add_item("b", primary=1, replicas=[0])
+    env, system, proto = make_system(placement, "psl", lock_timeout=0.02)
+    outcomes = []
+
+    def hog():
+        site = system.site_of(0)
+        txn = site.engine.begin(spec(0, 99).gid,
+                                SubtransactionKind.PRIMARY)
+        yield from site.engine.write(txn, "c", "pinned")
+        yield env.timeout(1.0)
+        site.engine.commit(txn)
+
+    env.process(hog())
+    # Reader gets a (granted) then c (denied -> abort).
+    run_client(env, proto, spec(1, 1, ("r", "a"), ("r", "c")), 0.005,
+               outcomes)
+    env.run(until=2.0)
+    assert outcomes[0][1] != "committed"
+    env.run(until=3.0)
+    # Proxy at s0 fully cleaned up: only the hog's history remains.
+    assert no_locks_leaked(system)
+    s0_entries = [entry for entry in system.site_of(0).engine.history
+                  if entry.gid == spec(1, 1).gid]
+    assert s0_entries == []  # Aborted proxies record nothing.
+
+
+def test_write_of_remote_primary_rejected():
+    env, system, proto = make_system(two_site_placement(), "psl")
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "b")), 0.0, outcomes)
+    with pytest.raises(PlacementError):
+        env.run(until=1.0)
+
+
+def test_global_deadlock_resolved_by_timeout():
+    """Classic PSL global deadlock: two transactions holding local X
+    locks each request a remote S lock on the other's item."""
+    env, system, proto = make_system(two_site_placement(), "psl",
+                                     lock_timeout=0.02)
+    outcomes = []
+    run_client(env, proto, spec(0, 1, ("w", "a"), ("r", "b")), 0.0,
+               outcomes)
+    run_client(env, proto, spec(1, 1, ("w", "b"), ("r", "a")), 0.0,
+               outcomes)
+    env.run(until=3.0)
+    statuses = [status for _g, status, _t in outcomes]
+    assert len(statuses) == 2
+    assert statuses.count("committed") <= 1
+    assert any(status != "committed" for status in statuses)
+    check_serializable(histories(system))
+    assert no_locks_leaked(system)

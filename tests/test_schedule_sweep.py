@@ -1,0 +1,82 @@
+"""Schedule sweeps: the paper's worked examples across a grid of start
+offsets.
+
+The simulation is deterministic, so sweeping the transactions' relative
+start times explores a family of concrete interleavings — a lightweight
+model-check that no timing of Examples 1.1/4.1 slips a non-serializable
+schedule past the protocols."""
+
+import pytest
+
+from repro.harness.serializability import check_serializable
+from repro.testing import ScenarioBuilder
+
+OFFSETS = [0.0, 0.002, 0.01, 0.03, 0.06, 0.12]
+
+
+@pytest.mark.parametrize("protocol", ["dag_wt", "dag_t", "backedge"])
+def test_example_11_all_interleavings_serializable(protocol):
+    for offset_t2 in OFFSETS:
+        for offset_t3 in OFFSETS:
+            scenario = (ScenarioBuilder(n_sites=3, protocol=protocol)
+                        .item("a", primary=0, replicas=[1, 2])
+                        .item("b", primary=1, replicas=[2]))
+            scenario.transaction(0, at=0.0, ops=[("w", "a")])
+            scenario.transaction(1, at=offset_t2,
+                                 ops=[("r", "a"), ("w", "b")])
+            scenario.transaction(2, at=offset_t3,
+                                 ops=[("r", "a"), ("r", "b")])
+            result = scenario.run(until=3.0)
+            # Whatever the interleaving, the outcome is serializable.
+            check_serializable(
+                site.engine.history for site in result.system.sites)
+
+
+@pytest.mark.parametrize("protocol", ["backedge", "backedge_t", "psl",
+                                      "eager"])
+def test_example_41_all_interleavings_safe(protocol):
+    """The cross-update pair of Example 4.1 at every relative offset:
+    never both committed with inconsistent orders, always serializable,
+    no leaked locks."""
+    for offset in OFFSETS:
+        scenario = (ScenarioBuilder(n_sites=2, protocol=protocol,
+                                    lock_timeout=0.02)
+                    .item("a", primary=0, replicas=[1])
+                    .item("b", primary=1, replicas=[0]))
+        if protocol in ("psl", "eager"):
+            # These baselines have no replica-read path for 'b' at s0 in
+            # the same sense; use the symmetric conflict through reads.
+            scenario.transaction(0, at=0.0, ops=[("r", "b"), ("w", "a")])
+            scenario.transaction(1, at=offset,
+                                 ops=[("r", "a"), ("w", "b")])
+        else:
+            scenario.transaction(0, at=0.0, ops=[("r", "b"), ("w", "a")])
+            scenario.transaction(1, at=offset,
+                                 ops=[("r", "a"), ("w", "b")])
+        result = scenario.run(until=3.0, drain=1.0)
+        assert len(result.outcomes) == 2
+        check_serializable(
+            site.engine.history for site in result.system.sites)
+        for site in result.system.sites:
+            assert not site.engine.locks.waiting_requests()
+            assert not site.engine.active_transactions
+
+
+def test_sequential_spacing_commits_everything():
+    """With generous spacing every transaction commits under every
+    protocol (no spurious aborts when there is no contention)."""
+    for protocol in ("dag_wt", "dag_t", "backedge", "backedge_t", "psl",
+                     "eager"):
+        b_first = protocol in ("dag_wt", "dag_t")
+        scenario = (ScenarioBuilder(n_sites=2, protocol=protocol)
+                    .item("a", primary=0,
+                          replicas=[] if protocol == "psl" else [1]))
+        if not b_first:
+            scenario.item("b", primary=1, replicas=[0])
+        else:
+            scenario.item("b", primary=1)  # Keep the copy graph a DAG.
+        scenario.transaction(0, at=0.0, ops=[("w", "a")])
+        scenario.transaction(1, at=0.5, ops=[("w", "b")])
+        scenario.transaction(0, at=1.0, ops=[("r", "a"), ("w", "a")])
+        result = scenario.run(until=4.0)
+        assert result.all_committed, protocol

@@ -1,0 +1,131 @@
+"""Tests for round-robin CPU slicing (``Resource.use`` with a quantum) —
+the mechanism keeping lock-hold windows short under load."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Resource
+
+
+def test_sliced_use_totals_are_exact():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    done = []
+
+    def worker(name, duration):
+        yield from cpu.use(duration, quantum=1.0)
+        done.append((name, env.now))
+
+    env.process(worker("a", 3.5))
+    env.run()
+    assert done == [("a", 3.5)]
+
+
+def test_short_job_not_stuck_behind_long_one():
+    """With a quantum, a short job finishes far earlier than the long
+    job that arrived first."""
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    done = {}
+
+    def worker(name, duration, start, quantum):
+        yield env.timeout(start)
+        yield from cpu.use(duration, quantum=quantum)
+        done[name] = env.now
+
+    env.process(worker("long", 100.0, 0.0, 1.0))
+    env.process(worker("short", 1.0, 0.5, 1.0))
+    env.run()
+    # Interleaved: the short job needs ~2 quanta of wall time, not 100.
+    assert done["short"] < 5.0
+    assert done["long"] == pytest.approx(101.0)
+
+
+def test_without_quantum_fifo_blocks():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    done = {}
+
+    def worker(name, duration, start):
+        yield env.timeout(start)
+        yield from cpu.use(duration)
+        done[name] = env.now
+
+    env.process(worker("long", 100.0, 0.0))
+    env.process(worker("short", 1.0, 0.5))
+    env.run()
+    assert done["short"] == pytest.approx(101.0)
+
+
+def test_fair_sharing_between_equal_jobs():
+    """Two equal sliced jobs finish at (almost) the same time, roughly
+    at the sum of their demands."""
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    done = {}
+
+    def worker(name):
+        yield from cpu.use(10.0, quantum=1.0)
+        done[name] = env.now
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert done["a"] == pytest.approx(19.0, abs=1.5)
+    assert done["b"] == pytest.approx(20.0, abs=1.5)
+
+
+def test_zero_duration_use_completes():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+
+    def worker():
+        yield from cpu.use(0.0, quantum=1.0)
+        return env.now
+
+    process = env.process(worker())
+    env.run()
+    assert process.value == 0.0
+    assert cpu.count == 0
+
+
+def test_interrupt_mid_slice_releases_cpu():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+
+    def victim():
+        try:
+            yield from cpu.use(100.0, quantum=1.0)
+        except Interrupt:
+            return "stopped"
+
+    def other():
+        yield from cpu.use(2.0, quantum=1.0)
+        return env.now
+
+    victim_proc = env.process(victim())
+    other_proc = env.process(other())
+
+    def killer():
+        yield env.timeout(4.5)
+        victim_proc.interrupt()
+
+    env.process(killer())
+    env.run()
+    assert victim_proc.value == "stopped"
+    assert other_proc.value < 10.0
+    assert cpu.count == 0 and cpu.queue_length == 0
+
+
+def test_quantum_larger_than_duration_is_single_slice():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    timeline = []
+
+    def worker(name, duration):
+        yield from cpu.use(duration, quantum=50.0)
+        timeline.append((name, env.now))
+
+    env.process(worker("a", 2.0))
+    env.process(worker("b", 3.0))
+    env.run()
+    assert timeline == [("a", 2.0), ("b", 5.0)]

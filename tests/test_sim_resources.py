@@ -1,0 +1,158 @@
+"""Tests for the FIFO resource and mailbox primitives."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Mailbox, Resource
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    cpu = Resource(env, capacity=2)
+    first = cpu.request()
+    second = cpu.request()
+    third = cpu.request()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert cpu.count == 2
+    assert cpu.queue_length == 1
+
+
+def test_resource_release_grants_fifo():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    tokens = [cpu.request() for _ in range(3)]
+    assert tokens[0].triggered
+    assert not tokens[1].triggered
+    cpu.release(tokens[0])
+    assert tokens[1].triggered
+    assert not tokens[2].triggered
+    cpu.release(tokens[1])
+    assert tokens[2].triggered
+
+
+def test_resource_release_foreign_token_raises():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    cpu.request()
+    with pytest.raises(ValueError):
+        cpu.release(env.event())
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_cancel_waiting_request():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    held = cpu.request()
+    waiting = cpu.request()
+    cpu.cancel(waiting)
+    assert cpu.queue_length == 0
+    cpu.release(held)
+    assert not waiting.triggered  # Was withdrawn, never granted.
+
+
+def test_resource_use_serialises_processes():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+    log = []
+
+    def worker(env, cpu, name, duration):
+        yield from cpu.use(duration)
+        log.append((name, env.now))
+
+    env.process(worker(env, cpu, "a", 2.0))
+    env.process(worker(env, cpu, "b", 3.0))
+    env.run()
+    assert log == [("a", 2.0), ("b", 5.0)]
+
+
+def test_resource_use_cleans_up_on_interrupt():
+    env = Environment()
+    cpu = Resource(env, capacity=1)
+
+    def hog(env, cpu):
+        try:
+            yield from cpu.use(100.0)
+        except Interrupt:
+            return "stopped"
+
+    def follower(env, cpu):
+        yield from cpu.use(1.0)
+        return env.now
+
+    victim = env.process(hog(env, cpu))
+    next_proc = env.process(follower(env, cpu))
+
+    def killer(env, victim):
+        yield env.timeout(5.0)
+        victim.interrupt()
+
+    env.process(killer(env, victim))
+    env.run()
+    assert victim.value == "stopped"
+    # The follower got the CPU right after the interrupt at t=5.
+    assert next_proc.value == 6.0
+    assert cpu.count == 0
+
+
+def test_mailbox_put_then_get():
+    env = Environment()
+    box = Mailbox(env)
+    box.put("m1")
+    box.put("m2")
+    assert len(box) == 2
+    assert box.peek() == "m1"
+    first = box.get()
+    second = box.get()
+    assert first.triggered and first.value == "m1"
+    assert second.triggered and second.value == "m2"
+    assert len(box) == 0
+
+
+def test_mailbox_get_blocks_until_put():
+    env = Environment()
+    box = Mailbox(env)
+
+    def consumer(env, box):
+        item = yield box.get()
+        return (env.now, item)
+
+    def producer(env, box):
+        yield env.timeout(3.0)
+        box.put("late")
+
+    consumer_proc = env.process(consumer(env, box))
+    env.process(producer(env, box))
+    env.run()
+    assert consumer_proc.value == (3.0, "late")
+
+
+def test_mailbox_getters_served_fifo():
+    env = Environment()
+    box = Mailbox(env)
+    first = box.get()
+    second = box.get()
+    box.put("x")
+    assert first.triggered and first.value == "x"
+    assert not second.triggered
+
+
+def test_mailbox_cancel_get():
+    env = Environment()
+    box = Mailbox(env)
+    doomed = box.get()
+    live = box.get()
+    box.cancel_get(doomed)
+    box.put("only")
+    assert not doomed.triggered
+    assert live.triggered and live.value == "only"
+
+
+def test_mailbox_peek_empty_returns_none():
+    env = Environment()
+    box = Mailbox(env)
+    assert box.peek() is None

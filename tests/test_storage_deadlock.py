@@ -1,0 +1,98 @@
+"""Tests for waits-for graph construction and cycle detection."""
+
+from repro.sim import Environment
+from repro.storage import (
+    LockManager,
+    LockMode,
+    find_waits_for_cycle,
+    waits_for_graph,
+)
+from repro.storage.transaction import Transaction
+from repro.types import GlobalTransactionId, SubtransactionKind
+
+
+def make_txn(seq):
+    return Transaction(GlobalTransactionId(0, seq), 0,
+                       SubtransactionKind.PRIMARY, 0.0)
+
+
+def test_no_waits_no_graph():
+    manager = LockManager(Environment(), timeout=None)
+    t1 = make_txn(1)
+    manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    assert waits_for_graph(manager) == {}
+    assert find_waits_for_cycle(manager) is None
+
+
+def test_simple_wait_edge():
+    manager = LockManager(Environment(), timeout=None)
+    t1, t2 = make_txn(1), make_txn(2)
+    manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    manager.acquire(t2, "a", LockMode.SHARED)
+    graph = waits_for_graph(manager)
+    assert graph == {t2: {t1}}
+    assert find_waits_for_cycle(manager) is None
+
+
+def test_shared_shared_wait_through_queued_exclusive():
+    """A shared request queued behind an exclusive waiter conflicts with
+    the exclusive *holders*, not with compatible shared holders."""
+    manager = LockManager(Environment(), timeout=None)
+    t1, t2, t3 = make_txn(1), make_txn(2), make_txn(3)
+    manager.acquire(t1, "a", LockMode.SHARED)
+    manager.acquire(t2, "a", LockMode.EXCLUSIVE)  # queued
+    manager.acquire(t3, "a", LockMode.SHARED)     # queued behind X
+    graph = waits_for_graph(manager)
+    assert graph[t2] == {t1}
+    # t3 waits on no *conflicting holder* (t1 is compatible): the FIFO
+    # queue, not a lock conflict, is what delays it.
+    assert t3 not in graph
+
+
+def test_two_transaction_deadlock_cycle_found():
+    manager = LockManager(Environment(), timeout=None)
+    t1, t2 = make_txn(1), make_txn(2)
+    manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    manager.acquire(t2, "b", LockMode.EXCLUSIVE)
+    manager.acquire(t1, "b", LockMode.EXCLUSIVE)
+    manager.acquire(t2, "a", LockMode.EXCLUSIVE)
+    cycle = find_waits_for_cycle(manager)
+    assert cycle is not None
+    assert set(cycle) == {t1, t2}
+    # Cycle closes on itself.
+    assert cycle[0] is cycle[-1]
+
+
+def test_three_transaction_cycle_found():
+    manager = LockManager(Environment(), timeout=None)
+    txns = [make_txn(i) for i in range(3)]
+    items = ["a", "b", "c"]
+    for txn, item in zip(txns, items):
+        manager.acquire(txn, item, LockMode.EXCLUSIVE)
+    for i, txn in enumerate(txns):
+        manager.acquire(txn, items[(i + 1) % 3], LockMode.EXCLUSIVE)
+    cycle = find_waits_for_cycle(manager)
+    assert cycle is not None
+    assert set(cycle) == set(txns)
+
+
+def test_upgrade_deadlock_detected():
+    """Two shared holders both requesting upgrade deadlock on each other."""
+    manager = LockManager(Environment(), timeout=None)
+    t1, t2 = make_txn(1), make_txn(2)
+    manager.acquire(t1, "a", LockMode.SHARED)
+    manager.acquire(t2, "a", LockMode.SHARED)
+    manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    manager.acquire(t2, "a", LockMode.EXCLUSIVE)
+    cycle = find_waits_for_cycle(manager)
+    assert cycle is not None
+    assert set(cycle) == {t1, t2}
+
+
+def test_wait_chain_without_cycle():
+    manager = LockManager(Environment(), timeout=None)
+    t1, t2, t3 = make_txn(1), make_txn(2), make_txn(3)
+    manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    manager.acquire(t2, "a", LockMode.EXCLUSIVE)
+    manager.acquire(t3, "a", LockMode.EXCLUSIVE)
+    assert find_waits_for_cycle(manager) is None

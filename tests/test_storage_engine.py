@@ -1,0 +1,305 @@
+"""Tests for the per-site storage engine (reads, writes, commit, abort,
+history recording)."""
+
+import pytest
+
+from repro.errors import LockTimeout, PlacementError, TransactionAborted
+from repro.sim import Environment
+from repro.storage import StorageEngine, TransactionStatus
+from repro.types import GlobalTransactionId, SubtransactionKind
+
+
+def gid(seq, site=0):
+    return GlobalTransactionId(site, seq)
+
+
+def run_txn(env, generator):
+    """Run a transaction generator to completion, returning its value."""
+    process = env.process(generator)
+    env.run()
+    return process.value
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def engine(env):
+    engine = StorageEngine(env, site_id=0, lock_timeout=None)
+    engine.create_item("a", value=10)
+    engine.create_item("b", value=20)
+    return engine
+
+
+def test_create_duplicate_item_rejected(engine):
+    with pytest.raises(PlacementError):
+        engine.create_item("a")
+
+
+def test_read_returns_committed_value(env, engine):
+    def txn_proc():
+        txn = engine.begin(gid(1))
+        value = yield from engine.read(txn, "a")
+        engine.commit(txn)
+        return value
+
+    assert run_txn(env, txn_proc()) == 10
+
+
+def test_write_then_commit_installs_value_and_version(env, engine):
+    def txn_proc():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 99)
+        engine.commit(txn)
+
+    run_txn(env, txn_proc())
+    record = engine.item("a")
+    assert record.value == 99
+    assert record.committed_version == 1
+    assert record.writer_of(1) == gid(1)
+    assert record.writer_of(0) is None
+
+
+def test_read_your_own_write(env, engine):
+    def txn_proc():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 77)
+        value = yield from engine.read(txn, "a")
+        engine.commit(txn)
+        return value
+
+    assert run_txn(env, txn_proc()) == 77
+
+
+def test_own_write_read_not_recorded_as_dependency(env, engine):
+    def txn_proc():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 77)
+        yield from engine.read(txn, "a")
+        engine.commit(txn)
+
+    run_txn(env, txn_proc())
+    entry = engine.history.entries[0]
+    assert entry.reads == {}
+    assert entry.writes == {"a": 1}
+
+
+def test_abort_restores_previous_value(env, engine):
+    def txn_proc():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 1)
+        yield from engine.write(txn, "a", 2)
+        yield from engine.write(txn, "b", 3)
+        engine.abort(txn)
+        return txn.status
+
+    status = run_txn(env, txn_proc())
+    assert status is TransactionStatus.ABORTED
+    assert engine.item("a").value == 10
+    assert engine.item("b").value == 20
+    assert engine.item("a").committed_version == 0
+    assert len(engine.history) == 0
+
+
+def test_abort_is_idempotent(env, engine):
+    txn = engine.begin(gid(1))
+    engine.abort(txn)
+    engine.abort(txn)
+    assert txn.status is TransactionStatus.ABORTED
+
+
+def test_abort_after_commit_rejected(env, engine):
+    txn = engine.begin(gid(1))
+    engine.commit(txn)
+    with pytest.raises(TransactionAborted):
+        engine.abort(txn)
+
+
+def test_operation_after_abort_rejected(env, engine):
+    txn = engine.begin(gid(1))
+    engine.abort(txn)
+    with pytest.raises(TransactionAborted):
+        # Drive the generator to trigger the state check.
+        list(engine.read(txn, "a"))
+
+
+def test_commit_releases_locks(env, engine):
+    def writer():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 5)
+        engine.commit(txn)
+
+    def reader():
+        txn = engine.begin(gid(2))
+        value = yield from engine.read(txn, "a")
+        engine.commit(txn)
+        return value
+
+    run_txn(env, writer())
+    assert run_txn(env, reader()) == 5
+
+
+def test_writer_blocks_reader_until_commit(env, engine):
+    log = []
+
+    def writer():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 5)
+        yield env.timeout(10.0)
+        engine.commit(txn)
+        log.append(("writer-commit", env.now))
+
+    def reader():
+        txn = engine.begin(gid(2))
+        value = yield from engine.read(txn, "a")
+        log.append(("reader-got", env.now, value))
+        engine.commit(txn)
+
+    env.process(writer())
+    env.process(reader())
+    env.run()
+    assert log == [("writer-commit", 10.0), ("reader-got", 10.0, 5)]
+
+
+def test_history_records_versions_read_and_written(env, engine):
+    def t1():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 1)
+        engine.commit(txn)
+
+    def t2():
+        txn = engine.begin(gid(2))
+        value = yield from engine.read(txn, "a")
+        yield from engine.write(txn, "b", value + 1)
+        engine.commit(txn)
+
+    run_txn(env, t1())
+    run_txn(env, t2())
+    first, second = engine.history.entries
+    assert first.writes == {"a": 1}
+    assert second.reads == {"a": 1}
+    assert second.writes == {"b": 1}
+    assert first.seq == 0 and second.seq == 1
+
+
+def test_history_commit_order_is_site_local_order(env, engine):
+    def make(seq, item):
+        def proc():
+            txn = engine.begin(gid(seq))
+            yield from engine.write(txn, item, seq)
+            yield env.timeout(seq)  # Commit later for larger seq.
+            engine.commit(txn)
+        return proc
+
+    env.process(make(2, "a")())
+    env.process(make(1, "b")())
+    env.run()
+    assert [entry.gid.seq for entry in engine.history] == [1, 2]
+
+
+def test_lock_timeout_aborts_via_exception(env):
+    engine = StorageEngine(env, site_id=0, lock_timeout=0.05)
+    engine.create_item("a")
+    outcome = []
+
+    def holder():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 1)
+        yield env.timeout(10.0)
+        engine.commit(txn)
+
+    def victim():
+        txn = engine.begin(gid(2))
+        try:
+            yield from engine.read(txn, "a")
+        except LockTimeout:
+            engine.abort(txn)
+            outcome.append(("aborted", env.now))
+
+    env.process(holder())
+    env.process(victim())
+    env.run()
+    assert outcome == [("aborted", 0.05)]
+
+
+def test_prepared_transaction_keeps_locks_then_commits(env, engine):
+    def coordinator():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 42)
+        engine.prepare(txn)
+        assert txn.status is TransactionStatus.PREPARED
+        yield env.timeout(5.0)
+        engine.commit(txn)
+
+    def reader():
+        txn = engine.begin(gid(2))
+        value = yield from engine.read(txn, "a")
+        engine.commit(txn)
+        return (env.now, value)
+
+    env.process(coordinator())
+    reader_proc = env.process(reader())
+    env.run()
+    assert reader_proc.value == (5.0, 42)
+
+
+def test_prepared_transaction_can_abort(env, engine):
+    def coordinator():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 42)
+        engine.prepare(txn)
+        engine.abort(txn)
+
+    run_txn(env, coordinator())
+    assert engine.item("a").value == 10
+
+
+def test_active_transactions_tracking(env, engine):
+    txn = engine.begin(gid(1))
+    assert txn in engine.active_transactions
+    engine.commit(txn)
+    assert txn not in engine.active_transactions
+
+
+def test_wound_interrupts_controlling_process(env, engine):
+    outcome = []
+
+    def victim_proc():
+        txn = engine.begin(gid(1))
+        txn.process = process
+        try:
+            yield from engine.write(txn, "a", 1)
+            yield env.timeout(100.0)
+            engine.commit(txn)
+        except TransactionAborted:
+            engine.abort(txn)
+            outcome.append(("wounded", env.now))
+        except BaseException as exc:  # Interrupt carries the cause.
+            engine.abort(txn)
+            outcome.append((type(exc).__name__, env.now))
+        return txn
+
+    def wounder(env, victim_txn_proc):
+        yield env.timeout(1.0)
+        txn = None
+        for candidate in engine.active_transactions:
+            txn = candidate
+        assert txn is not None
+        txn.wound("test-wound")
+
+    process = env.process(victim_proc())
+    env.process(wounder(env, process))
+    env.run()
+    assert outcome[0][1] == 1.0
+    txn = process.value
+    assert txn.status is TransactionStatus.ABORTED
+    assert engine.item("a").value == 10
+    assert engine.locks.holders("a") == {}
+
+
+def test_wound_finished_transaction_is_noop(env, engine):
+    txn = engine.begin(gid(1))
+    engine.commit(txn)
+    assert txn.wound("late") is False

@@ -1,0 +1,200 @@
+"""Tests for the strict 2PL lock manager."""
+
+import pytest
+
+from repro.errors import LockTimeout
+from repro.sim import Environment
+from repro.storage import LockManager, LockMode, StorageEngine
+from repro.storage.locks import ABORT_WAITER, KEEP_WAITING
+from repro.storage.transaction import Transaction
+from repro.types import GlobalTransactionId, SubtransactionKind
+
+
+def make_txn(site=0, seq=0):
+    return Transaction(GlobalTransactionId(site, seq), site,
+                       SubtransactionKind.PRIMARY, 0.0)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def manager(env):
+    return LockManager(env, timeout=None)
+
+
+def test_shared_locks_are_compatible(manager):
+    t1, t2 = make_txn(0, 1), make_txn(0, 2)
+    assert manager.acquire(t1, "a", LockMode.SHARED).triggered
+    assert manager.acquire(t2, "a", LockMode.SHARED).triggered
+    assert manager.mode_held(t1, "a") is LockMode.SHARED
+    assert manager.mode_held(t2, "a") is LockMode.SHARED
+
+
+def test_exclusive_blocks_shared(manager):
+    writer, reader = make_txn(0, 1), make_txn(0, 2)
+    assert manager.acquire(writer, "a", LockMode.EXCLUSIVE).triggered
+    grant = manager.acquire(reader, "a", LockMode.SHARED)
+    assert not grant.triggered
+    manager.release_all(writer)
+    assert grant.triggered
+
+
+def test_shared_blocks_exclusive(manager):
+    reader, writer = make_txn(0, 1), make_txn(0, 2)
+    assert manager.acquire(reader, "a", LockMode.SHARED).triggered
+    grant = manager.acquire(writer, "a", LockMode.EXCLUSIVE)
+    assert not grant.triggered
+    manager.release_all(reader)
+    assert grant.triggered
+    assert manager.mode_held(writer, "a") is LockMode.EXCLUSIVE
+
+
+def test_reentrant_acquisition_never_blocks(manager):
+    txn = make_txn()
+    assert manager.acquire(txn, "a", LockMode.SHARED).triggered
+    assert manager.acquire(txn, "a", LockMode.SHARED).triggered
+    assert manager.acquire(txn, "a", LockMode.EXCLUSIVE).triggered
+    # Downgrade request while holding X is a no-op grant.
+    assert manager.acquire(txn, "a", LockMode.SHARED).triggered
+    assert manager.mode_held(txn, "a") is LockMode.EXCLUSIVE
+
+
+def test_upgrade_immediate_when_sole_holder(manager):
+    txn = make_txn()
+    manager.acquire(txn, "a", LockMode.SHARED)
+    grant = manager.acquire(txn, "a", LockMode.EXCLUSIVE)
+    assert grant.triggered
+    assert manager.mode_held(txn, "a") is LockMode.EXCLUSIVE
+
+
+def test_upgrade_waits_for_other_readers(manager):
+    t1, t2 = make_txn(0, 1), make_txn(0, 2)
+    manager.acquire(t1, "a", LockMode.SHARED)
+    manager.acquire(t2, "a", LockMode.SHARED)
+    upgrade = manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    assert not upgrade.triggered
+    manager.release_all(t2)
+    assert upgrade.triggered
+    assert manager.mode_held(t1, "a") is LockMode.EXCLUSIVE
+
+
+def test_upgrade_jumps_ahead_of_plain_waiters(manager):
+    t1, t2, t3 = make_txn(0, 1), make_txn(0, 2), make_txn(0, 3)
+    manager.acquire(t1, "a", LockMode.SHARED)
+    manager.acquire(t2, "a", LockMode.SHARED)
+    plain_wait = manager.acquire(t3, "a", LockMode.EXCLUSIVE)
+    upgrade = manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    manager.release_all(t2)
+    assert upgrade.triggered
+    assert not plain_wait.triggered
+    manager.release_all(t1)
+    assert plain_wait.triggered
+
+
+def test_fifo_no_overtaking_of_queued_exclusive(manager):
+    """A late shared request must not starve a queued exclusive one."""
+    t1, t2, t3 = make_txn(0, 1), make_txn(0, 2), make_txn(0, 3)
+    manager.acquire(t1, "a", LockMode.SHARED)
+    x_wait = manager.acquire(t2, "a", LockMode.EXCLUSIVE)
+    s_wait = manager.acquire(t3, "a", LockMode.SHARED)
+    assert not x_wait.triggered and not s_wait.triggered
+    manager.release_all(t1)
+    assert x_wait.triggered
+    assert not s_wait.triggered
+    manager.release_all(t2)
+    assert s_wait.triggered
+
+
+def test_release_all_clears_held_items(manager):
+    txn = make_txn()
+    manager.acquire(txn, "a", LockMode.SHARED)
+    manager.acquire(txn, "b", LockMode.EXCLUSIVE)
+    assert manager.items_held(txn) == {"a", "b"}
+    manager.release_all(txn)
+    assert manager.items_held(txn) == set()
+    assert manager.holders("a") == {}
+
+
+def test_cancel_waits_unblocks_queue(manager):
+    t1, t2, t3 = make_txn(0, 1), make_txn(0, 2), make_txn(0, 3)
+    manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    w2 = manager.acquire(t2, "a", LockMode.EXCLUSIVE)
+    w3 = manager.acquire(t3, "a", LockMode.SHARED)
+    manager.cancel_waits(t2)
+    manager.release_all(t1)
+    assert not w2.triggered
+    assert w3.triggered
+
+
+def test_timeout_fails_request_with_lock_timeout(env):
+    manager = LockManager(env, timeout=0.05)
+    holder, waiter = make_txn(0, 1), make_txn(0, 2)
+    manager.acquire(holder, "a", LockMode.EXCLUSIVE)
+    grant = manager.acquire(waiter, "a", LockMode.SHARED)
+
+    failures = []
+
+    def proc(env, grant):
+        try:
+            yield grant
+        except LockTimeout as exc:
+            failures.append((env.now, exc.item_id))
+
+    env.process(proc(env, grant))
+    env.run(until=1.0)
+    assert failures == [(0.05, "a")]
+    # The failed request must be gone from the queue.
+    assert manager.waiting_requests() == []
+
+
+def test_timeout_policy_keep_waiting_rearms(env):
+    manager = LockManager(env, timeout=0.05)
+    verdicts = []
+
+    def policy(mgr, request):
+        verdicts.append(env.now)
+        return KEEP_WAITING if len(verdicts) < 3 else ABORT_WAITER
+
+    manager.timeout_policy = policy
+    holder, waiter = make_txn(0, 1), make_txn(0, 2)
+    manager.acquire(holder, "a", LockMode.EXCLUSIVE)
+    grant = manager.acquire(waiter, "a", LockMode.SHARED)
+    grant.defuse()
+    env.run(until=1.0)
+    assert verdicts == [pytest.approx(0.05), pytest.approx(0.10),
+                        pytest.approx(0.15)]
+    assert not grant.ok
+
+
+def test_timeout_does_not_fire_after_grant(env):
+    manager = LockManager(env, timeout=0.05)
+    holder, waiter = make_txn(0, 1), make_txn(0, 2)
+    manager.acquire(holder, "a", LockMode.EXCLUSIVE)
+    grant = manager.acquire(waiter, "a", LockMode.SHARED)
+    manager.release_all(holder)
+    assert grant.triggered and grant.ok
+    env.run(until=1.0)  # Timer fires harmlessly.
+    assert manager.stats["timeout_aborts"] == 0
+
+
+def test_per_request_timeout_override(env):
+    manager = LockManager(env, timeout=10.0)
+    holder, waiter = make_txn(0, 1), make_txn(0, 2)
+    manager.acquire(holder, "a", LockMode.EXCLUSIVE)
+    grant = manager.acquire(waiter, "a", LockMode.SHARED, timeout=0.01)
+    grant.defuse()
+    env.run(until=1.0)
+    assert grant.triggered and not grant.ok
+
+
+def test_waiting_requests_listing(manager):
+    t1, t2 = make_txn(0, 1), make_txn(0, 2)
+    manager.acquire(t1, "a", LockMode.EXCLUSIVE)
+    manager.acquire(t2, "a", LockMode.SHARED)
+    requests = manager.waiting_requests()
+    assert len(requests) == 1
+    assert requests[0].txn is t2
+    assert requests[0].mode is LockMode.SHARED

@@ -1,0 +1,179 @@
+"""Tests for write-ahead logging and crash recovery, including a
+property test: recovered state always equals the pre-crash committed
+state."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import TransactionAborted
+from repro.sim import Environment
+from repro.storage import StorageEngine
+from repro.storage.log import (
+    LogRecordKind,
+    WriteAheadLog,
+    recover,
+)
+from repro.types import GlobalTransactionId, SubtransactionKind
+
+
+def gid(seq):
+    return GlobalTransactionId(0, seq)
+
+
+def run_txn(env, generator):
+    process = env.process(generator)
+    env.run()
+    return process.value
+
+
+def build_engine():
+    env = Environment()
+    wal = WriteAheadLog()
+    engine = StorageEngine(env, site_id=0, lock_timeout=None, wal=wal)
+    engine.create_item("a", value=10)
+    engine.create_item("b", value=20)
+    return env, wal, engine
+
+
+def test_wal_records_lifecycle():
+    env, wal, engine = build_engine()
+
+    def txn_proc():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 1)
+        engine.commit(txn)
+
+    run_txn(env, txn_proc())
+    kinds = [record.kind for record in wal]
+    assert kinds == [LogRecordKind.CREATE, LogRecordKind.CREATE,
+                     LogRecordKind.BEGIN, LogRecordKind.WRITE,
+                     LogRecordKind.COMMIT]
+    assert wal.records_of(gid(1))[0].txn_kind is \
+        SubtransactionKind.PRIMARY
+
+
+def test_recovery_restores_committed_state():
+    env, wal, engine = build_engine()
+
+    def workload():
+        txn1 = engine.begin(gid(1))
+        yield from engine.write(txn1, "a", 111)
+        engine.commit(txn1)
+        txn2 = engine.begin(gid(2))
+        yield from engine.write(txn2, "b", 222)
+        engine.abort(txn2)
+        txn3 = engine.begin(gid(3))
+        yield from engine.write(txn3, "a", 333)
+        engine.commit(txn3)
+
+    run_txn(env, workload())
+    engine.crash()
+    recovered = recover(env, 0, wal, lock_timeout=None)
+    assert recovered.item("a").value == 333
+    assert recovered.item("a").committed_version == 2
+    assert recovered.item("a").writer_of(1) == gid(1)
+    assert recovered.item("a").writer_of(2) == gid(3)
+    assert recovered.item("b").value == 20  # The abort never happened.
+    assert recovered.item("b").committed_version == 0
+    assert [entry.gid for entry in recovered.history] == [gid(1), gid(3)]
+
+
+def test_uncommitted_transaction_lost_on_crash():
+    """A transaction with writes but no commit record is discarded —
+    redo-only logging needs no undo at recovery."""
+    env, wal, engine = build_engine()
+
+    def workload():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 999)
+        # Crash strikes before commit.
+
+    run_txn(env, workload())
+    engine.crash()
+    recovered = recover(env, 0, wal, lock_timeout=None)
+    assert recovered.item("a").value == 10
+    assert recovered.item("a").committed_version == 0
+
+
+def test_crashed_engine_refuses_new_transactions():
+    env, wal, engine = build_engine()
+    engine.crash()
+    with pytest.raises(TransactionAborted):
+        engine.begin(gid(1))
+
+
+def test_recovered_engine_keeps_logging():
+    env, wal, engine = build_engine()
+
+    def first():
+        txn = engine.begin(gid(1))
+        yield from engine.write(txn, "a", 1)
+        engine.commit(txn)
+
+    run_txn(env, first())
+    engine.crash()
+    recovered = recover(env, 0, wal, lock_timeout=None)
+
+    def second():
+        txn = recovered.begin(gid(2))
+        yield from recovered.write(txn, "a", 2)
+        recovered.commit(txn)
+
+    run_txn(env, second())
+    # A second crash/recovery round sees both commits.
+    recovered.crash()
+    twice = recover(env, 0, wal, lock_timeout=None)
+    assert twice.item("a").value == 2
+    assert twice.item("a").committed_version == 2
+
+
+def test_engine_without_wal_logs_nothing():
+    env = Environment()
+    engine = StorageEngine(env, site_id=0, lock_timeout=None)
+    engine.create_item("a")
+    assert engine.wal is None  # And no exception anywhere.
+
+
+# ----------------------------------------------------------------------
+# Property: recovery == pre-crash committed state
+# ----------------------------------------------------------------------
+
+action_strategy = st.lists(
+    st.tuples(st.sampled_from(["w_a", "w_b"]), st.integers(0, 99),
+              st.booleans()),
+    max_size=25)
+
+
+@settings(max_examples=80, deadline=None)
+@given(actions=action_strategy, crash_point=st.integers(0, 25))
+def test_property_recovery_equals_committed_state(actions, crash_point):
+    env = Environment()
+    wal = WriteAheadLog()
+    engine = StorageEngine(env, site_id=0, lock_timeout=None, wal=wal)
+    engine.create_item("a", value=0)
+    engine.create_item("b", value=0)
+    committed = {"a": 0, "b": 0}
+    versions = {"a": 0, "b": 0}
+
+    def workload():
+        for index, (action, value, do_commit) in enumerate(actions):
+            if index >= crash_point:
+                return
+            item = "a" if action == "w_a" else "b"
+            txn = engine.begin(gid(index + 1))
+            yield from engine.write(txn, item, value)
+            if do_commit:
+                engine.commit(txn)
+                committed[item] = value
+                versions[item] += 1
+            else:
+                engine.abort(txn)
+
+    env.process(workload())
+    env.run()
+    engine.crash()
+    recovered = recover(env, 0, wal, lock_timeout=None)
+    for item in ("a", "b"):
+        assert recovered.item(item).value == committed[item]
+        assert recovered.item(item).committed_version == versions[item]

@@ -1,0 +1,96 @@
+"""Tests for the public scenario-building API (repro.testing)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SerializabilityViolation
+from repro.testing import ScenarioBuilder, make_spec
+from repro.types import GlobalTransactionId, OpType
+
+
+def test_make_spec():
+    spec = make_spec(1, 7, [("r", "a"), ("w", "b")])
+    assert spec.gid == GlobalTransactionId(1, 7)
+    assert spec.origin == 1
+    assert [op.op_type for op in spec.operations] == [OpType.READ,
+                                                      OpType.WRITE]
+
+
+def test_example_11_scenario_via_builder():
+    scenario = (ScenarioBuilder(n_sites=3, protocol="dag_wt")
+                .item("a", primary=0, replicas=[1, 2])
+                .item("b", primary=1, replicas=[2]))
+    t1 = scenario.transaction(0, at=0.0, ops=[("w", "a")])
+    t2 = scenario.transaction(1, at=0.1, ops=[("r", "a"), ("w", "b")])
+    t3 = scenario.transaction(2, at=0.2, ops=[("r", "a"), ("r", "b")])
+    result = scenario.run(until=2.0)
+    assert result.all_committed
+    graph = result.check()
+    assert t2.gid in graph[t1.gid]
+    assert t3.gid in graph[t2.gid]
+    assert result.outcome_of(t1.gid).committed
+
+
+def test_builder_auto_sequences_per_site():
+    scenario = (ScenarioBuilder(n_sites=2, protocol="dag_wt")
+                .item("a", primary=0, replicas=[1]))
+    first = scenario.transaction(0, at=0.0, ops=[("w", "a")])
+    second = scenario.transaction(0, at=0.1, ops=[("w", "a")])
+    other = scenario.transaction(1, at=0.0, ops=[("r", "a")])
+    assert first.gid.seq == 1 and second.gid.seq == 2
+    assert other.gid.seq == 1
+
+
+def test_builder_rejects_items_after_build():
+    scenario = (ScenarioBuilder(n_sites=2, protocol="dag_wt")
+                .item("a", primary=0))
+    scenario.build()
+    with pytest.raises(ConfigurationError):
+        scenario.item("b", primary=1)
+
+
+def test_outcome_of_unknown_gid_raises():
+    scenario = (ScenarioBuilder(n_sites=2, protocol="dag_wt")
+                .item("a", primary=0))
+    result = scenario.run(until=0.5)
+    with pytest.raises(KeyError):
+        result.outcome_of(GlobalTransactionId(0, 99))
+
+
+def test_check_skips_convergence_for_psl():
+    scenario = (ScenarioBuilder(n_sites=2, protocol="psl")
+                .item("a", primary=0, replicas=[1]))
+    scenario.transaction(0, at=0.0, ops=[("w", "a")])
+    result = scenario.run(until=1.0)
+    assert result.all_committed
+    result.check()  # Must not fail on the (by-design) stale replica.
+
+
+def test_check_flags_planted_anomaly():
+    """Drive the indiscriminate baseline into Example 1.1 through the
+    builder and catch the violation via result.check()."""
+    scenario = (ScenarioBuilder(n_sites=3, protocol="indiscriminate",
+                                latency=0.001)
+                .item("a", primary=0, replicas=[1, 2])
+                .item("b", primary=1, replicas=[2]))
+    env, system, _protocol = scenario.build()
+    system.network._channel(0, 2)._latency = 0.5  # Delay s0 -> s2 only.
+    scenario.transaction(0, at=0.00, ops=[("w", "a")])
+    scenario.transaction(1, at=0.05, ops=[("r", "a"), ("w", "b")])
+    scenario.transaction(2, at=0.10, ops=[("r", "a"), ("r", "b")])
+    result = scenario.run(until=2.0)
+    assert result.all_committed
+    with pytest.raises(SerializabilityViolation):
+        result.check(convergence=False)
+
+
+def test_run_can_be_called_repeatedly_with_new_transactions():
+    scenario = (ScenarioBuilder(n_sites=2, protocol="dag_wt")
+                .item("a", primary=0, replicas=[1]))
+    scenario.transaction(0, at=0.0, ops=[("w", "a")])
+    first = scenario.run(until=1.0)
+    assert first.all_committed
+    scenario.transaction(0, at=0.0, ops=[("w", "a")])
+    second = scenario.run(until=scenario.build()[0].now + 1.0)
+    assert second.all_committed
+    assert scenario.build()[1].site_of(1).engine.item("a") \
+        .committed_version == 2

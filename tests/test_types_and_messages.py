@@ -1,0 +1,68 @@
+"""Tests for the shared value types and message plumbing."""
+
+import pytest
+
+from repro.network.message import Message, MessageType
+from repro.types import (
+    GlobalTransactionId,
+    Operation,
+    OpType,
+    SubtransactionKind,
+    TransactionSpec,
+)
+
+
+def test_gid_ordering_and_rendering():
+    first = GlobalTransactionId(0, 1)
+    second = GlobalTransactionId(0, 2)
+    other_site = GlobalTransactionId(1, 1)
+    assert first < second < other_site
+    assert str(first) == "T0.1"
+    assert first == GlobalTransactionId(0, 1)
+    assert len({first, GlobalTransactionId(0, 1)}) == 1
+
+
+def test_operation_predicates():
+    read = Operation(OpType.READ, "x")
+    write = Operation(OpType.WRITE, "x")
+    assert read.is_read and not read.is_write
+    assert write.is_write and not write.is_read
+
+
+def test_transaction_spec_helpers():
+    spec = TransactionSpec(
+        GlobalTransactionId(2, 7), 2,
+        (Operation(OpType.READ, "a"), Operation(OpType.WRITE, "b"),
+         Operation(OpType.READ, "c"), Operation(OpType.WRITE, "b")))
+    assert spec.read_items == ("a", "c")
+    assert spec.write_items == ("b", "b")
+    assert not spec.is_read_only
+    read_only = TransactionSpec(
+        GlobalTransactionId(0, 1), 0,
+        (Operation(OpType.READ, "a"),))
+    assert read_only.is_read_only
+
+
+def test_subtransaction_kinds_cover_paper_roles():
+    values = {kind.value for kind in SubtransactionKind}
+    assert values == {"primary", "secondary", "backedge", "special",
+                      "dummy"}
+
+
+def test_message_ids_are_unique_and_repr_readable():
+    first = Message(MessageType.SECONDARY, 0, 1, {})
+    second = Message(MessageType.SECONDARY, 0, 1, {})
+    assert first.msg_id != second.msg_id
+    assert "secondary" in repr(first)
+    assert "s0->s1" in repr(first)
+
+
+def test_message_type_values_are_distinct():
+    values = [msg_type.value for msg_type in MessageType]
+    assert len(values) == len(set(values))
+
+
+def test_spec_is_immutable():
+    spec = TransactionSpec(GlobalTransactionId(0, 1), 0, ())
+    with pytest.raises(AttributeError):
+        spec.origin = 5

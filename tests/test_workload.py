@@ -1,0 +1,271 @@
+"""Tests for Table 1 parameters, the Sec. 5.2 data distribution, and the
+transaction generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.graph.copygraph import CopyGraph
+from repro.types import OpType
+from repro.workload.distribution import (
+    generate_placement,
+    placement_statistics,
+)
+from repro.workload.generator import TransactionGenerator
+from repro.workload.params import (
+    DEFAULT_PARAMS,
+    WorkloadParams,
+    format_parameter_table,
+)
+
+
+def test_default_params_match_table_1():
+    params = DEFAULT_PARAMS
+    assert params.n_sites == 9
+    assert params.n_items == 200
+    assert params.replication_probability == 0.2
+    assert params.site_probability == 0.5
+    assert params.backedge_probability == 0.2
+    assert params.ops_per_transaction == 10
+    assert params.threads_per_site == 3
+    assert params.transactions_per_thread == 1000
+    assert params.read_op_probability == 0.7
+    assert params.read_txn_probability == 0.5
+    assert params.network_latency == pytest.approx(0.00015)
+    assert params.deadlock_timeout == pytest.approx(0.050)
+
+
+def test_validation_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        WorkloadParams(replication_probability=1.5).validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadParams(n_sites=0).validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadParams(n_items=3, n_sites=9).validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadParams(deadlock_timeout=0).validate()
+
+
+def test_replaced_returns_validated_copy():
+    params = DEFAULT_PARAMS.replaced(backedge_probability=0.9)
+    assert params.backedge_probability == 0.9
+    assert DEFAULT_PARAMS.backedge_probability == 0.2
+    with pytest.raises(ConfigurationError):
+        DEFAULT_PARAMS.replaced(backedge_probability=2.0)
+
+
+def test_parameter_table_rendering():
+    table = format_parameter_table()
+    assert "Backedge Probability" in table
+    assert "0.15 millisec" in table
+    assert "3 - 15" in table
+
+
+def test_primaries_assigned_round_robin():
+    placement = generate_placement(DEFAULT_PARAMS, random.Random(1))
+    for site in range(9):
+        count = len(placement.primary_items_at(site))
+        assert count in (22, 23)  # ~200/9 each
+
+
+def test_no_replication_when_r_zero():
+    params = DEFAULT_PARAMS.replaced(replication_probability=0.0)
+    placement = generate_placement(params, random.Random(1))
+    assert placement.replica_count() == 0
+
+
+def test_backedge_zero_yields_dag_copy_graph():
+    params = DEFAULT_PARAMS.replaced(backedge_probability=0.0)
+    placement = generate_placement(params, random.Random(2))
+    graph = CopyGraph.from_placement(placement)
+    assert graph.is_dag()
+    # All edges point forward in the site order.
+    assert all(src < dst for src, dst in graph.edges)
+
+
+def test_full_replication_statistics_match_paper_claim():
+    """Sec. 5.3.2: 'at r=1, there are almost 500 replicas in the system'
+    with the default b=0.2, s=0.5, m=9, n=200."""
+    params = DEFAULT_PARAMS.replaced(replication_probability=1.0)
+    totals = []
+    for seed in range(5):
+        placement = generate_placement(params, random.Random(seed))
+        totals.append(placement.replica_count())
+    mean = sum(totals) / len(totals)
+    assert 400 <= mean <= 560
+
+
+def test_backedge_probability_one_creates_backedges():
+    params = DEFAULT_PARAMS.replaced(backedge_probability=1.0)
+    placement = generate_placement(params, random.Random(3))
+    stats = placement_statistics(placement)
+    assert stats["backedge_replica_pairs"] > 0
+
+
+def test_placement_is_deterministic_per_seed():
+    first = generate_placement(DEFAULT_PARAMS, random.Random(7))
+    second = generate_placement(DEFAULT_PARAMS, random.Random(7))
+    for item in first.items:
+        assert first.primary_site(item) == second.primary_site(item)
+        assert first.replica_sites(item) == second.replica_sites(item)
+
+
+# ----------------------------------------------------------------------
+# Transaction generation
+# ----------------------------------------------------------------------
+
+
+def small_generator(read_txn=0.5, read_op=0.7, seed=1):
+    params = WorkloadParams(n_sites=3, n_items=30,
+                            transactions_per_thread=20,
+                            read_txn_probability=read_txn,
+                            read_op_probability=read_op)
+    placement = generate_placement(params, random.Random(seed))
+    return params, placement, TransactionGenerator(
+        params, placement, random.Random(seed))
+
+
+def test_transactions_have_requested_length():
+    _params, _placement, generator = small_generator()
+    rng = random.Random(0)
+    for _ in range(20):
+        txn = generator.make_transaction(0, rng)
+        assert len(txn.operations) == 10
+
+
+def test_writes_only_target_local_primaries():
+    _params, placement, generator = small_generator(read_txn=0.0,
+                                                    read_op=0.3)
+    rng = random.Random(0)
+    for site in range(3):
+        for _ in range(20):
+            txn = generator.make_transaction(site, rng)
+            for item in txn.write_items:
+                assert placement.primary_site(item) == site
+
+
+def test_reads_only_target_items_present_at_site():
+    _params, placement, generator = small_generator()
+    rng = random.Random(0)
+    for site in range(3):
+        local_items = placement.items_at(site)
+        for _ in range(20):
+            txn = generator.make_transaction(site, rng)
+            for item in txn.read_items:
+                assert item in local_items
+
+
+def test_read_txn_probability_one_gives_only_reads():
+    _params, _placement, generator = small_generator(read_txn=1.0)
+    rng = random.Random(0)
+    for _ in range(30):
+        txn = generator.make_transaction(1, rng)
+        assert txn.is_read_only
+
+
+def test_read_op_probability_zero_gives_only_writes():
+    _params, _placement, generator = small_generator(read_txn=0.0,
+                                                     read_op=0.0)
+    rng = random.Random(0)
+    for _ in range(30):
+        txn = generator.make_transaction(1, rng)
+        assert len(txn.write_items) == 10
+
+
+def test_gids_unique_across_threads_of_a_site():
+    _params, _placement, generator = small_generator()
+    gids = [txn.gid for txn in generator.thread_stream(0, 0)]
+    gids += [txn.gid for txn in generator.thread_stream(0, 1)]
+    assert len(set(gids)) == len(gids)
+
+
+def test_thread_streams_are_finite():
+    params, _placement, generator = small_generator()
+    stream = list(generator.thread_stream(2, 0))
+    assert len(stream) == params.transactions_per_thread
+
+
+@settings(max_examples=30, deadline=None)
+@given(read_txn=st.floats(0, 1), read_op=st.floats(0, 1),
+       seed=st.integers(0, 100))
+def test_property_generated_transactions_respect_model(read_txn, read_op,
+                                                       seed):
+    """Model invariant (Sec. 1.1): every generated transaction reads only
+    items at its site and writes only local primaries."""
+    params = WorkloadParams(n_sites=3, n_items=30,
+                            transactions_per_thread=5,
+                            read_txn_probability=read_txn,
+                            read_op_probability=read_op)
+    placement = generate_placement(params, random.Random(seed))
+    generator = TransactionGenerator(params, placement,
+                                     random.Random(seed))
+    rng = random.Random(seed)
+    for site in range(3):
+        txn = generator.make_transaction(site, rng)
+        assert len(txn.operations) == 10
+        local = placement.items_at(site)
+        primaries = placement.primary_items_at(site)
+        for op in txn.operations:
+            if op.op_type is OpType.READ:
+                assert op.item in local
+            else:
+                assert op.item in primaries
+
+
+# ----------------------------------------------------------------------
+# Hot-spot skew extension
+# ----------------------------------------------------------------------
+
+
+def test_hotspot_zero_skew_is_uniform_paper_workload():
+    params = WorkloadParams()
+    assert params.hotspot_access_probability == 0.0
+
+
+def test_hotspot_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadParams(hotspot_access_probability=1.5).validate()
+    with pytest.raises(ConfigurationError):
+        WorkloadParams(hotspot_item_fraction=-0.1).validate()
+
+
+def test_hotspot_skew_concentrates_accesses():
+    """With 90% skew toward a 10% hot set, the hot items dominate the
+    generated access stream."""
+    params = WorkloadParams(
+        n_sites=2, n_items=100, transactions_per_thread=5,
+        read_txn_probability=1.0, hotspot_access_probability=0.9,
+        hotspot_item_fraction=0.1)
+    placement = generate_placement(params, random.Random(4))
+    generator = TransactionGenerator(params, placement, random.Random(4))
+    pool = sorted(placement.items_at(0))
+    hot = set(pool[:max(1, len(pool) // 10)])
+    rng = random.Random(9)
+    hot_hits = total = 0
+    for _ in range(200):
+        txn = generator.make_transaction(0, rng)
+        for item in txn.read_items:
+            total += 1
+            hot_hits += item in hot
+    # The hot set holds ~10% of items but receives far more traffic.
+    assert hot_hits / total > 0.4
+
+
+def test_hotspot_items_still_respect_placement_rules():
+    params = WorkloadParams(
+        n_sites=3, n_items=30, transactions_per_thread=5,
+        read_txn_probability=0.0, read_op_probability=0.5,
+        hotspot_access_probability=0.9)
+    placement = generate_placement(params, random.Random(5))
+    generator = TransactionGenerator(params, placement, random.Random(5))
+    rng = random.Random(5)
+    for site in range(3):
+        for _ in range(20):
+            txn = generator.make_transaction(site, rng)
+            for item in txn.write_items:
+                assert placement.primary_site(item) == site
+            for item in txn.read_items:
+                assert item in placement.items_at(site)

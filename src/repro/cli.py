@@ -13,6 +13,12 @@ Commands
 ``figure``
     Regenerate a named artifact of the paper's evaluation (``table1``,
     ``fig2a``, ``fig2b``, ``fig3a``, ``fig3b``).
+``explore``
+    Adversarial schedule exploration: run generated scenarios under
+    perturbed schedules, check the oracle suite, shrink the first
+    failure to a minimal replayable trace.
+``replay``
+    Re-run a saved trace deterministically and verify it reproduces.
 
 Examples::
 
@@ -20,6 +26,8 @@ Examples::
     python -m repro sweep --parameter backedge_probability \\
         --values 0,0.5,1 --protocols backedge,psl
     python -m repro figure fig2a --txns 60
+    python -m repro explore --protocol indiscriminate --budget 200
+    python -m repro replay explorer-trace.json
 """
 
 from __future__ import annotations
@@ -131,6 +139,36 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--seed", type=int, default=42)
     _add_param_flags(figure_parser)
 
+    explore_parser = subparsers.add_parser(
+        "explore", help="adversarial schedule exploration")
+    explore_parser.add_argument("--protocol", default="dag_wt",
+                                help="protocol name (see 'protocols')")
+    explore_parser.add_argument("--budget", type=int, default=100,
+                                help="number of perturbed schedules")
+    explore_parser.add_argument("--seed", type=int, default=0)
+    explore_parser.add_argument("--sites", default="2-6", metavar="A-B",
+                                help="scenario size range (default 2-6)")
+    explore_parser.add_argument("--latency-scale", type=float,
+                                default=300.0,
+                                help="max extra message delay as a "
+                                     "multiple of the base latency")
+    explore_parser.add_argument("--no-schedule-noise",
+                                action="store_true",
+                                help="disable same-time event "
+                                     "reordering")
+    explore_parser.add_argument("--no-shrink", action="store_true",
+                                help="skip shrinking the first failure")
+    explore_parser.add_argument("--out", metavar="PATH",
+                                default="explorer-trace.json",
+                                help="where to write the failure trace")
+    explore_parser.add_argument("--expect-clean", action="store_true",
+                                help="exit non-zero if any oracle "
+                                     "failure is found (CI mode)")
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="re-run a saved explorer trace")
+    replay_parser.add_argument("trace", help="trace JSON path")
+
     return parser
 
 
@@ -235,6 +273,57 @@ def _cmd_figure(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.explorer import ExplorationConfig, explore
+
+    try:
+        low, _, high = args.sites.partition("-")
+        min_sites, max_sites = int(low), int(high or low)
+    except ValueError:
+        out.write("invalid --sites {!r} (expected A-B)\n".format(
+            args.sites))
+        return 2
+    config = ExplorationConfig(
+        protocol=args.protocol, budget=args.budget, seed=args.seed,
+        min_sites=min_sites, max_sites=max_sites,
+        latency_scale=args.latency_scale,
+        schedule_noise=not args.no_schedule_noise,
+        shrink=not args.no_shrink)
+    report = explore(config,
+                     progress=lambda msg: out.write(msg + "\n"))
+    out.write(report.summary() + "\n")
+    if report.trace is not None:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.trace, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("wrote trace: {}\n".format(args.out))
+        out.write("replay with: python -m repro replay {}\n".format(
+            args.out))
+    if args.expect_clean and not report.clean:
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.explorer.trace import replay_trace, reproduces
+
+    outcome, document = replay_trace(args.trace)
+    out.write("replayed {}: {} transaction(s), {} event(s), "
+              "{} oracle failure(s)\n".format(
+                  args.trace, len(outcome.outcomes),
+                  outcome.events_processed, len(outcome.failures)))
+    for failure in outcome.failures:
+        out.write("  [{}] {}\n".format(failure.oracle, failure.detail))
+    if reproduces(outcome, document):
+        out.write("trace reproduced exactly (outcomes and failures "
+                  "match the recording)\n")
+        return 0
+    out.write("REPLAY DIVERGED from the recorded trace\n")
+    return 1
+
+
 def main(argv: typing.Optional[typing.Sequence[str]] = None,
          out: typing.TextIO = sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
@@ -248,6 +337,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "figure": _cmd_figure,
+        "explore": _cmd_explore,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args, out)
 

@@ -236,6 +236,9 @@ class DagTProtocol(ReplicationProtocol):
             if message.msg_type is MessageType.DUMMY:
                 # Just push the site timestamp/epoch forward (Sec. 3.3).
                 self.clocks[site_id].on_secondary_commit(timestamp)
+                self.system.notify("timestamp_adopted", site=site_id,
+                                   ts=timestamp, gid=None,
+                                   time=self.env.now)
                 continue
             yield from self._apply_secondary(site, message, timestamp)
 
@@ -251,6 +254,8 @@ class DagTProtocol(ReplicationProtocol):
         # Commit and adopt the timestamp atomically (Sec. 3.2.3).
         site.engine.commit(txn)
         self.clocks[site.site_id].on_secondary_commit(timestamp)
+        self.system.notify("timestamp_adopted", site=site.site_id,
+                           ts=timestamp, gid=gid, time=self.env.now)
         self.system.notify("replica_commit", gid=gid, site=site.site_id,
                            time=self.env.now)
 

@@ -1,0 +1,59 @@
+"""Adversarial schedule-space exploration.
+
+The paper's theorems quantify over *all* interleavings, but a single
+deterministic simulation run exercises exactly one.  This package
+perturbs executions through three controlled, replayable knobs:
+
+1. a seeded :class:`~repro.sim.environment.SchedulePolicy` that reorders
+   same-time, same-priority simulation events;
+2. a delivery-perturbation hook on the network channels that jitters
+   per-message latency (the FIFO clamp keeps per-channel order legal);
+3. crash/latency-stall fault injection at commit boundaries
+   (:mod:`repro.explorer.faults`).
+
+The :func:`explore` driver generates small scenarios, runs them under
+perturbed schedules across any registered protocol, checks a pluggable
+oracle suite (DSG acyclicity, replica convergence, channel FIFO order,
+DAG(T) timestamp monotonicity) and, on failure, *shrinks* the schedule
+with delta debugging — first over transactions, then over perturbation
+decisions — into a minimal reproducer saved as a replayable JSON trace.
+"""
+
+from repro.explorer.decisions import PerturbationPlan
+from repro.explorer.explorer import (
+    ExplorationConfig,
+    ExplorationReport,
+    explore,
+)
+from repro.explorer.faults import CrashFault, FaultInjector, StallFault
+from repro.explorer.generator import (
+    ScenarioSpec,
+    build_scenario,
+    generate_scenario,
+)
+from repro.explorer.oracles import OracleFailure, default_oracles
+from repro.explorer.runner import ScheduleOutcome, run_schedule
+from repro.explorer.shrink import ddmin, shrink_failure
+from repro.explorer.trace import load_trace, replay_trace, save_trace
+
+__all__ = [
+    "CrashFault",
+    "ExplorationConfig",
+    "ExplorationReport",
+    "FaultInjector",
+    "OracleFailure",
+    "PerturbationPlan",
+    "ScenarioSpec",
+    "ScheduleOutcome",
+    "StallFault",
+    "build_scenario",
+    "ddmin",
+    "default_oracles",
+    "explore",
+    "generate_scenario",
+    "load_trace",
+    "replay_trace",
+    "run_schedule",
+    "save_trace",
+    "shrink_failure",
+]

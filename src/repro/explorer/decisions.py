@@ -1,0 +1,135 @@
+"""Addressable perturbation decisions.
+
+Every perturbation the explorer applies is a pure function of a seed and
+a stable *decision key* — never of wall-clock state or call order.  That
+buys two properties the whole subsystem rests on:
+
+- **Replayability.**  Re-running a scenario with the same plan applies
+  byte-identical perturbations, so a saved trace reproduces exactly.
+- **Shrinkability.**  A decision can be *disabled* (reverting it to the
+  unperturbed default) independently of every other decision, so delta
+  debugging can search for the minimal set of perturbations that still
+  triggers a failure.
+
+Decision keys are bucketed (``sched:<bucket>`` for event tie-breaks,
+``net:<src>:<dst>:<bucket>`` for message delays) to keep the key space
+small enough for cheap delta debugging while retaining enough resolution
+to isolate, say, "the s0->s2 channel was slow" — which is the shape of
+most real reorderings (cf. the paper's Example 1.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+
+from repro.sim.environment import SchedulePolicy
+
+#: Number of tie-break buckets for schedule decisions (prime, so bucket
+#: membership is not correlated with common event-id strides).
+SCHED_BUCKETS = 31
+#: Per-channel buckets for message-delay decisions.
+NET_BUCKETS = 4
+
+
+def stable_u64(seed: int, *key) -> int:
+    """A 64-bit hash of ``(seed, *key)`` stable across runs/processes."""
+    digest = hashlib.sha256(
+        repr((seed,) + key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class _PlanPolicy(SchedulePolicy):
+    """Schedule tie-breaks drawn from a :class:`PerturbationPlan`."""
+
+    def __init__(self, plan: "PerturbationPlan"):
+        self.plan = plan
+
+    def tie_break(self, time: float, priority: int, eid: int) -> int:
+        plan = self.plan
+        key = "sched:{}".format(eid % SCHED_BUCKETS)
+        plan.queried.add(key)
+        if key in plan.disabled:
+            return 0
+        # Vary per event within the bucket; disabling the bucket restores
+        # insertion order for all of its events at once.
+        return stable_u64(plan.seed, key, eid) & 0xFFFF
+
+
+@dataclasses.dataclass
+class PerturbationPlan:
+    """One replayable point in perturbation space.
+
+    Parameters
+    ----------
+    seed:
+        Drives every decision hash.
+    latency_scale:
+        Maximum extra per-message delay, as a multiple of the scenario's
+        base network latency (0 disables delivery perturbation).
+    schedule_noise:
+        Enable same-time event reordering.
+    disabled:
+        Decision keys reverted to their unperturbed default — grown by
+        the shrinker, empty for a fresh exploration run.
+    """
+
+    seed: int = 0
+    latency_scale: float = 0.0
+    schedule_noise: bool = True
+    disabled: typing.Set[str] = dataclasses.field(default_factory=set)
+
+    def __post_init__(self):
+        self.disabled = set(self.disabled)
+        #: Decision keys actually consulted during the last run — the
+        #: shrinker's search space.
+        self.queried: typing.Set[str] = set()
+
+    # -- knob factories -------------------------------------------------
+
+    def schedule_policy(self) -> typing.Optional[SchedulePolicy]:
+        """The seeded tie-break policy (None when noise is off)."""
+        if not self.schedule_noise:
+            return None
+        return _PlanPolicy(self)
+
+    def latency_perturb(self, base_latency: float
+                        ) -> typing.Optional[typing.Callable]:
+        """Per-message extra-delay hook for
+        :meth:`repro.network.network.Network.set_perturbation`."""
+        if self.latency_scale <= 0:
+            return None
+
+        def perturb(src: int, dst: int, seq: int) -> float:
+            key = "net:{}:{}:{}".format(src, dst, seq % NET_BUCKETS)
+            self.queried.add(key)
+            if key in self.disabled:
+                return 0.0
+            fraction = stable_u64(self.seed, key) / 2.0 ** 64
+            return base_latency * self.latency_scale * fraction
+
+        return perturb
+
+    # -- (de)serialisation ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "latency_scale": self.latency_scale,
+            "schedule_noise": self.schedule_noise,
+            "disabled": sorted(self.disabled),
+        }
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping) -> "PerturbationPlan":
+        return cls(seed=int(data["seed"]),
+                   latency_scale=float(data.get("latency_scale", 0.0)),
+                   schedule_noise=bool(data.get("schedule_noise", True)),
+                   disabled=set(data.get("disabled", ())))
+
+    def replaced(self, **changes) -> "PerturbationPlan":
+        """A copy with ``changes`` applied (shrinker helper)."""
+        base = self.to_dict()
+        base.update({key: value for key, value in changes.items()})
+        return PerturbationPlan.from_dict(base)

@@ -1,0 +1,109 @@
+"""Fault injection at commit boundaries.
+
+The system emits a ``primary_commit`` notification at every primary's
+commit point and ``replica_commit`` at every propagated apply — exactly
+the commit/forward boundaries where real replication systems get hurt.
+:class:`FaultInjector` is an observer that counts those boundaries and
+arms faults when their trigger index is reached:
+
+- :class:`StallFault` — from the k-th commit on, one directed channel's
+  latency jumps (a protocol-*legal* perturbation: the FIFO clamp still
+  holds, so this models a congested or flapping link, the paper's
+  Example 1.1 shape).
+- :class:`CrashFault` — at the k-th commit a site fail-stops: its
+  volatile state is wiped and rebuilt from the write-ahead log
+  (:func:`repro.storage.log.recover`).  The paper's protocols assume
+  live sites, so crash faults are for exercising the storage/recovery
+  seam (a crashed site must rejoin with exactly its durable state and
+  catch up through normal propagation), not for the default oracle
+  exploration loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.base import ReplicatedSystem
+from repro.storage.log import LogRecordKind, WriteAheadLog, recover
+
+
+@dataclasses.dataclass(frozen=True)
+class StallFault:
+    """Slow the ``src -> dst`` channel after ``after_commits`` primary
+    commits have happened system-wide."""
+
+    src: int
+    dst: int
+    after_commits: int
+    #: New constant one-way latency for the channel (seconds).
+    latency: float = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop ``site`` after ``after_commits`` primary commits and
+    recover it from its write-ahead log in the same simulation step."""
+
+    site: int
+    after_commits: int
+
+
+class FaultInjector:
+    """Observer that arms faults at commit boundaries.
+
+    Registering the injector attaches a :class:`WriteAheadLog` to every
+    site engine (replaying schema CREATEs) so crash faults always have a
+    log to recover from.
+    """
+
+    def __init__(self, system: ReplicatedSystem,
+                 faults: typing.Sequence):
+        self.system = system
+        self.env = system.env
+        self._pending = sorted(faults,
+                               key=lambda fault: fault.after_commits)
+        self._commits = 0
+        self.fired: typing.List = []
+        self.wals: typing.Dict[int, WriteAheadLog] = {}
+        if any(isinstance(fault, CrashFault) for fault in self._pending):
+            for site in system.sites:
+                wal = WriteAheadLog()
+                for item_id in sorted(site.engine.item_ids(),
+                                      key=repr):
+                    wal.append(LogRecordKind.CREATE, item=item_id,
+                               value=site.engine.item(item_id).value,
+                               time=self.env.now)
+                site.engine.attach_wal(wal)
+                self.wals[site.site_id] = wal
+        system.observers.append(self)
+
+    # -- observer hook --------------------------------------------------
+
+    def on_primary_commit(self, gid, site, time, **_details) -> None:
+        self._commits += 1
+        while self._pending and \
+                self._pending[0].after_commits <= self._commits:
+            self._fire(self._pending.pop(0))
+
+    # -- fault application ----------------------------------------------
+
+    def _fire(self, fault) -> None:
+        if isinstance(fault, StallFault):
+            channel = self.system.network._channel(fault.src, fault.dst)
+            channel._latency = fault.latency
+        elif isinstance(fault, CrashFault):
+            self._crash_and_recover(fault.site)
+        else:
+            raise TypeError("unknown fault {!r}".format(fault))
+        self.fired.append((self.env.now, fault))
+
+    def _crash_and_recover(self, site_id: int) -> None:
+        site = self.system.site_of(site_id)
+        wal = self.wals[site_id]
+        site.engine.crash()
+        site.engine = recover(self.env, site_id, wal,
+                              lock_timeout=self.system.config.lock_timeout)
+        protocol = self.system.protocol
+        if hasattr(protocol, "install_lazy_timeout_policy"):
+            protocol.install_lazy_timeout_policy(site.engine.locks)

@@ -1,0 +1,171 @@
+"""Seeded generation of small protocol scenarios.
+
+Scenarios are deliberately tiny (2-6 sites, a handful of items and
+transactions): schedule-space bugs reproduce at small scale, and small
+scenarios make both exploration and shrinking cheap.  The generator is
+biased toward the shapes that historically break lazy replication —
+replicated items with distinct primaries, reader transactions at shared
+replica sites, writes racing propagation (the paper's Example 1.1 is
+exactly such a scenario) — while staying inside the paper's model: a
+transaction updates only items whose primary copy is local, and replicas
+are placed only *downstream* of the primary in site order so the copy
+graph stays a DAG and every registered protocol can run the scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.explorer.decisions import stable_u64
+from repro.testing import ScenarioBuilder
+
+#: Base one-way latency of generated scenarios (seconds).  Perturbation
+#: scales are expressed as multiples of this.
+BASE_LATENCY = 0.001
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """A JSON-serialisable description of one scenario."""
+
+    protocol: str
+    n_sites: int
+    #: ``(item, primary, (replica, ...))`` triples.
+    items: typing.Tuple[typing.Tuple[int, int, typing.Tuple[int, ...]],
+                        ...]
+    #: ``(site, seq, at, (("r"/"w", item), ...))`` tuples.
+    transactions: typing.Tuple[
+        typing.Tuple[int, int, float,
+                     typing.Tuple[typing.Tuple[str, int], ...]], ...]
+    latency: float = BASE_LATENCY
+    lock_timeout: float = 0.050
+    until: float = 5.0
+    drain: float = 1.0
+
+    def subset(self, keep: typing.Iterable[int]) -> "ScenarioSpec":
+        """A copy retaining only the transactions at indices ``keep``."""
+        keep_set = set(keep)
+        return dataclasses.replace(
+            self,
+            transactions=tuple(txn for index, txn
+                               in enumerate(self.transactions)
+                               if index in keep_set))
+
+    def with_protocol(self, protocol: str) -> "ScenarioSpec":
+        return dataclasses.replace(self, protocol=protocol)
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "n_sites": self.n_sites,
+            "items": [[item, primary, list(replicas)]
+                      for item, primary, replicas in self.items],
+            "transactions": [[site, seq, at,
+                              [[kind, item] for kind, item in ops]]
+                             for site, seq, at, ops in self.transactions],
+            "latency": self.latency,
+            "lock_timeout": self.lock_timeout,
+            "until": self.until,
+            "drain": self.drain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping) -> "ScenarioSpec":
+        return cls(
+            protocol=data["protocol"],
+            n_sites=int(data["n_sites"]),
+            items=tuple((item, primary, tuple(replicas))
+                        for item, primary, replicas in data["items"]),
+            transactions=tuple(
+                (site, seq, float(at),
+                 tuple((kind, item) for kind, item in ops))
+                for site, seq, at, ops in data["transactions"]),
+            latency=float(data.get("latency", BASE_LATENCY)),
+            lock_timeout=float(data.get("lock_timeout", 0.050)),
+            until=float(data.get("until", 5.0)),
+            drain=float(data.get("drain", 1.0)),
+        )
+
+
+def build_scenario(spec: ScenarioSpec,
+                   schedule_policy=None) -> ScenarioBuilder:
+    """Materialise ``spec`` as a ready-to-run :class:`ScenarioBuilder`."""
+    builder = ScenarioBuilder(
+        n_sites=spec.n_sites, protocol=spec.protocol,
+        lock_timeout=spec.lock_timeout, latency=spec.latency,
+        schedule_policy=schedule_policy)
+    for item, primary, replicas in spec.items:
+        builder.item(item, primary=primary, replicas=replicas)
+    for site, seq, at, ops in spec.transactions:
+        builder.transaction(site, at=at, ops=list(ops), seq=seq)
+    return builder
+
+
+def generate_scenario(seed: int, protocol: str,
+                      min_sites: int = 2, max_sites: int = 6
+                      ) -> ScenarioSpec:
+    """Generate one seeded scenario for ``protocol``."""
+    rng = random.Random(stable_u64(seed, "scenario"))
+    n_sites = rng.randint(min_sites, max_sites)
+
+    # -- placement: chained primaries, replicas strictly downstream -----
+    n_items = rng.randint(2, min(4, max(2, n_sites)))
+    items: typing.List[typing.Tuple[int, int, typing.Tuple[int, ...]]] = []
+    for item in range(n_items):
+        primary = rng.randrange(max(1, n_sites - 1))
+        downstream = list(range(primary + 1, n_sites))
+        if not downstream:
+            items.append((item, primary, ()))
+            continue
+        # Bias replicas toward the tail sites so several items share a
+        # replica holder — the precondition for cross-item anomalies.
+        n_replicas = rng.randint(1, len(downstream))
+        replicas = sorted(rng.sample(downstream, n_replicas))
+        if n_sites - 1 not in replicas and rng.random() < 0.7:
+            replicas = sorted(set(replicas) | {n_sites - 1})
+        items.append((item, primary, tuple(replicas)))
+
+    readable = {site: [item for item, primary, replicas in items
+                       if site == primary or site in replicas]
+                for site in range(n_sites)}
+    writable = {site: [item for item, primary, _replicas in items
+                       if site == primary]
+                for site in range(n_sites)}
+
+    # -- workload: writers at primaries, readers at replica holders -----
+    n_txns = rng.randint(3, 8)
+    window = rng.uniform(0.1, 0.4)
+    sequences: typing.Dict[int, int] = {}
+    transactions: typing.List[tuple] = []
+    for _ in range(n_txns):
+        reader_sites = [site for site in range(n_sites)
+                        if len(readable[site]) >= 2]
+        if reader_sites and rng.random() < 0.45:
+            # A multi-item reader: the observer that witnesses
+            # inconsistent propagation orders.
+            site = rng.choice(reader_sites)
+            pool = readable[site]
+            count = rng.randint(2, min(3, len(pool)))
+            ops = tuple(("r", item)
+                        for item in rng.sample(pool, count))
+        else:
+            writer_sites = [site for site in range(n_sites)
+                            if writable[site]]
+            site = rng.choice(writer_sites)
+            ops_list: typing.List[typing.Tuple[str, int]] = [
+                ("w", rng.choice(writable[site]))]
+            if len(readable[site]) >= 1 and rng.random() < 0.6:
+                read_item = rng.choice(readable[site])
+                ops_list.insert(0, ("r", read_item))
+            ops = tuple(ops_list)
+        seq = sequences.get(site, 0) + 1
+        sequences[site] = seq
+        at = round(rng.uniform(0.0, window), 4)
+        transactions.append((site, seq, at, ops))
+    transactions.sort(key=lambda txn: (txn[2], txn[0], txn[1]))
+
+    return ScenarioSpec(protocol=protocol, n_sites=n_sites,
+                        items=tuple(items),
+                        transactions=tuple(transactions))

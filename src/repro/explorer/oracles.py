@@ -1,0 +1,173 @@
+"""The explorer's test-oracle suite.
+
+An oracle states an execution property the protocols must uphold under
+*every* legal schedule.  Oracles are pluggable: each declares which
+protocols it applies to, may install instrumentation before the run
+(``attach``), and reports zero or more :class:`OracleFailure` afterwards
+(``check``).
+
+Built-in oracles
+----------------
+
+``acyclicity``
+    The merged direct-serialization graph has no cycle (the paper's
+    Theorems 2.1/3.1/4.1).  This is the oracle that flags the
+    indiscriminate baseline.
+``convergence``
+    After quiescence every replica equals its primary copy (skipped for
+    PSL, which never pushes updates).
+``fifo``
+    Per-channel delivery order equals send order — the Sec. 1.1 network
+    assumption DAG(WT) correctness rests on, re-checked end-to-end.
+``timestamps``
+    DAG(T) only: each site adopts secondary/dummy timestamps in
+    non-decreasing order (Sec. 3.2.3's commit-order invariant).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.base import ReplicatedSystem, ReplicationProtocol
+from repro.harness.convergence import divergent_replicas
+from repro.harness.serializability import (
+    build_serialization_graph,
+    explain_cycle,
+    find_dsg_cycle,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleFailure:
+    """One property violation found after a schedule run."""
+
+    oracle: str
+    detail: str
+    #: For serializability failures: the DSG cycle as ``(site, seq)``
+    #: pairs (JSON-friendly, first == last).
+    cycle: typing.Optional[typing.Tuple[typing.Tuple[int, int], ...]] = \
+        None
+
+    def to_dict(self) -> dict:
+        data: dict = {"oracle": self.oracle, "detail": self.detail}
+        if self.cycle is not None:
+            data["cycle"] = [list(node) for node in self.cycle]
+        return data
+
+
+class Oracle:
+    """Base class: a checkable execution property."""
+
+    name = "oracle"
+
+    def applies_to(self, protocol_name: str) -> bool:
+        return True
+
+    def attach(self, system: ReplicatedSystem) -> None:
+        """Install pre-run instrumentation (optional)."""
+
+    def check(self, system: ReplicatedSystem,
+              protocol: ReplicationProtocol
+              ) -> typing.List[OracleFailure]:
+        raise NotImplementedError
+
+
+class AcyclicityOracle(Oracle):
+    """The merged DSG must be acyclic."""
+
+    name = "acyclicity"
+
+    def check(self, system, protocol):
+        histories = [site.engine.history for site in system.sites]
+        graph = build_serialization_graph(histories)
+        cycle = find_dsg_cycle(graph)
+        if cycle is None:
+            return []
+        return [OracleFailure(
+            oracle=self.name,
+            detail=explain_cycle(histories, cycle),
+            cycle=tuple((gid.site, gid.seq) for gid in cycle))]
+
+
+class ConvergenceOracle(Oracle):
+    """Replicas must equal their primary copies after quiescence."""
+
+    name = "convergence"
+
+    def applies_to(self, protocol_name):
+        return protocol_name != "psl"  # PSL refreshes on access only.
+
+    def check(self, system, protocol):
+        problems = divergent_replicas(system)
+        return [OracleFailure(
+            oracle=self.name,
+            detail="item {} primary s{} (v{}) != replica s{} (v{})".format(
+                item, primary, p_version, replica, r_version))
+            for item, primary, replica, p_version, r_version in problems]
+
+
+class FifoOracle(Oracle):
+    """Per-channel delivery order must equal send order.
+
+    Message ids are assigned at send time from a global counter, so
+    within one channel they increase in send order; the network's
+    delivery log records actual delivery order.
+    """
+
+    name = "fifo"
+
+    def attach(self, system):
+        system.network.record_deliveries = True
+
+    def check(self, system, protocol):
+        last_seen: typing.Dict[typing.Tuple[int, int], int] = {}
+        failures = []
+        for message in system.network.delivery_log:
+            channel = (message.src, message.dst)
+            previous = last_seen.get(channel)
+            if previous is not None and message.msg_id < previous:
+                failures.append(OracleFailure(
+                    oracle=self.name,
+                    detail="channel s{}->s{} delivered #{} after "
+                           "#{}".format(message.src, message.dst,
+                                        message.msg_id, previous)))
+            last_seen[channel] = message.msg_id
+        return failures
+
+
+class TimestampMonotonicityOracle(Oracle):
+    """DAG(T): per-site adopted timestamps never go backwards."""
+
+    name = "timestamps"
+
+    def __init__(self):
+        self._adopted: typing.Dict[int, list] = {}
+
+    def applies_to(self, protocol_name):
+        return protocol_name in ("dag_t", "backedge_t")
+
+    def attach(self, system):
+        system.observers.append(self)
+
+    def on_timestamp_adopted(self, site, ts, gid, time, **_details):
+        self._adopted.setdefault(site, []).append((time, gid, ts))
+
+    def check(self, system, protocol):
+        failures = []
+        for site, adoptions in sorted(self._adopted.items()):
+            for (_t0, _g0, previous), (t1, gid, current) in zip(
+                    adoptions, adoptions[1:]):
+                if current < previous:
+                    failures.append(OracleFailure(
+                        oracle=self.name,
+                        detail="s{} adopted {} after {} (t={:.4f}, "
+                               "gid={})".format(site, current, previous,
+                                                t1, gid)))
+        return failures
+
+
+def default_oracles() -> typing.List[Oracle]:
+    """A fresh instance of the full built-in suite."""
+    return [AcyclicityOracle(), ConvergenceOracle(), FifoOracle(),
+            TimestampMonotonicityOracle()]

@@ -1,0 +1,72 @@
+"""Execute one scenario under one perturbation plan and check oracles."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.explorer.decisions import PerturbationPlan
+from repro.explorer.generator import ScenarioSpec, build_scenario
+from repro.explorer.oracles import Oracle, OracleFailure, default_oracles
+
+
+@dataclasses.dataclass
+class ScheduleOutcome:
+    """Everything one perturbed schedule run produced."""
+
+    spec: ScenarioSpec
+    plan: PerturbationPlan
+    failures: typing.List[OracleFailure]
+    #: ``(gid-as-(site, seq), status)`` per launched transaction.
+    outcomes: typing.List[typing.Tuple[typing.Tuple[int, int], str]]
+    events_processed: int
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for _gid, status in self.outcomes
+                   if status == "committed")
+
+    def cycle(self) -> typing.Optional[typing.Tuple]:
+        """The first serializability cycle among the failures, if any."""
+        for failure in self.failures:
+            if failure.cycle is not None:
+                return failure.cycle
+        return None
+
+
+def run_schedule(spec: ScenarioSpec, plan: PerturbationPlan,
+                 oracles: typing.Optional[typing.List[Oracle]] = None,
+                 faults: typing.Sequence = ()
+                 ) -> ScheduleOutcome:
+    """Run ``spec`` once under ``plan`` and evaluate the oracle suite.
+
+    Fully deterministic: the same ``(spec, plan)`` pair always yields
+    the same schedule, outcomes, and failures.  ``faults`` are optional
+    :mod:`repro.explorer.faults` injections armed before the run.
+    """
+    if oracles is None:
+        oracles = default_oracles()
+    builder = build_scenario(spec,
+                             schedule_policy=plan.schedule_policy())
+    env, system, protocol = builder.build()
+    system.network.set_perturbation(plan.latency_perturb(spec.latency))
+    active = [oracle for oracle in oracles
+              if oracle.applies_to(spec.protocol)]
+    for oracle in active:
+        oracle.attach(system)
+    if faults:
+        from repro.explorer.faults import FaultInjector
+        FaultInjector(system, faults)
+    result = builder.run(until=spec.until, drain=spec.drain)
+    failures: typing.List[OracleFailure] = []
+    for oracle in active:
+        failures.extend(oracle.check(system, protocol))
+    return ScheduleOutcome(
+        spec=spec, plan=plan, failures=failures,
+        outcomes=[((outcome.gid.site, outcome.gid.seq), outcome.status)
+                  for outcome in result.outcomes],
+        events_processed=env.events_processed)

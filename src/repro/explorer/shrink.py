@@ -1,0 +1,103 @@
+"""Delta-debugging shrinker for failing schedules.
+
+Once a perturbed schedule trips an oracle, the raw reproducer is noisy:
+extra transactions, dozens of perturbation decisions that played no
+part.  ``shrink_failure`` minimises in two phases, both with the classic
+ddmin complement strategy:
+
+1. **Transactions** — remove workload subsets while the same oracle
+   kind still fails.
+2. **Perturbation decisions** — disable subsets of the decision keys
+   the plan consulted, keeping only the perturbations the failure
+   actually needs (often a single slow channel).
+
+Every probe is a fresh deterministic run, so shrinking needs no
+snapshotting — the schedule *is* the reproducer.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.explorer.decisions import PerturbationPlan
+from repro.explorer.generator import ScenarioSpec
+from repro.explorer.runner import ScheduleOutcome, run_schedule
+
+
+def ddmin(items: typing.Sequence, test: typing.Callable[[list], bool]
+          ) -> list:
+    """Minimise ``items`` such that ``test(subset)`` stays true.
+
+    ``test(list(items))`` must hold on entry.  Uses complement
+    reduction: repeatedly drop chunks, halving chunk size when stuck.
+    The result is 1-minimal with respect to chunk removal.
+    """
+    current = list(items)
+    granularity = 2
+    while len(current) >= 1:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            candidate = current[:start] + current[start + chunk:]
+            if test(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(max(len(current), 1), granularity * 2)
+    return current
+
+
+def shrink_failure(spec: ScenarioSpec, plan: PerturbationPlan,
+                   max_runs: int = 400,
+                   stats: typing.Optional[dict] = None
+                   ) -> typing.Tuple[ScenarioSpec, PerturbationPlan,
+                                     ScheduleOutcome]:
+    """Minimise a failing ``(spec, plan)`` reproducer.
+
+    Returns the shrunken scenario, the shrunken plan, and the final
+    (still-failing) outcome.  ``max_runs`` bounds the number of probe
+    executions; when exhausted, the best reproducer found so far is
+    returned.
+    """
+    baseline = run_schedule(spec, plan)
+    if not baseline.failed:
+        raise ValueError("shrink_failure needs a failing (spec, plan)")
+    oracle_names = {failure.oracle for failure in baseline.failures}
+    runs = [0]
+
+    def still_fails(candidate_spec: ScenarioSpec,
+                    candidate_plan: PerturbationPlan) -> bool:
+        if runs[0] >= max_runs:
+            return False
+        runs[0] += 1
+        outcome = run_schedule(candidate_spec, candidate_plan)
+        return any(failure.oracle in oracle_names
+                   for failure in outcome.failures)
+
+    # Phase 1: minimise the workload.
+    indices = list(range(len(spec.transactions)))
+    kept = ddmin(indices,
+                 lambda keep: still_fails(spec.subset(keep), plan))
+    spec = spec.subset(kept)
+
+    # Phase 2: minimise the perturbation decisions.  One probe run
+    # collects the decision keys the plan actually consults; ddmin then
+    # searches for the smallest enabled subset.
+    probe_plan = plan.replaced()
+    run_schedule(spec, probe_plan)
+    universe = sorted(probe_plan.queried | plan.disabled)
+    enabled = [key for key in universe if key not in plan.disabled]
+    kept_keys = ddmin(
+        enabled,
+        lambda keep: still_fails(
+            spec, plan.replaced(disabled=set(universe) - set(keep))))
+    plan = plan.replaced(disabled=set(universe) - set(kept_keys))
+
+    final = run_schedule(spec, plan)
+    if stats is not None:
+        stats["runs"] = runs[0]
+    return spec, plan, final

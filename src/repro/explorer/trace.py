@@ -1,0 +1,100 @@
+"""Replayable JSON traces of failing (or interesting) schedules.
+
+A trace is fully self-describing: the scenario (placement + workload),
+the perturbation plan (seed + disabled decision keys), and the oracle
+failures observed.  Because every perturbation decision is a pure
+function of the plan (:mod:`repro.explorer.decisions`), loading a trace
+and re-running it reproduces the original execution byte-for-byte —
+same schedule, same outcomes, same DSG cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.explorer.decisions import PerturbationPlan
+from repro.explorer.generator import ScenarioSpec
+from repro.explorer.runner import ScheduleOutcome, run_schedule
+
+TRACE_VERSION = 1
+
+
+def trace_dict(spec: ScenarioSpec, plan: PerturbationPlan,
+               outcome: ScheduleOutcome,
+               meta: typing.Optional[dict] = None) -> dict:
+    """Build the JSON-ready trace document."""
+    document = {
+        "version": TRACE_VERSION,
+        "scenario": spec.to_dict(),
+        "perturbation": plan.to_dict(),
+        "failures": [failure.to_dict() for failure in outcome.failures],
+        "outcomes": [[list(gid), status]
+                     for gid, status in outcome.outcomes],
+        "events_processed": outcome.events_processed,
+    }
+    if meta:
+        document["meta"] = dict(meta)
+    return document
+
+
+def save_trace(path: str, spec: ScenarioSpec, plan: PerturbationPlan,
+               outcome: ScheduleOutcome,
+               meta: typing.Optional[dict] = None) -> dict:
+    """Write a trace to ``path``; returns the document."""
+    document = trace_dict(spec, plan, outcome, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_trace(source: typing.Union[str, typing.Mapping]
+               ) -> typing.Tuple[ScenarioSpec, PerturbationPlan, dict]:
+    """Load a trace from a path or an already-parsed document."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    else:
+        document = dict(source)
+    version = document.get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(
+            "unsupported trace version {!r} (expected {})".format(
+                version, TRACE_VERSION))
+    spec = ScenarioSpec.from_dict(document["scenario"])
+    plan = PerturbationPlan.from_dict(document["perturbation"])
+    return spec, plan, document
+
+
+def replay_trace(source: typing.Union[str, typing.Mapping]
+                 ) -> typing.Tuple[ScheduleOutcome, dict]:
+    """Re-run a trace; returns the fresh outcome and the original
+    document (for comparison)."""
+    spec, plan, document = load_trace(source)
+    outcome = run_schedule(spec, plan)
+    return outcome, document
+
+
+def reproduces(outcome: ScheduleOutcome, document: typing.Mapping
+               ) -> bool:
+    """Whether a replayed outcome matches the recorded trace exactly:
+    same per-transaction outcomes and identical oracle failures
+    (including the DSG cycle, node for node)."""
+    recorded_outcomes = [(tuple(gid), status)
+                         for gid, status in document["outcomes"]]
+    replayed_outcomes = [(tuple(gid), status)
+                         for gid, status in outcome.outcomes]
+    if sorted(recorded_outcomes) != sorted(replayed_outcomes):
+        return False
+    recorded = [_failure_key(failure)
+                for failure in document["failures"]]
+    replayed = [_failure_key(failure.to_dict())
+                for failure in outcome.failures]
+    return sorted(recorded) == sorted(replayed)
+
+
+def _failure_key(failure: typing.Mapping) -> tuple:
+    cycle = failure.get("cycle")
+    return (failure["oracle"],
+            tuple(tuple(node) for node in cycle) if cycle else None)

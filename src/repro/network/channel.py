@@ -7,6 +7,7 @@ message's — the FIFO guarantee the paper's protocols rely on.
 
 from __future__ import annotations
 
+import collections
 import typing
 
 from repro.network.message import Message
@@ -15,18 +16,32 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.environment import Environment
 
 
+#: Delivery-perturbation hook: ``(src, dst, seq) -> extra delay`` added on
+#: top of the sampled latency for the ``seq``-th message of a channel.
+#: The FIFO clamp applies *after* the perturbation, so any non-negative
+#: hook is protocol-legal — per-channel delivery order is never violated.
+Perturbation = typing.Callable[[int, int, int], float]
+
+
 class Channel:
     """One direction of a site-to-site link."""
 
     def __init__(self, env: "Environment", src: int, dst: int,
                  latency: typing.Union[float, typing.Callable[[], float]],
-                 deliver: typing.Callable[[Message], None]):
+                 deliver: typing.Callable[[Message], None],
+                 perturb: typing.Optional[Perturbation] = None):
         self.env = env
         self.src = src
         self.dst = dst
         self._latency = latency
         self._deliver = deliver
+        self._perturb = perturb
         self._last_delivery = -float("inf")
+        #: In-flight messages in send order; each delivery timer hands
+        #: over the *head*, so FIFO order is structural — even a
+        #: schedule policy that reorders same-time timer events cannot
+        #: reorder a channel's messages.
+        self._in_flight: typing.Deque[Message] = collections.deque()
         #: Messages sent through this channel.
         self.sent_count = 0
 
@@ -41,9 +56,18 @@ class Channel:
         delay = self.latency_sample()
         if delay < 0:
             raise ValueError("negative latency {!r}".format(delay))
+        if self._perturb is not None:
+            extra = float(self._perturb(self.src, self.dst,
+                                        self.sent_count))
+            if extra > 0:
+                delay += extra
         deliver_at = max(self.env.now + delay, self._last_delivery)
         self._last_delivery = deliver_at
         message.deliver_time = deliver_at
         self.sent_count += 1
+        self._in_flight.append(message)
         timer = self.env.timeout(deliver_at - self.env.now)
-        timer.callbacks.append(lambda _ev, msg=message: self._deliver(msg))
+        timer.callbacks.append(self._deliver_head)
+
+    def _deliver_head(self, _event) -> None:
+        self._deliver(self._in_flight.popleft())

@@ -11,7 +11,7 @@ from __future__ import annotations
 import collections
 import typing
 
-from repro.network.channel import Channel
+from repro.network.channel import Channel, Perturbation
 from repro.network.message import Message, MessageType
 from repro.types import SiteId
 
@@ -35,12 +35,14 @@ class Network:
 
     def __init__(self, env: "Environment", n_sites: int,
                  latency: typing.Union[float, typing.Callable[[], float]]
-                 = 0.00015):
+                 = 0.00015,
+                 perturb: typing.Optional[Perturbation] = None):
         if n_sites < 1:
             raise ValueError("need at least one site")
         self.env = env
         self.n_sites = n_sites
         self.latency = latency
+        self.perturb = perturb
         self._handlers: typing.Dict[SiteId, typing.Callable] = {}
         self._channels: typing.Dict[typing.Tuple[SiteId, SiteId],
                                     Channel] = {}
@@ -50,6 +52,23 @@ class Network:
         #: Message counts by type, for the performance metrics.
         self.sent_by_type: typing.Counter = collections.Counter()
         self.total_sent = 0
+        #: When true, every delivered message is appended to
+        #: :attr:`delivery_log` (used by the explorer's FIFO oracle;
+        #: off by default to keep large experiments lean).
+        self.record_deliveries = False
+        self.delivery_log: typing.List[Message] = []
+
+    def set_perturbation(self,
+                         perturb: typing.Optional[Perturbation]) -> None:
+        """Install a delivery-perturbation hook on every channel.
+
+        Applies to already-created channels and to channels created
+        later.  The per-channel FIFO clamp still holds, so perturbation
+        can delay but never reorder a channel's messages.
+        """
+        self.perturb = perturb
+        for channel in self._channels.values():
+            channel._perturb = perturb
 
     def set_handler(self, site: SiteId,
                     handler: typing.Callable[[Message], None]) -> None:
@@ -76,10 +95,13 @@ class Network:
         if key not in self._channels:
             self._channels[key] = Channel(
                 self.env, src, dst, self.latency,
-                lambda msg, site=dst: self._dispatch(site, msg))
+                lambda msg, site=dst: self._dispatch(site, msg),
+                perturb=self.perturb)
         return self._channels[key]
 
     def _dispatch(self, site: SiteId, message: Message) -> None:
+        if self.record_deliveries:
+            self.delivery_log.append(message)
         handler = self._handlers.get(site)
         if handler is None:
             self.dead_letters.append(message)

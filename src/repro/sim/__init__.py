@@ -15,7 +15,7 @@ The kernel is deterministic: given a seed, every run produces the identical
 schedule, which the test suite relies on heavily.
 """
 
-from repro.sim.environment import Environment
+from repro.sim.environment import Environment, SchedulePolicy
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import Mailbox, Resource
@@ -31,5 +31,6 @@ __all__ = [
     "Process",
     "Resource",
     "RngRegistry",
+    "SchedulePolicy",
     "Timeout",
 ]

@@ -1,7 +1,12 @@
 """The simulation environment: clock plus event scheduler.
 
-Events are processed in ``(time, priority, insertion-order)`` order, which
-makes every simulation run fully deterministic.
+Events are processed in ``(time, priority, tie-break, insertion-order)``
+order, which makes every simulation run fully deterministic.  The
+tie-break is supplied by a :class:`SchedulePolicy`; the default policy
+uses a constant, so ordering degenerates to the classical
+``(time, priority, insertion-order)``.  A seeded policy (see
+:mod:`repro.explorer.decisions`) perturbs the order of same-time,
+same-priority events to explore alternative but equally-legal schedules.
 """
 
 from __future__ import annotations
@@ -15,6 +20,26 @@ from repro.sim.process import Process
 
 class EmptySchedule(Exception):
     """Raised internally when the event queue runs dry."""
+
+
+class SchedulePolicy:
+    """Tie-break hook for events scheduled at the same ``(time,
+    priority)``.
+
+    ``tie_break`` returns a sortable key ordered *between* priority and
+    insertion order: events with equal keys keep insertion order, so the
+    base policy (constant key) reproduces the historical deterministic
+    schedule exactly.  Priorities still dominate — a policy can never
+    reorder an urgent wound behind a normal event.
+    """
+
+    def tie_break(self, time: float, priority: int, eid: int) -> int:
+        """Key for the event being scheduled (default: no reordering)."""
+        return 0
+
+
+#: Shared default policy instance (stateless).
+INSERTION_ORDER = SchedulePolicy()
 
 
 class Environment:
@@ -32,10 +57,12 @@ class Environment:
         env.run(until=10.0)
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 schedule_policy: typing.Optional[SchedulePolicy] = None):
         self._now = float(initial_time)
         self._queue: list = []
         self._eid = 0
+        self.schedule_policy = schedule_policy or INSERTION_ORDER
         #: Number of events processed so far (useful for debugging/stats).
         self.events_processed = 0
 
@@ -52,7 +79,9 @@ class Environment:
                  delay: float = 0.0) -> None:
         """Schedule a triggered ``event`` for processing after ``delay``."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid,
+        when = self._now + delay
+        key = self.schedule_policy.tie_break(when, priority, self._eid)
+        heapq.heappush(self._queue, (when, priority, key, self._eid,
                                      event))
 
     def peek(self) -> float:
@@ -85,7 +114,7 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise EmptySchedule()
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _priority, _key, _eid, event = heapq.heappop(self._queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         self.events_processed += 1

@@ -108,10 +108,12 @@ class ScenarioBuilder:
     def __init__(self, n_sites: int, protocol: str,
                  lock_timeout: float = 0.050, latency: float = 0.001,
                  protocol_options: typing.Optional[dict] = None,
-                 costs: typing.Optional[dict] = None):
+                 costs: typing.Optional[dict] = None,
+                 schedule_policy=None):
         self.n_sites = n_sites
         self.protocol_name = protocol
         self.protocol_options = dict(protocol_options or {})
+        self.schedule_policy = schedule_policy
         self._placement = DataPlacement(n_sites)
         self._config = SystemConfig(
             lock_timeout=lock_timeout, network_latency=latency,
@@ -120,6 +122,8 @@ class ScenarioBuilder:
             typing.Tuple[float, TransactionSpec]] = []
         self._sequences: typing.Dict[SiteId, int] = {}
         self._built: typing.Optional[typing.Tuple] = None
+        self._outcomes: typing.List[ScenarioOutcome] = []
+        self._ran = False
 
     # -- placement ------------------------------------------------------
 
@@ -153,7 +157,7 @@ class ScenarioBuilder:
                                     ReplicationProtocol]:
         """Materialise the system (idempotent)."""
         if self._built is None:
-            env = Environment()
+            env = Environment(schedule_policy=self.schedule_policy)
             system = ReplicatedSystem(env, self._placement, self._config)
             protocol = make_protocol(self.protocol_name, system,
                                      **self.protocol_options)
@@ -163,9 +167,21 @@ class ScenarioBuilder:
 
     def run(self, until: float = 5.0,
             drain: float = 1.0) -> ScenarioResult:
-        """Run all scheduled transactions and return the outcomes."""
+        """Run all scheduled transactions and return the outcomes.
+
+        A scenario may be run *incrementally*: add more transactions
+        after a run and call ``run`` again (the clock keeps advancing;
+        ``until`` must then be later than the previous stop time, and
+        the result accumulates all outcomes so far).  Calling ``run``
+        again without new transactions would silently replay an empty
+        workload, so it raises :class:`ConfigurationError` instead.
+        """
+        if self._ran and not self._transactions:
+            raise ConfigurationError(
+                "scenario already run and no new transactions were "
+                "added; add transactions for an incremental re-run")
         env, system, protocol = self.build()
-        outcomes: typing.List[ScenarioOutcome] = []
+        outcomes = self._outcomes
 
         def launch(delay: float, spec: TransactionSpec):
             ref: list = []
@@ -187,6 +203,7 @@ class ScenarioBuilder:
         for delay, spec in self._transactions:
             launch(delay, spec)
         self._transactions.clear()
+        self._ran = True
         env.run(until=until)
         if drain:
             env.run(until=env.now + drain)

@@ -102,3 +102,39 @@ def test_parameter_flags_reach_workload():
     code, output = run_cli("run", "--latency", "0.01", "--timeout",
                            "0.1", *SMALL)
     assert code == 0
+
+
+def test_explore_clean_protocol(tmp_path):
+    trace = str(tmp_path / "trace.json")
+    code, output = run_cli("explore", "--protocol", "dag_wt",
+                           "--budget", "20", "--out", trace)
+    assert code == 0
+    assert "0 oracle failure(s)" in output
+
+
+def test_explore_expect_clean_fails_on_indiscriminate(tmp_path):
+    trace = str(tmp_path / "trace.json")
+    code, output = run_cli("explore", "--protocol", "indiscriminate",
+                           "--budget", "200", "--out", trace,
+                           "--expect-clean")
+    assert code == 1
+    assert "minimal reproducer" in output
+
+
+def test_explore_then_replay_roundtrip(tmp_path):
+    trace = str(tmp_path / "trace.json")
+    code, output = run_cli("explore", "--protocol", "indiscriminate",
+                           "--budget", "200", "--out", trace)
+    assert code == 0  # finding a violation is the expected outcome
+    assert "wrote trace" in output
+
+    code, output = run_cli("replay", trace)
+    assert code == 0
+    assert "reproduced exactly" in output
+    assert "acyclicity" in output
+
+
+def test_explore_rejects_bad_sites_range(tmp_path):
+    code, output = run_cli("explore", "--sites", "nope")
+    assert code == 2
+    assert "invalid --sites" in output

@@ -1,0 +1,56 @@
+"""ScenarioBuilder.run() re-run semantics.
+
+Historically a second ``run()`` call silently replayed an *empty*
+workload (the transaction list is consumed by the first run) and
+returned a result with no outcomes — an easy way to assert on nothing.
+Now: a bare re-run raises, and adding transactions first performs a
+genuine incremental re-run on the same system.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.testing import ScenarioBuilder
+
+
+def _scenario() -> ScenarioBuilder:
+    builder = (ScenarioBuilder(n_sites=2, protocol="dag_wt")
+               .item("a", primary=0, replicas=[1]))
+    builder.transaction(0, at=0.0, ops=[("w", "a")])
+    return builder
+
+
+def test_second_run_without_new_transactions_raises():
+    builder = _scenario()
+    result = builder.run(until=1.0)
+    assert result.all_committed
+    with pytest.raises(ConfigurationError):
+        builder.run(until=2.0)
+
+
+def test_incremental_rerun_accumulates_outcomes():
+    builder = _scenario()
+    first = builder.run(until=1.0)
+    assert len(first.outcomes) == 1
+
+    # Add more work; the clock keeps advancing on the same system.
+    builder.transaction(0, at=0.0, ops=[("w", "a")])
+    second = builder.run(until=3.0)
+    assert len(second.outcomes) == 2
+    assert second.all_committed
+    second.check()
+
+    # The second run reuses the already-built system.
+    env, system, _protocol = builder.build()
+    assert env.now >= 3.0
+    assert system.site_of(1).engine.item("a").committed_version == 2
+
+
+def test_rerun_until_must_advance_the_clock():
+    builder = _scenario()
+    builder.run(until=1.0)
+    builder.transaction(0, at=0.0, ops=[("w", "a")])
+    with pytest.raises(ValueError):
+        builder.run(until=0.5)

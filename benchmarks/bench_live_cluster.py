@@ -1,0 +1,131 @@
+"""Live cluster vs. simulator at a **matched workload**.
+
+The live runtime and the simulation harness seed the transaction
+generator identically (name-keyed RNG streams), so for one
+``(params, protocol, seed)`` both execute the same transaction specs in
+the same per-thread order.  This bench runs that workload twice —
+
+- **live**: every site a real :class:`SiteServer` on localhost TCP,
+  latencies measured at the client in wall-clock time;
+- **sim**: the discrete-event harness with the paper's cost model —
+
+prints throughput and latency side by side, asserts both runs are
+convergent and serializable, and writes a ``BENCH_live_cluster.json``
+artifact with the paired numbers.
+
+The comparison is calibration, not a race: the simulator charges the
+paper's 1999-era CPU costs to a virtual clock, the live run pays real
+2020s syscall and event-loop costs, so absolute numbers differ; what
+must agree is the workload (identical spec counts) and the correctness
+verdicts.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+
+from common import BENCH_SEED, BENCH_TXNS, run_once
+from repro.cluster.loadgen import spawn_and_load
+from repro.cluster.spec import ClusterSpec
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.workload.params import WorkloadParams
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_live_cluster.json"
+
+#: Sized so the live run (real 50 ms lock timeouts, real sockets)
+#: finishes quickly; seed 42 gives a DAG copy graph at these settings.
+LIVE_PARAMS = WorkloadParams(
+    n_sites=3, n_items=12, replication_probability=0.8,
+    threads_per_site=2,
+    transactions_per_thread=max(10, BENCH_TXNS // 12),
+    read_txn_probability=0.3, deadlock_timeout=0.05)
+
+
+def run_live():
+    spec = ClusterSpec(params=LIVE_PARAMS, protocol="dag_wt",
+                       seed=BENCH_SEED, base_port=7580)
+    with tempfile.TemporaryDirectory(prefix="bench-live-") as wal_dir:
+        return spawn_and_load(spec, wal_dir=wal_dir, verify=True)
+
+
+def run_sim():
+    config = ExperimentConfig(protocol="dag_wt", params=LIVE_PARAMS,
+                              seed=BENCH_SEED)
+    return run_experiment(config)
+
+
+def test_live_cluster_matches_sim_verdicts(benchmark):
+    live, sim = run_once(benchmark, lambda: (run_live(), run_sim()))
+
+    total = (LIVE_PARAMS.n_sites * LIVE_PARAMS.threads_per_site *
+             LIVE_PARAMS.transactions_per_thread)
+    # Matched workload: both runs decided every generated transaction.
+    assert live.committed + live.aborted == total
+    assert live.unknown == 0
+    assert sim.committed + sim.aborted == total
+    # Both executions of the same workload must be correct.
+    assert live.convergent and live.serializable
+    assert sim.serializable
+
+    rows = {
+        "workload": {
+            "protocol": "dag_wt", "seed": BENCH_SEED,
+            "n_sites": LIVE_PARAMS.n_sites,
+            "threads_per_site": LIVE_PARAMS.threads_per_site,
+            "transactions_per_thread":
+                LIVE_PARAMS.transactions_per_thread,
+        },
+        "live": {
+            "committed": live.committed, "aborted": live.aborted,
+            "duration_s": round(live.duration, 4),
+            "throughput_txn_s": round(live.throughput, 2),
+            "latency_ms": {key: round(value * 1000.0, 3)
+                           for key, value in live.latency.items()},
+            "messages": live.messages_sent,
+            "convergent": live.convergent,
+            "serializable": live.serializable,
+        },
+        "sim": {
+            "committed": sim.committed, "aborted": sim.aborted,
+            "duration_s": round(sim.duration, 4),
+            "throughput_txn_s_site": round(sim.average_throughput, 2),
+            "mean_response_ms": round(
+                sim.mean_response_time * 1000.0, 3),
+            "messages": sim.total_messages,
+            "serializable": sim.serializable,
+        },
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as handle:
+        json.dump(rows, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print("")
+    print("=" * 70)
+    print("Live cluster vs. simulator, matched DAG(WT) workload "
+          "({} txns)".format(total))
+    print("=" * 70)
+    print("{:<28}{:>18}{:>18}".format("", "live (wall clock)",
+                                      "sim (virtual)"))
+    print("{:<28}{:>18}{:>18}".format(
+        "committed / aborted",
+        "{} / {}".format(live.committed, live.aborted),
+        "{} / {}".format(sim.committed, sim.aborted)))
+    print("{:<28}{:>18.1f}{:>18.1f}".format(
+        "throughput (txn/s total)", live.throughput,
+        sim.average_throughput * LIVE_PARAMS.n_sites))
+    print("{:<28}{:>18.2f}{:>18.2f}".format(
+        "mean latency (ms)", live.latency["mean"] * 1000.0,
+        sim.mean_response_time * 1000.0))
+    print("{:<28}{:>18.2f}{:>18}".format(
+        "p50 / p95 / p99 (ms)", live.latency["p50"] * 1000.0, "-"))
+    print("{:<28}{:>18}{:>18}".format(
+        "messages sent", live.messages_sent, sim.total_messages))
+    print("wrote {}".format(os.path.relpath(ARTIFACT)))
+
+    benchmark.extra_info["live_throughput"] = round(live.throughput, 2)
+    benchmark.extra_info["live_p95_ms"] = round(
+        live.latency["p95"] * 1000.0, 3)
+    benchmark.extra_info["sim_throughput_site"] = round(
+        sim.average_throughput, 2)

@@ -19,6 +19,14 @@ Commands
     failure to a minimal replayable trace.
 ``replay``
     Re-run a saved trace deterministically and verify it reproduces.
+``serve``
+    Run one live site server (TCP, WAL-backed) of a cluster, in the
+    foreground.
+``loadgen``
+    Drive the paper's closed-loop workload against a live cluster and
+    print throughput, latency percentiles, and the convergence +
+    serializability verdicts.  ``--spawn`` starts the whole cluster
+    in-process first.
 
 Examples::
 
@@ -28,6 +36,8 @@ Examples::
     python -m repro figure fig2a --txns 60
     python -m repro explore --protocol indiscriminate --budget 200
     python -m repro replay explorer-trace.json
+    python -m repro serve --site 0 --sites 3 --items 12 --replication 0.8 --seed 3 --wal s0.wal
+    python -m repro loadgen --spawn --sites 3 --items 12 --replication 0.8 --seed 3 --txns 20
 """
 
 from __future__ import annotations
@@ -169,7 +179,63 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-run a saved explorer trace")
     replay_parser.add_argument("trace", help="trace JSON path")
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="run one live site server in the foreground")
+    serve_parser.add_argument("--site", type=int, required=True,
+                              help="site id to host")
+    _add_cluster_flags(serve_parser)
+    serve_parser.add_argument("--wal", metavar="PATH", default=None,
+                              help="WAL file (enables durability and "
+                                   "crash recovery)")
+    serve_parser.add_argument("--anti-entropy", type=float, default=2.0,
+                              help="catch-up poll interval in seconds "
+                                   "(0 disables)")
+    _add_param_flags(serve_parser)
+
+    loadgen_parser = subparsers.add_parser(
+        "loadgen", help="drive the closed-loop workload against a "
+                        "live cluster")
+    _add_cluster_flags(loadgen_parser)
+    loadgen_parser.add_argument("--spawn", action="store_true",
+                                help="start the whole cluster "
+                                     "in-process before generating "
+                                     "load (no external servers "
+                                     "needed)")
+    loadgen_parser.add_argument("--wal-dir", metavar="DIR", default=None,
+                                help="with --spawn: directory for the "
+                                     "sites' WAL files")
+    loadgen_parser.add_argument("--no-verify", action="store_true",
+                                help="skip the convergence and "
+                                     "serializability oracles")
+    loadgen_parser.add_argument("--json", metavar="PATH", default=None,
+                                help="also write the report as JSON")
+    loadgen_parser.add_argument("--txn-timeout", type=float,
+                                default=30.0,
+                                help="per-request client timeout "
+                                     "(seconds)")
+    loadgen_parser.add_argument("--max-in-flight", type=int, default=64,
+                                help="client-side transaction "
+                                     "admission bound")
+    _add_param_flags(loadgen_parser)
+
     return parser
+
+
+def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", default="dag_wt",
+                        help="live protocol (dag_wt or backedge)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--base-port", type=int, default=7450,
+                        help="site i listens on base-port + i")
+
+
+def _cluster_spec_from_args(args: argparse.Namespace):
+    from repro.cluster.spec import ClusterSpec
+
+    return ClusterSpec(params=_params_from_args(args),
+                       protocol=args.protocol, seed=args.seed,
+                       host=args.host, base_port=args.base_port)
 
 
 def _cmd_protocols(_args: argparse.Namespace,
@@ -324,6 +390,50 @@ def _cmd_replay(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import asyncio
+
+    from repro.cluster.server import SiteServer
+
+    spec = _cluster_spec_from_args(args)
+    server = SiteServer(spec, args.site, wal_path=args.wal,
+                        anti_entropy_interval=args.anti_entropy)
+    host, port = spec.address(args.site)
+    out.write("site s{} serving {}:{} (protocol {}, seed {}{})\n".format(
+        args.site, host, port, spec.protocol, spec.seed,
+        ", wal " + args.wal if args.wal else ""))
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.cluster.loadgen import run_loadgen, spawn_and_load
+
+    spec = _cluster_spec_from_args(args)
+    if args.spawn:
+        report = spawn_and_load(spec, wal_dir=args.wal_dir,
+                                verify=not args.no_verify,
+                                max_in_flight=args.max_in_flight,
+                                timeout=args.txn_timeout)
+    else:
+        report = run_loadgen(spec, verify=not args.no_verify,
+                             max_in_flight=args.max_in_flight,
+                             timeout=args.txn_timeout)
+    out.write(report.format() + "\n")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        out.write("wrote {}\n".format(args.json))
+    return 0 if report.convergent and report.serializable else 1
+
+
 def main(argv: typing.Optional[typing.Sequence[str]] = None,
          out: typing.TextIO = sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
@@ -339,6 +449,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "figure": _cmd_figure,
         "explore": _cmd_explore,
         "replay": _cmd_replay,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args, out)
 

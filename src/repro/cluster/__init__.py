@@ -1,0 +1,37 @@
+"""Live asyncio cluster runtime.
+
+Runs each site of the copy graph as an independent :class:`SiteServer`
+process (or in-process asyncio server) speaking a length-prefixed JSON
+wire protocol over TCP, with the simulator's protocol classes driving
+propagation unchanged over a :class:`LiveTransport`.
+
+See ``docs/CLUSTER.md`` for the architecture, wire format and failure
+semantics.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.codec import (
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+)
+from repro.cluster.loadgen import LoadReport, run_loadgen
+from repro.cluster.server import SiteServer
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.transport import LiveTransport
+from repro.cluster.wal import FileWal
+
+__all__ = [
+    "ClusterClient",
+    "ClusterSpec",
+    "FileWal",
+    "LiveTransport",
+    "LoadReport",
+    "SiteServer",
+    "decode_message",
+    "decode_value",
+    "encode_message",
+    "encode_value",
+    "run_loadgen",
+]

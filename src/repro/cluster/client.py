@@ -1,0 +1,249 @@
+"""Client API for a live cluster.
+
+A :class:`ClusterClient` talks to the :class:`~repro.cluster.server
+.SiteServer` s of one cluster: it opens (lazily, and re-opens on
+failure) one connection per site, correlates requests and responses by
+request id, enforces a per-request timeout with bounded retries, and
+bounds the number of in-flight transactions with a semaphore so a
+load generator cannot overrun the cluster (closed-loop backpressure).
+
+Only idempotence-safe requests are retried transparently (``ping``,
+``status``).  A transaction request that times out or loses its
+connection has unknown outcome — it is reported as ``"unknown"`` rather
+than resubmitted, mirroring what a real client library must do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import typing
+
+from repro.cluster.codec import read_frame, write_frame
+from repro.cluster.server import encode_spec
+from repro.cluster.spec import ClusterSpec
+from repro.types import SiteId, TransactionSpec
+
+
+class ClusterError(Exception):
+    """A request could not be completed (after retries)."""
+
+
+class _Connection:
+    """One client connection to one site, with rid-correlated replies."""
+
+    def __init__(self, host: str, port: int, fingerprint: str):
+        self.host = host
+        self.port = port
+        self.fingerprint = fingerprint
+        self.reader: typing.Optional[asyncio.StreamReader] = None
+        self.writer: typing.Optional[asyncio.StreamWriter] = None
+        self.pending: typing.Dict[int, asyncio.Future] = {}
+        self._reader_task: typing.Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def ensure_open(self) -> None:
+        if self.writer is not None:
+            # A finished read loop means the server went away even if
+            # our writing side still looks open (half-closed TCP): a
+            # crashed peer FINs us, and writing into that socket would
+            # wait forever for a response that cannot come.
+            defunct = self.writer.is_closing() or (
+                self._reader_task is not None
+                and self._reader_task.done())
+            if not defunct:
+                return
+            self.writer.close()
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port)
+        await write_frame(self.writer, {
+            "kind": "hello", "role": "client",
+            "fingerprint": self.fingerprint})
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self.reader)
+                if frame is None:
+                    break
+                if frame.get("kind") == "error":
+                    raise ClusterError(frame.get("error", "server error"))
+                if frame.get("kind") != "resp":
+                    continue
+                future = self.pending.pop(frame.get("rid"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        except ClusterError as exc:
+            self._fail_pending(exc)
+            return
+        self._fail_pending(ClusterError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self.pending = self.pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def request(self, frame: typing.Dict[str, typing.Any],
+                      rid: int) -> typing.Dict[str, typing.Any]:
+        await self.ensure_open()
+        frame = dict(frame, kind="req", rid=rid)
+        future = asyncio.get_running_loop().create_future()
+        self.pending[rid] = future
+        try:
+            async with self._write_lock:
+                await write_frame(self.writer, frame)
+            return await future
+        finally:
+            self.pending.pop(rid, None)
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.writer = None
+
+
+class ClusterClient:
+    """Talks to every site of one live cluster.
+
+    Parameters
+    ----------
+    spec:
+        The shared cluster spec (addresses + fingerprint).
+    timeout:
+        Per-request timeout in seconds.
+    retries:
+        Transparent retries for idempotent requests (connect failures
+        included).
+    max_in_flight:
+        Upper bound on concurrently outstanding transactions.
+    """
+
+    def __init__(self, spec: ClusterSpec, timeout: float = 5.0,
+                 retries: int = 3, max_in_flight: int = 64):
+        self.spec = spec
+        self.timeout = timeout
+        self.retries = retries
+        self._rids = itertools.count(1)
+        self._connections: typing.Dict[SiteId, _Connection] = {}
+        self._txn_slots = asyncio.Semaphore(max_in_flight)
+
+    def _connection(self, site: SiteId) -> _Connection:
+        conn = self._connections.get(site)
+        if conn is None:
+            host, port = self.spec.address(site)
+            conn = _Connection(host, port, self.spec.fingerprint())
+            self._connections[site] = conn
+        return conn
+
+    async def _request(self, site: SiteId,
+                       frame: typing.Dict[str, typing.Any],
+                       idempotent: bool,
+                       timeout: typing.Optional[float] = None
+                       ) -> typing.Dict[str, typing.Any]:
+        timeout = self.timeout if timeout is None else timeout
+        attempts = 1 + (self.retries if idempotent else 0)
+        last_error: typing.Optional[Exception] = None
+        for attempt in range(attempts):
+            conn = self._connection(site)
+            try:
+                response = await asyncio.wait_for(
+                    conn.request(frame, next(self._rids)), timeout)
+            except (ConnectionError, OSError, ClusterError,
+                    asyncio.TimeoutError) as exc:
+                last_error = exc
+                await conn.close()
+                self._connections.pop(site, None)
+                if attempt + 1 < attempts:
+                    await asyncio.sleep(0.05 * (attempt + 1))
+                continue
+            if not response.get("ok", False):
+                raise ClusterError(response.get("error", "request failed"))
+            return response
+        raise ClusterError("site s{}: {!r}".format(site, last_error))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    async def run_transaction(self, spec: TransactionSpec,
+                              timeout: typing.Optional[float] = None
+                              ) -> typing.Dict[str, typing.Any]:
+        """Submit one transaction to its origin site.
+
+        Returns ``{"status": "committed"|"aborted"|"unknown", "reason",
+        "elapsed"}``.  Unknown outcomes (timeout / connection loss while
+        in flight) are *not* retried — resubmitting could double-execute.
+        """
+        async with self._txn_slots:
+            try:
+                response = await self._request(
+                    spec.origin, {"op": "txn", "spec": encode_spec(spec)},
+                    idempotent=False, timeout=timeout)
+            except ClusterError as exc:
+                return {"status": "unknown", "reason": str(exc),
+                        "elapsed": None}
+        return {"status": response["status"],
+                "reason": response.get("reason"),
+                "elapsed": response.get("elapsed")}
+
+    async def ping(self, site: SiteId) -> typing.Dict[str, typing.Any]:
+        return await self._request(site, {"op": "ping"}, idempotent=True)
+
+    async def status(self, site: SiteId) -> typing.Dict[str, typing.Any]:
+        return await self._request(site, {"op": "status"},
+                                   idempotent=True)
+
+    async def statuses(self) -> typing.Dict[SiteId, typing.Dict]:
+        """Status of every site (concurrently)."""
+        sites = sorted(self.spec.addresses())
+        results = await asyncio.gather(
+            *(self.status(site) for site in sites))
+        return dict(zip(sites, results))
+
+    async def crash(self, site: SiteId) -> None:
+        """Ask a site to crash in place (volatile state lost, WAL kept)."""
+        await self._request(site, {"op": "crash"}, idempotent=False)
+        conn = self._connections.pop(site, None)
+        if conn is not None:
+            await conn.close()
+
+    async def shutdown(self, site: SiteId) -> None:
+        await self._request(site, {"op": "shutdown"}, idempotent=False)
+        conn = self._connections.pop(site, None)
+        if conn is not None:
+            await conn.close()
+
+    async def wait_ready(self, timeout: float = 10.0) -> None:
+        """Block until every site answers a ping."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        for site in sorted(self.spec.addresses()):
+            while True:
+                try:
+                    await self._request(site, {"op": "ping"},
+                                        idempotent=True, timeout=1.0)
+                    break
+                except ClusterError:
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise
+                    await asyncio.sleep(0.05)
+
+    async def close(self) -> None:
+        connections = list(self._connections.values())
+        self._connections.clear()
+        for conn in connections:
+            await conn.close()

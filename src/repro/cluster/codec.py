@@ -1,0 +1,177 @@
+"""Wire codec: every value the protocols put in a message payload, as JSON.
+
+The live transport, the durable WAL and the client RPC plane all share
+one encoding so a message captured on the wire is replayable against the
+simulator's types.  JSON alone cannot express the payload vocabulary —
+:class:`~repro.types.GlobalTransactionId` values, ``dict``s keyed by
+item/site ids, enums, tuples and sets — so those are wrapped in small
+tagged objects:
+
+- ``{"~gid": [site, seq]}`` — a :class:`GlobalTransactionId`;
+- ``{"~map": [[key, value], ...]}`` — a dict with non-string keys;
+- ``{"~set": [...]}`` — a set or frozenset (encoded sorted);
+- ``{"~tuple": [...]}`` — a tuple;
+- ``{"~enum": "message-type-or-kind-value"}`` — never needed for payload
+  *values* today, reserved;
+- anything whose first key starts with ``"~"`` is escaped as
+  ``{"~obj": {...}}``.
+
+Frames on a TCP stream are a 4-byte big-endian length followed by a
+UTF-8 JSON object.  :func:`read_frame` / :func:`write_frame` are the
+asyncio helpers used by the server, transport and client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import typing
+
+from repro.network.message import Message, MessageType
+from repro.types import GlobalTransactionId
+
+#: Hard cap on one frame (16 MiB) — a corrupt length prefix must not
+#: make the reader allocate unbounded memory.
+MAX_FRAME = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class CodecError(ValueError):
+    """A value that cannot be encoded, or a malformed wire object."""
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+
+def encode_value(value: typing.Any) -> typing.Any:
+    """Lower ``value`` to JSON-representable form (see module doc)."""
+    if isinstance(value, GlobalTransactionId):
+        return {"~gid": [value.site, value.seq]}
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        encoded = [encode_value(item) for item in value]
+        return {"~tuple": encoded} if isinstance(value, tuple) else encoded
+    if isinstance(value, (set, frozenset)):
+        return {"~set": sorted((encode_value(item) for item in value),
+                               key=repr)}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            plain = {key: encode_value(item)
+                     for key, item in value.items()}
+            if any(key.startswith("~") for key in value):
+                return {"~obj": plain}
+            return plain
+        return {"~map": [[encode_value(key), encode_value(item)]
+                         for key, item in value.items()]}
+    raise CodecError("cannot encode {!r} ({})".format(
+        value, type(value).__name__))
+
+
+def decode_value(value: typing.Any) -> typing.Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if not isinstance(value, dict):
+        return value
+    if "~gid" in value:
+        site, seq = value["~gid"]
+        return GlobalTransactionId(site, seq)
+    if "~map" in value:
+        return {_hashable(decode_value(key)): decode_value(item)
+                for key, item in value["~map"]}
+    if "~set" in value:
+        return {_hashable(decode_value(item)) for item in value["~set"]}
+    if "~tuple" in value:
+        return tuple(decode_value(item) for item in value["~tuple"])
+    if "~obj" in value:
+        return {key: decode_value(item)
+                for key, item in value["~obj"].items()}
+    return {key: decode_value(item) for key, item in value.items()}
+
+
+def _hashable(value: typing.Any) -> typing.Any:
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Message encoding
+# ----------------------------------------------------------------------
+
+def encode_message(message: Message) -> typing.Dict[str, typing.Any]:
+    """One :class:`Message` as a JSON-ready dict."""
+    return {
+        "type": message.msg_type.value,
+        "src": message.src,
+        "dst": message.dst,
+        "id": message.msg_id,
+        "payload": {key: encode_value(value)
+                    for key, value in message.payload.items()},
+    }
+
+
+def decode_message(obj: typing.Mapping[str, typing.Any]) -> Message:
+    """Invert :func:`encode_message` (the msg_id is preserved)."""
+    try:
+        msg_type = MessageType(obj["type"])
+        payload = {key: decode_value(value)
+                   for key, value in obj["payload"].items()}
+        return Message(msg_type, int(obj["src"]), int(obj["dst"]),
+                       payload, msg_id=int(obj["id"]))
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CodecError("malformed message object: {}".format(exc)) \
+            from None
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+
+def encode_frame(obj: typing.Mapping[str, typing.Any]) -> bytes:
+    """Length-prefixed JSON frame."""
+    body = json.dumps(obj, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise CodecError("frame too large ({} bytes)".format(len(body)))
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame_body(body: bytes) -> typing.Dict[str, typing.Any]:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError("malformed frame: {}".format(exc)) from None
+    if not isinstance(obj, dict):
+        raise CodecError("frame is not an object")
+    return obj
+
+
+async def read_frame(reader: asyncio.StreamReader
+                     ) -> typing.Optional[typing.Dict[str, typing.Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise CodecError("frame length {} exceeds cap".format(length))
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_frame_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter,
+                      obj: typing.Mapping[str, typing.Any]) -> None:
+    """Write one frame and drain the kernel buffer."""
+    writer.write(encode_frame(obj))
+    await writer.drain()

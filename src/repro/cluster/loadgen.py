@@ -1,0 +1,266 @@
+"""Closed-loop load generator for a live cluster.
+
+Reproduces the paper's workload model against real servers: per site,
+``threads_per_site`` closed-loop workers each submit the transactions of
+their :meth:`~repro.workload.generator.TransactionGenerator.thread_stream`
+one at a time, waiting for each outcome before the next submission.  The
+generator streams are seeded exactly as the simulation harness seeds
+them, so a live run and a sim run with the same :class:`ClusterSpec`
+execute a **matched workload** — the basis of the live-vs-sim benchmark.
+
+After the workload drains, the generator waits for the cluster to
+quiesce (propagation queues empty, histories stable), then runs the same
+oracles the simulation harness uses:
+
+- replica convergence, via :func:`repro.harness.convergence
+  .divergent_copies` over the item states the sites report;
+- global serializability, via :func:`repro.harness.serializability
+  .check_serializable` over site histories rebuilt from the reported
+  commit logs.
+
+Latencies are *wall-clock* seconds measured at the client; the report
+carries committed-transaction throughput plus p50/p95/p99 from
+:mod:`repro.harness.metrics`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+import typing
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.codec import decode_value
+from repro.cluster.spec import ClusterSpec
+from repro.harness.convergence import divergent_copies
+from repro.harness.metrics import MetricsCollector
+from repro.harness.serializability import (
+    build_serialization_graph,
+    find_dsg_cycle,
+)
+from repro.sim.rng import RngRegistry
+from repro.storage.history import SiteHistory
+from repro.types import SubtransactionKind
+from repro.workload.generator import TransactionGenerator
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """Outcome of one load-generator run against a live cluster."""
+
+    protocol: str
+    seed: int
+    n_sites: int
+    threads_per_site: int
+    transactions_per_thread: int
+    duration: float
+    committed: int
+    aborted: int
+    unknown: int
+    throughput: float
+    latency: typing.Dict[str, float]
+    abort_rate: float
+    convergent: bool
+    divergent: int
+    serializable: bool
+    dsg_nodes: int
+    messages_sent: int
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+    def format(self) -> str:
+        lines = [
+            "live cluster: {} sites, protocol {}, seed {}".format(
+                self.n_sites, self.protocol, self.seed),
+            "workload: {} threads/site x {} txns/thread".format(
+                self.threads_per_site, self.transactions_per_thread),
+            "duration: {:.2f} s".format(self.duration),
+            "committed: {}  aborted: {}  unknown: {}".format(
+                self.committed, self.aborted, self.unknown),
+            "throughput: {:.1f} committed txns/s".format(self.throughput),
+            "latency: p50 {:.1f} ms  p95 {:.1f} ms  p99 {:.1f} ms  "
+            "(mean {:.1f} ms)".format(
+                self.latency["p50"] * 1000, self.latency["p95"] * 1000,
+                self.latency["p99"] * 1000, self.latency["mean"] * 1000),
+            "abort rate: {:.2f} %".format(self.abort_rate),
+            "convergent: {}  serializable: {} ({} DSG nodes)".format(
+                "yes" if self.convergent else
+                "NO ({} divergent)".format(self.divergent),
+                "yes" if self.serializable else "NO", self.dsg_nodes),
+        ]
+        return "\n".join(lines)
+
+
+async def generate_load(spec: ClusterSpec, client: ClusterClient,
+                        verify: bool = True,
+                        quiesce_timeout: float = 30.0) -> LoadReport:
+    """Drive the matched workload through ``client`` and verify."""
+    spec.validate()
+    placement = spec.build_placement()
+    # Streams are name-keyed, so this is the exact generator seeding the
+    # simulation harness uses for the same (params, seed).
+    generator = TransactionGenerator(spec.params, placement,
+                                     RngRegistry(spec.seed)
+                                     .stream("workload"))
+    metrics = MetricsCollector(spec.params.n_sites)
+    unknown = [0]
+    started = time.monotonic()
+
+    async def worker(site: int, thread: int) -> None:
+        for txn_spec in generator.thread_stream(site, thread):
+            sent = time.monotonic()
+            outcome = await client.run_transaction(txn_spec)
+            elapsed = time.monotonic() - sent
+            if outcome["status"] == "committed":
+                metrics.transaction_committed(site, elapsed)
+            elif outcome["status"] == "aborted":
+                metrics.transaction_aborted(
+                    site, outcome.get("reason") or "aborted")
+            else:
+                unknown[0] += 1
+
+    await asyncio.gather(*(
+        worker(site, thread)
+        for site in range(spec.params.n_sites)
+        for thread in range(spec.params.threads_per_site)))
+    duration = time.monotonic() - started
+
+    statuses = await wait_quiescent(client, timeout=quiesce_timeout)
+    convergent, divergent, serializable, dsg_nodes = True, 0, True, 0
+    if verify:
+        state = {site: decode_value(status["items"])
+                 for site, status in statuses.items()}
+        problems = divergent_copies(placement, state)
+        convergent, divergent = not problems, len(problems)
+        histories = [history_from_status(status)
+                     for status in statuses.values()]
+        graph = build_serialization_graph(histories)
+        dsg_nodes = len(graph)
+        serializable = find_dsg_cycle(graph) is None
+
+    return LoadReport(
+        protocol=spec.protocol,
+        seed=spec.seed,
+        n_sites=spec.params.n_sites,
+        threads_per_site=spec.params.threads_per_site,
+        transactions_per_thread=spec.params.transactions_per_thread,
+        duration=duration,
+        committed=metrics.total_committed,
+        aborted=metrics.total_aborted,
+        unknown=unknown[0],
+        throughput=(metrics.total_committed / duration
+                    if duration > 0 else 0.0),
+        latency=metrics.latency_summary(),
+        abort_rate=metrics.abort_rate(),
+        convergent=convergent,
+        divergent=divergent,
+        serializable=serializable,
+        dsg_nodes=dsg_nodes,
+        messages_sent=sum(status.get("messages_sent", 0)
+                          for status in statuses.values()),
+    )
+
+
+async def wait_quiescent(client: ClusterClient, timeout: float = 30.0,
+                         settle_polls: int = 2, poll_interval: float = 0.1
+                         ) -> typing.Dict[int, typing.Dict]:
+    """Poll statuses until propagation stops moving.
+
+    Quiescent = every site reports an empty outbound queue and no site's
+    history grew, for ``settle_polls`` consecutive polls.  Returns the
+    final statuses; raises :class:`TimeoutError` past ``timeout``.
+    """
+    deadline = time.monotonic() + timeout
+    last_sizes: typing.Optional[typing.List[int]] = None
+    stable = 0
+    while True:
+        statuses = await client.statuses()
+        sizes = [len(status["history"])
+                 for _site, status in sorted(statuses.items())]
+        idle = all(status.get("pending_out", 0) == 0
+                   for status in statuses.values())
+        if idle and sizes == last_sizes:
+            stable += 1
+            if stable >= settle_polls:
+                return statuses
+        else:
+            stable = 0
+        last_sizes = sizes
+        if time.monotonic() > deadline:
+            raise TimeoutError(
+                "cluster did not quiesce within {:.0f} s".format(timeout))
+        await asyncio.sleep(poll_interval)
+
+
+def history_from_status(status: typing.Mapping) -> SiteHistory:
+    """Rebuild a :class:`SiteHistory` from a site's status response, so
+    the simulation's serializability oracle runs on live-cluster data."""
+    history = SiteHistory(status["site"])
+    for entry in status["history"]:
+        history.record(
+            gid=decode_value(entry["gid"]),
+            kind=SubtransactionKind(entry["kind"]),
+            commit_time=float(entry["commit_time"]),
+            reads=decode_value(entry["reads"]),
+            writes=decode_value(entry["writes"]),
+        )
+    return history
+
+
+def run_loadgen(spec: ClusterSpec, verify: bool = True,
+                quiesce_timeout: float = 30.0,
+                max_in_flight: int = 64,
+                timeout: float = 30.0) -> LoadReport:
+    """Synchronous entry point (the ``repro loadgen`` command)."""
+
+    async def _run() -> LoadReport:
+        client = ClusterClient(spec, timeout=timeout,
+                               max_in_flight=max_in_flight)
+        try:
+            await client.wait_ready()
+            return await generate_load(spec, client, verify=verify,
+                                       quiesce_timeout=quiesce_timeout)
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())
+
+
+def spawn_and_load(spec: ClusterSpec,
+                   wal_dir: typing.Optional[str] = None,
+                   verify: bool = True,
+                   quiesce_timeout: float = 30.0,
+                   max_in_flight: int = 64,
+                   timeout: float = 30.0) -> LoadReport:
+    """``repro loadgen --spawn``: start every site in-process, drive the
+    workload, tear the cluster down.  With ``wal_dir`` each site gets a
+    durable WAL file ``site<N>.wal`` there."""
+    import os
+
+    from repro.cluster.server import SiteServer
+
+    async def _run() -> LoadReport:
+        servers = []
+        client = None
+        try:
+            for site in range(spec.params.n_sites):
+                wal_path = (os.path.join(
+                    wal_dir, "site{}.wal".format(site))
+                    if wal_dir is not None else None)
+                server = SiteServer(spec, site, wal_path=wal_path)
+                await server.start()
+                servers.append(server)
+            client = ClusterClient(spec, timeout=timeout,
+                                   max_in_flight=max_in_flight)
+            await client.wait_ready()
+            return await generate_load(spec, client, verify=verify,
+                                       quiesce_timeout=quiesce_timeout)
+        finally:
+            if client is not None:
+                await client.close()
+            for server in servers:
+                await server.stop()
+
+    return asyncio.run(_run())

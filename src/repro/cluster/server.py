@@ -1,0 +1,624 @@
+"""The live site server.
+
+One :class:`SiteServer` hosts one site of the copy graph: its
+:class:`~repro.storage.engine.StorageEngine` (optionally backed by a
+durable :class:`~repro.cluster.wal.FileWal`), its protocol instance, and
+a TCP endpoint serving both peers and clients.
+
+Execution model — *virtual time riding the wall clock*: the server owns
+a private discrete-event :class:`~repro.sim.environment.Environment`
+whose clock is pinned to real elapsed seconds.  Every external input
+(client transaction, peer message) is injected and the environment is
+then driven through all events due "now"; purely timed events (lock
+timeouts, heartbeats) are armed as asyncio timers for their real due
+time.  With the live cost profile (CPU service times zeroed — the real
+CPU *is* the cost), the paper's protocol generators execute unchanged:
+the 50 ms deadlock timeout becomes a real 50 ms, and propagation runs
+over real sockets via :class:`LiveTransport`.
+
+The server, not the protocol, handles the cluster control plane:
+
+- ``WOUND`` — apply a remote victim-policy wound to a local primary;
+- ``CATCHUP_REQUEST``/``CATCHUP_REPLY`` — anti-entropy pulls: on start
+  after WAL recovery, and periodically, each site asks the primary site
+  of every item it replicates for the update tail it may have missed
+  (crash windows, messages lost with a dead process).  Applied tails
+  replay the primary's commit order, so serializability is preserved;
+- delivery dedup — at-least-once transport resends and catch-up overlap
+  are filtered via the transport sequence numbers and the writer-lineage
+  check before a ``SECONDARY`` reaches the protocol queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import typing
+
+from repro.cluster.codec import (
+    decode_message,
+    encode_value,
+    read_frame,
+    write_frame,
+)
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.transport import LiveTransport
+from repro.cluster.wal import FileWal, MessageJournal
+from repro.core.base import ReplicatedSystem, SystemConfig, make_protocol
+from repro.errors import TransactionAborted
+from repro.network.message import Message, MessageType
+from repro.sim.environment import Environment
+from repro.storage.log import LogRecordKind, recover
+from repro.types import (
+    GlobalTransactionId,
+    Operation,
+    OpType,
+    SiteId,
+    SubtransactionKind,
+    TransactionSpec,
+)
+
+#: Protocols the live runtime supports (their cross-site interactions
+#: flow entirely through the transport + the control plane above).
+LIVE_PROTOCOLS = ("dag_wt", "backedge")
+
+
+def live_system_config(spec: ClusterSpec) -> SystemConfig:
+    """The live cost profile: real CPU, real network, real timeouts."""
+    return SystemConfig(
+        lock_timeout=spec.params.deadlock_timeout,
+        network_latency=0.0,
+        cpu_txn_setup=0.0, cpu_per_op=0.0, cpu_commit=0.0,
+        cpu_message=0.0, cpu_apply_write=0.0, cpu_remote_read=0.0,
+        cpu_quantum=0.001, cpu_cores=1)
+
+
+def decode_spec(obj: typing.Mapping[str, typing.Any]) -> TransactionSpec:
+    """Client-RPC transaction spec: {gid: [site, seq], origin, ops}."""
+    gid = GlobalTransactionId(*obj["gid"])
+    operations = tuple(
+        Operation(OpType.READ if kind == "r" else OpType.WRITE, item)
+        for kind, item in obj["ops"])
+    return TransactionSpec(gid=gid, origin=int(obj["origin"]),
+                           operations=operations)
+
+
+def encode_spec(spec: TransactionSpec) -> typing.Dict[str, typing.Any]:
+    return {
+        "gid": [spec.gid.site, spec.gid.seq],
+        "origin": spec.origin,
+        "ops": [["r" if op.is_read else "w", op.item]
+                for op in spec.operations],
+    }
+
+
+class SiteServer:
+    """One live site: engine + WAL + protocol + TCP endpoint."""
+
+    def __init__(self, spec: ClusterSpec, site_id: SiteId,
+                 wal_path: typing.Optional[str] = None,
+                 anti_entropy_interval: float = 2.0):
+        spec.validate()
+        if spec.protocol not in LIVE_PROTOCOLS:
+            raise ValueError(
+                "protocol {!r} is not supported by the live runtime "
+                "(supported: {})".format(spec.protocol,
+                                         ", ".join(LIVE_PROTOCOLS)))
+        self.spec = spec
+        self.site_id = site_id
+        self.wal_path = wal_path
+        self.anti_entropy_interval = anti_entropy_interval
+        self.placement = spec.build_placement()
+        self.committed = 0
+        self.aborted = 0
+        self.recovered = False
+        self._closed = False
+        self._loop: typing.Optional[asyncio.AbstractEventLoop] = None
+        self._epoch = 0.0
+        self._timer: typing.Optional[asyncio.TimerHandle] = None
+        self._tcp_server: typing.Optional[asyncio.AbstractServer] = None
+        self._conn_writers: typing.Set[asyncio.StreamWriter] = set()
+        self._anti_entropy_task: typing.Optional[asyncio.Task] = None
+        self.env: typing.Optional[Environment] = None
+        self.system: typing.Optional[ReplicatedSystem] = None
+        self.transport: typing.Optional[LiveTransport] = None
+        self.wal: typing.Optional[FileWal] = None
+        self.journal: typing.Optional[MessageJournal] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover (if a WAL exists), wire the system, begin serving."""
+        self._loop = asyncio.get_running_loop()
+        self._epoch = self._loop.time()
+        self.env = Environment()
+        self.transport = LiveTransport(
+            self.site_id, self.spec.addresses(),
+            fingerprint=self.spec.fingerprint())
+        self.system = ReplicatedSystem(
+            self.env, self.placement, live_system_config(self.spec),
+            transport=self.transport, local_sites=[self.site_id])
+        site = self.system.site_of(self.site_id)
+        if self.wal_path is not None:
+            self.wal = FileWal(self.wal_path)
+            self.journal = MessageJournal(self.wal_path + ".inbox")
+            if self.wal.recovered_records:
+                # Crash recovery: rebuild the engine from the redo log.
+                site.engine = recover(
+                    self.env, self.site_id, self.wal,
+                    lock_timeout=self.spec.params.deadlock_timeout)
+                self.recovered = True
+            else:
+                site.engine.attach_wal(self.wal)
+                for item_id in sorted(site.engine.item_ids()):
+                    self.wal.append(
+                        LogRecordKind.CREATE, item=item_id,
+                        value=site.engine.item(item_id).value,
+                        time=self.env.now)
+        protocol = make_protocol(self.spec.protocol, self.system,
+                                 **self.spec.protocol_options)
+        self.system.use_protocol(protocol)
+        self.system.remote_wound = self._remote_wound
+        if self.recovered:
+            # Re-seed the FIFO update stream from stable storage before
+            # accepting live traffic: acknowledged-but-unapplied peer
+            # updates (the inbox journal) and our own committed primary
+            # updates whose forwards may have died with the old process.
+            self._replay_journal()
+            self._reforward_primaries()
+        host, port = self.spec.address(self.site_id)
+        self._tcp_server = await asyncio.start_server(
+            self._on_connection, host, port)
+        self._request_catchup()
+        if self.anti_entropy_interval > 0:
+            self._anti_entropy_task = self._loop.create_task(
+                self._anti_entropy_loop())
+        self._drive()
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        try:
+            await self._tcp_server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self) -> None:
+        """Graceful shutdown (state preserved in the WAL, if any)."""
+        await self._teardown()
+
+    def kill(self) -> None:
+        """Abrupt in-process crash: volatile state is abandoned, the WAL
+        file survives.  Restart by constructing a fresh SiteServer with
+        the same ``wal_path``."""
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+        if self._anti_entropy_task is not None:
+            self._anti_entropy_task.cancel()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+        # A real crash severs established connections too — peers and
+        # clients must see the failure, not talk to a zombie.
+        for writer in list(self._conn_writers):
+            writer.transport.abort()
+        if self.transport is not None:
+            self.transport.closed = True
+            for channel in self.transport._channels.values():
+                channel.cancel()
+        if self.wal is not None:
+            self.wal.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    async def _teardown(self) -> None:
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+        if self._anti_entropy_task is not None:
+            self._anti_entropy_task.cancel()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for writer in list(self._conn_writers):
+            writer.close()
+        if self.transport is not None:
+            await self.transport.close()
+        if self.wal is not None:
+            self.wal.close()
+        if self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # The real-time clock driver
+    # ------------------------------------------------------------------
+
+    def _wall(self) -> float:
+        return self._loop.time() - self._epoch
+
+    def _drive(self) -> None:
+        """Run the environment through everything due by wall-now, then
+        arm a timer for the next purely-timed event."""
+        if self._closed:
+            return
+        env = self.env
+        try:
+            while True:
+                target = max(env.now, self._wall())
+                env.run(until=target)
+                if env.peek() > self._wall():
+                    break
+        except Exception as exc:  # pragma: no cover - defensive
+            print("site s{}: event loop error: {!r}".format(
+                self.site_id, exc), file=sys.stderr)
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        next_due = self.env.peek()
+        if next_due == float("inf"):
+            return
+        delay = max(0.0, next_due - self._wall())
+        self._timer = self._loop.call_later(delay, self._drive)
+
+    # ------------------------------------------------------------------
+    # Transactions (client plane)
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, spec: TransactionSpec
+                           ) -> "asyncio.Future":
+        """Spawn a primary transaction; resolves to (status, reason,
+        elapsed_seconds)."""
+        future = self._loop.create_future()
+        protocol = self.system.protocol
+        env = self.env
+        process_ref: list = []
+
+        def body():
+            start = env.now
+            try:
+                yield from protocol.run_transaction(
+                    spec.origin, spec, process_ref[0])
+            except TransactionAborted as exc:
+                self.aborted += 1
+                _resolve(future, ("aborted", exc.reason,
+                                  env.now - start))
+                return
+            self.committed += 1
+            _resolve(future, ("committed", None, env.now - start))
+
+        process_ref.append(env.process(body()))
+        self._drive()
+        return future
+
+    # ------------------------------------------------------------------
+    # Peer plane
+    # ------------------------------------------------------------------
+
+    def _remote_wound(self, gid: GlobalTransactionId,
+                      reason: str) -> None:
+        if gid.site == self.site_id or self._closed:
+            return
+        self.transport.send(MessageType.WOUND, self.site_id, gid.site,
+                            gid=gid, reason=reason)
+
+    def _handle_peer_message(self, obj: typing.Mapping) -> None:
+        """Process one inbound ``msg`` frame.  The caller acks it
+        afterwards — including duplicates, which the sender needs acked
+        to retire its unacked queue."""
+        message = decode_message(obj["msg"])
+        if message.dst != self.site_id:
+            self.transport.dead_letters.append(message)
+            return
+        if not self.transport.fresh(message.src, obj.get("inc", ""),
+                                    int(obj.get("seq", 0))):
+            return  # transport-level resend
+        if message.msg_type is MessageType.SECONDARY and \
+                self.journal is not None:
+            # Journal before ack: once the sender retires this update,
+            # the journal is the only copy that survives our crash.
+            self.journal.append(message.src, obj.get("inc", ""),
+                                int(obj.get("seq", 0)), obj["msg"])
+        if message.msg_type is MessageType.WOUND:
+            self._on_wound(message)
+        elif message.msg_type is MessageType.CATCHUP_REQUEST:
+            self._on_catchup_request(message)
+        elif message.msg_type is MessageType.CATCHUP_REPLY:
+            self._on_catchup_reply(message)
+        else:
+            self.transport.deliver(message)
+        self._drive()
+
+    def _on_wound(self, message: Message) -> None:
+        txn = self.system.primaries.get(message.payload["gid"])
+        if txn is not None:
+            txn.wound(message.payload.get("reason", "remote-wound"))
+
+    # ------------------------------------------------------------------
+    # Crash recovery (stream repair)
+    # ------------------------------------------------------------------
+
+    def _replay_journal(self) -> None:
+        """Re-deliver journalled peer updates in their arrival order.
+
+        Restores the transport dedup table (so live resends of these
+        are dropped) and refills the protocol queue; the engine-level
+        ``has_applied`` filter skips whatever the WAL already committed,
+        so replay past the durable point is idempotent."""
+        for entry in self.journal.entries:
+            message = decode_message(entry["msg"])
+            self.transport.accept(int(entry["src"]), entry["inc"],
+                                  int(entry["seq"]), message)
+
+    def _reforward_primaries(self) -> None:
+        """Re-forward every committed local primary from the WAL.
+
+        A crash loses the outbound channels' volatile queues, and a
+        primary's commit and its forward are only atomic within one
+        process lifetime — so after recovery we re-send all of them, in
+        commit order, and rely on replica-side idempotency to drop the
+        ones that already arrived.  Safe to interleave with journal
+        replay: journalled updates carry items whose primary is another
+        site, so the two streams never write-conflict."""
+        protocol = self.system.protocol
+        kinds: typing.Dict[GlobalTransactionId, SubtransactionKind] = {}
+        writes: typing.Dict[GlobalTransactionId, typing.Dict] = {}
+        for record in self.wal:
+            if record.kind is LogRecordKind.BEGIN:
+                kinds[record.gid] = record.txn_kind
+                writes.setdefault(record.gid, {})
+            elif record.kind is LogRecordKind.WRITE:
+                writes.setdefault(record.gid, {})[record.item] = \
+                    record.value
+            elif record.kind is LogRecordKind.COMMIT:
+                if kinds.get(record.gid) is not \
+                        SubtransactionKind.PRIMARY:
+                    continue
+                replicated = {
+                    item: value
+                    for item, value in sorted(
+                        writes.get(record.gid, {}).items())
+                    if self.placement.is_replicated(item)}
+                if replicated:
+                    protocol._forward(self.site_id, record.gid,
+                                      replicated)
+
+    # ------------------------------------------------------------------
+    # Catch-up / anti-entropy
+    # ------------------------------------------------------------------
+
+    def _request_catchup(self) -> None:
+        """Ask each primary for the update tail of our replica items."""
+        engine = self.system.site_of(self.site_id).engine
+        by_primary: typing.Dict[SiteId, typing.Dict] = {}
+        for item in sorted(self.placement.replica_items_at(self.site_id)):
+            primary = self.placement.primary_site(item)
+            by_primary.setdefault(primary, {})[item] = \
+                engine.item(item).committed_version
+        for primary, items in sorted(by_primary.items()):
+            self.transport.send(MessageType.CATCHUP_REQUEST,
+                                self.site_id, primary, items=items)
+
+    async def _anti_entropy_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.anti_entropy_interval)
+            if not self._closed:
+                self._request_catchup()
+
+    def _on_catchup_request(self, message: Message) -> None:
+        engine = self.system.site_of(self.site_id).engine
+        reply: typing.Dict = {}
+        for item, remote_version in message.payload["items"].items():
+            if not engine.has_item(item):
+                continue
+            record = engine.item(item)
+            if record.committed_version > remote_version:
+                reply[item] = {
+                    "value": record.value,
+                    "version": record.committed_version,
+                    "writers": list(
+                        record.writers[remote_version:]),
+                    # Writer of the requester's current version: lets it
+                    # verify the tail really extends its own lineage.
+                    "anchor": (record.writers[remote_version - 1]
+                               if 0 < remote_version <=
+                               len(record.writers) else None),
+                }
+        if reply:
+            self.transport.send(MessageType.CATCHUP_REPLY, self.site_id,
+                                message.src, items=reply)
+
+    def _on_catchup_reply(self, message: Message) -> None:
+        engine = self.system.site_of(self.site_id).engine
+        locks = engine.locks
+        busy = {request.item for request in locks.waiting_requests()}
+        for item, entry in message.payload["items"].items():
+            if not engine.has_item(item):
+                continue
+            # Catch-up bypasses the lock manager, so it must not touch an
+            # item an in-flight subtransaction holds or awaits a lock on —
+            # that subtransaction (or the next anti-entropy round) covers
+            # the gap, and racing it could double-apply a version.
+            if item in busy or locks.holders(item):
+                continue
+            if not self._catchup_tail_aligned(engine.item(item), entry):
+                continue
+            engine.apply_catchup(item, entry["value"], entry["version"],
+                                 entry["writers"])
+
+    @staticmethod
+    def _catchup_tail_aligned(record, entry: typing.Mapping) -> bool:
+        """True when a catch-up tail provably extends our lineage.
+
+        The reply was computed for the version we reported when we
+        asked; updates may have landed here since.  The tail is safe to
+        apply only if (a) its anchor — the writer of the version the
+        reply assumes we hold — matches our history, and (b) wherever
+        the tail overlaps versions we already have, the writers agree.
+        Anything else is stale or misaligned; the next anti-entropy
+        round will resolve it from fresher state."""
+        base = entry["version"] - len(entry["writers"])
+        current = record.committed_version
+        if current < base:
+            return False
+        if base > 0:
+            if len(record.writers) < base or \
+                    record.writers[base - 1] != entry.get("anchor"):
+                return False
+        overlap = current - base
+        tail = list(entry["writers"])
+        if overlap > len(tail):
+            return False
+        return list(record.writers[base:current]) == tail[:overlap]
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self._conn_writers.add(writer)
+        try:
+            hello = await read_frame(reader)
+            if hello is None or hello.get("kind") != "hello":
+                return
+            fingerprint = hello.get("fingerprint", "")
+            if fingerprint and \
+                    fingerprint != self.spec.fingerprint():
+                await write_frame(writer, {
+                    "kind": "error",
+                    "error": "cluster fingerprint mismatch"})
+                return
+            if hello.get("role") == "peer":
+                await self._peer_loop(reader, writer)
+            else:
+                await self._client_loop(reader, writer)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _peer_loop(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        while not self._closed:
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            if frame.get("kind") != "msg":
+                continue
+            self._handle_peer_message(frame)
+            # Ack only after the frame is journalled (durable classes)
+            # and dispatched; the sender retires it on this ack.
+            try:
+                await write_frame(writer, {
+                    "kind": "ack", "seq": int(frame.get("seq", 0))})
+            except (ConnectionError, OSError):
+                return
+
+    async def _client_loop(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        pending: typing.Set[asyncio.Task] = set()
+        try:
+            while not self._closed:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                if frame.get("kind") != "req":
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_request(frame, writer, write_lock))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        finally:
+            for task in pending:
+                task.cancel()
+
+    async def _serve_request(self, frame: typing.Mapping,
+                             writer: asyncio.StreamWriter,
+                             write_lock: asyncio.Lock) -> None:
+        rid = frame.get("rid")
+        try:
+            response = await self._dispatch(frame)
+        except Exception as exc:
+            response = {"ok": False, "error": repr(exc)}
+        response["kind"] = "resp"
+        response["rid"] = rid
+        try:
+            async with write_lock:
+                await write_frame(writer, response)
+        except (ConnectionError, OSError):
+            pass
+        # Requests that end the server act after the response is out.
+        if response.get("_shutdown"):
+            await self._teardown()
+        elif response.get("_crash"):
+            self.kill()
+
+    async def _dispatch(self, frame: typing.Mapping
+                        ) -> typing.Dict[str, typing.Any]:
+        op = frame.get("op")
+        if op == "ping":
+            return {"ok": True, "site": self.site_id,
+                    "protocol": self.spec.protocol,
+                    "recovered": self.recovered}
+        if op == "txn":
+            spec = decode_spec(frame["spec"])
+            if spec.origin != self.site_id:
+                return {"ok": False,
+                        "error": "transaction for s{} sent to s{}".format(
+                            spec.origin, self.site_id)}
+            status, reason, elapsed = await self.submit_transaction(spec)
+            return {"ok": True, "status": status, "reason": reason,
+                    "elapsed": elapsed}
+        if op == "status":
+            return self._status()
+        if op == "crash":
+            return {"ok": True, "_crash": True}
+        if op == "shutdown":
+            return {"ok": True, "_shutdown": True}
+        return {"ok": False, "error": "unknown op {!r}".format(op)}
+
+    def _status(self) -> typing.Dict[str, typing.Any]:
+        engine = self.system.site_of(self.site_id).engine
+        items = {
+            item: {"value": engine.item(item).value,
+                   "version": engine.item(item).committed_version}
+            for item in engine.item_ids()}
+        history = [
+            {"gid": encode_value(entry.gid), "kind": entry.kind.value,
+             "seq": entry.seq, "commit_time": entry.commit_time,
+             "reads": encode_value(dict(entry.reads)),
+             "writes": encode_value(dict(entry.writes))}
+            for entry in engine.history]
+        return {
+            "ok": True,
+            "site": self.site_id,
+            "now": self.env.now,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "items": encode_value(items),
+            "history": history,
+            "messages_sent": self.transport.total_sent,
+            "messages_by_type": {
+                msg_type.value: count for msg_type, count
+                in self.transport.sent_by_type.items()},
+            "pending_out": self.transport.pending_out,
+            "wal_records": len(self.wal) if self.wal is not None else 0,
+            "journal_records": (len(self.journal)
+                                if self.journal is not None else 0),
+            "recovered": self.recovered,
+        }
+
+
+def _resolve(future: "asyncio.Future", value) -> None:
+    if not future.done():
+        future.set_result(value)

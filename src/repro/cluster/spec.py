@@ -1,0 +1,109 @@
+"""Cluster specification shared by every server, client and load source.
+
+All members of a cluster must agree on the data placement, the protocol
+and the address plan.  Rather than shipping the placement over the wire,
+a :class:`ClusterSpec` carries the *generator inputs* (workload params +
+seed); every process rebuilds the identical placement deterministically
+— the same construction the simulation harness uses, so a live run and
+a sim run with the same spec execute a matched workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import typing
+
+from repro.graph.placement import DataPlacement
+from repro.sim.rng import RngRegistry
+from repro.workload.distribution import generate_placement
+from repro.workload.params import WorkloadParams
+from repro.types import SiteId
+
+
+@dataclasses.dataclass
+class ClusterSpec:
+    """Everything a process needs to join (or drive) one cluster."""
+
+    params: WorkloadParams = dataclasses.field(
+        default_factory=WorkloadParams)
+    protocol: str = "dag_wt"
+    protocol_options: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+    seed: int = 0
+    host: str = "127.0.0.1"
+    base_port: int = 7450
+
+    def validate(self) -> "ClusterSpec":
+        self.params.validate()
+        if not 1 <= self.base_port <= 65535 - self.params.n_sites:
+            raise ValueError(
+                "base_port {} leaves no room for {} sites".format(
+                    self.base_port, self.params.n_sites))
+        return self
+
+    # ------------------------------------------------------------------
+    # Derived, deterministic views
+    # ------------------------------------------------------------------
+
+    def build_placement(self) -> DataPlacement:
+        """The cluster's data placement (same for every member)."""
+        rngs = RngRegistry(self.seed)
+        return generate_placement(self.params.validate(),
+                                  rngs.stream("placement"))
+
+    def address(self, site: SiteId) -> typing.Tuple[str, int]:
+        """Listen address of ``site``'s server."""
+        return self.host, self.base_port + site
+
+    def addresses(self) -> typing.Dict[SiteId, typing.Tuple[str, int]]:
+        return {site: self.address(site)
+                for site in range(self.params.n_sites)}
+
+    def fingerprint(self) -> str:
+        """Digest of everything members must agree on (addresses aside).
+
+        Exchanged in hello frames so a server refuses peers/clients from
+        a differently-configured cluster.  Only the *structural*
+        agreement set is hashed — the placement-determining parameters,
+        the deadlock timeout, protocol and seed.  Workload-volume knobs
+        (threads, transactions per thread, read mix) are load-generator
+        concerns; a client may drive any volume against served sites.
+        """
+        params = self.params
+        material = json.dumps(
+            [{"n_sites": params.n_sites, "n_items": params.n_items,
+              "replication_probability": params.replication_probability,
+              "backedge_probability": params.backedge_probability,
+              "site_probability": params.site_probability,
+              "deadlock_timeout": params.deadlock_timeout},
+             self.protocol, self.protocol_options, self.seed],
+            sort_keys=True, default=str)
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Serialisation (CLI flags and subprocess handoff)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "params": dataclasses.asdict(self.params),
+            "protocol": self.protocol,
+            "protocol_options": dict(self.protocol_options),
+            "seed": self.seed,
+            "host": self.host,
+            "base_port": self.base_port,
+        }
+
+    @classmethod
+    def from_json(cls, obj: typing.Mapping[str, typing.Any]
+                  ) -> "ClusterSpec":
+        return cls(
+            params=WorkloadParams(**obj.get("params", {})),
+            protocol=obj.get("protocol", "dag_wt"),
+            protocol_options=dict(obj.get("protocol_options", {})),
+            seed=int(obj.get("seed", 0)),
+            host=obj.get("host", "127.0.0.1"),
+            base_port=int(obj.get("base_port", 7450)),
+        ).validate()

@@ -1,0 +1,308 @@
+"""TCP transport with the simulated Network's contract.
+
+The protocol classes in :mod:`repro.core` interact with the fabric only
+through ``send(msg_type, src, dst, **payload)`` and
+``set_handler(site, handler)``; this module satisfies that contract over
+real sockets while preserving the structural per-channel FIFO guarantee
+DAG(WT)'s correctness depends on:
+
+- one outbound connection per channel ``(src, dst)``, written by a
+  single sender task — TCP ordering gives FIFO delivery;
+- **acknowledged delivery**: a message leaves the channel only when the
+  receiving server has acknowledged it (after journalling it to stable
+  storage, for the durable message classes).  Written-but-unacked
+  messages are resent, in order, on every reconnect — a successful
+  socket write only proves the bytes left this process, not that the
+  peer processed them, and a receiver crash in between would otherwise
+  punch a gap into the FIFO stream (the root of all replication evil:
+  a later update applied before an earlier one can never be serialized
+  again);
+- a per-process random *incarnation id* plus a per-channel sequence
+  number on every frame; the receiving server drops ``(src,
+  incarnation)`` sequence numbers it has already seen, making resends
+  idempotent.  A restarted receiver reloads that dedup state from its
+  message journal and re-applies idempotently past it.
+
+Delivery happens on the receiving server: inbound ``msg`` frames are
+decoded and handed to :meth:`LiveTransport.deliver`, which dispatches to
+the handler the protocol registered for the local site.
+
+Backpressure note: the per-channel backlog is unbounded by design — a
+site that is down accumulates its updates at the senders (exactly the
+paper's lazy-propagation queueing assumption).  Client-side admission is
+bounded instead (:class:`~repro.cluster.client.ClusterClient`'s
+in-flight semaphore).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import itertools
+import typing
+import uuid
+
+from repro.cluster.codec import (
+    CodecError,
+    encode_message,
+    read_frame,
+    write_frame,
+)
+from repro.network.message import Message, MessageType
+from repro.types import SiteId
+
+#: Reconnect backoff bounds (seconds).
+_BACKOFF_MIN = 0.05
+_BACKOFF_MAX = 1.0
+
+
+class _Channel:
+    """Sender side of one FIFO link ``src -> dst``."""
+
+    def __init__(self, transport: "LiveTransport", dst: SiteId):
+        self.transport = transport
+        self.dst = dst
+        #: Queued, not yet written on the current connection.
+        self.unsent: typing.Deque[typing.Tuple[int, Message]] = \
+            collections.deque()
+        #: Written but not yet acknowledged by the receiver.
+        self.unacked: typing.Deque[typing.Tuple[int, Message]] = \
+            collections.deque()
+        self.seq = itertools.count(1)
+        self.wakeup = asyncio.Event()
+        self.task: typing.Optional[asyncio.Task] = None
+        self._ack_task: typing.Optional[asyncio.Task] = None
+
+    def put(self, message: Message) -> None:
+        self.unsent.append((next(self.seq), message))
+        self.wakeup.set()
+        if self.task is None or self.task.done():
+            self.task = asyncio.get_running_loop().create_task(
+                self._sender())
+
+    @property
+    def backlog(self) -> int:
+        return len(self.unsent) + len(self.unacked)
+
+    async def _sender(self) -> None:
+        """Drain the queue over one connection, reconnecting forever.
+
+        Pipelined: frames are written without waiting for their acks;
+        a side task consumes cumulative acks and retires ``unacked``
+        entries.  On any connection loss the unacked tail is requeued in
+        front of the unsent queue, so the receiver always observes one
+        gap-free sequence."""
+        backoff = _BACKOFF_MIN
+        writer: typing.Optional[asyncio.StreamWriter] = None
+        try:
+            while not self.transport.closed:
+                if writer is not None and self._ack_task is not None \
+                        and self._ack_task.done():
+                    # Receiver closed (or broke) the connection.
+                    writer = await self._drop_connection(writer)
+                    continue
+                if not self.unsent and \
+                        (writer is not None or not self.unacked):
+                    self.wakeup.clear()
+                    if not self.unsent and not (
+                            self._ack_task is not None
+                            and self._ack_task.done()):
+                        await self.wakeup.wait()
+                    continue
+                if writer is None:
+                    connection = await self._connect()
+                    if connection is None:
+                        await asyncio.sleep(backoff)
+                        backoff = min(backoff * 2, _BACKOFF_MAX)
+                        continue
+                    backoff = _BACKOFF_MIN
+                    reader, writer = connection
+                    while self.unacked:
+                        self.unsent.appendleft(self.unacked.pop())
+                    self._ack_task = asyncio.get_running_loop() \
+                        .create_task(self._ack_loop(reader))
+                    continue
+                seq, message = self.unsent[0]
+                try:
+                    await write_frame(writer, {
+                        "kind": "msg",
+                        "inc": self.transport.incarnation,
+                        "seq": seq,
+                        "msg": encode_message(message),
+                    })
+                except (ConnectionError, OSError):
+                    writer = await self._drop_connection(writer)
+                    continue
+                self.unsent.popleft()
+                self.unacked.append((seq, message))
+        finally:
+            if writer is not None:
+                await self._drop_connection(writer)
+
+    async def _ack_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                if frame.get("kind") != "ack":
+                    continue
+                acked = int(frame["seq"])
+                while self.unacked and self.unacked[0][0] <= acked:
+                    self.unacked.popleft()
+        except (ConnectionError, OSError, CodecError,
+                asyncio.CancelledError, ValueError, KeyError):
+            return
+        finally:
+            # The sender may be idle-waiting on wakeup; a dead
+            # connection with unacked messages must rouse it so it can
+            # reconnect and resend.
+            self.wakeup.set()
+
+    async def _connect(self) -> typing.Optional[
+            typing.Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        host, port = self.transport.peers[self.dst]
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError):
+            return None
+        try:
+            await write_frame(writer, {
+                "kind": "hello",
+                "role": "peer",
+                "site": self.transport.site_id,
+                "fingerprint": self.transport.fingerprint,
+            })
+        except (ConnectionError, OSError):
+            await self._close_writer(writer)
+            return None
+        return reader, writer
+
+    async def _drop_connection(self, writer: asyncio.StreamWriter
+                               ) -> None:
+        if self._ack_task is not None:
+            self._ack_task.cancel()
+            self._ack_task = None
+        await self._close_writer(writer)
+        return None
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+
+    def cancel(self) -> None:
+        if self.task is not None:
+            self.task.cancel()
+        if self._ack_task is not None:
+            self._ack_task.cancel()
+
+
+class LiveTransport:
+    """The :class:`~repro.network.network.Network` contract over TCP."""
+
+    def __init__(self, site_id: SiteId,
+                 peers: typing.Mapping[SiteId, typing.Tuple[str, int]],
+                 fingerprint: str = ""):
+        self.site_id = site_id
+        self.peers = dict(peers)
+        self.n_sites = max(peers, default=site_id) + 1
+        self.fingerprint = fingerprint
+        #: Distinguishes this process from earlier incarnations of the
+        #: same site, so receiver-side dedup tables reset correctly.
+        self.incarnation = uuid.uuid4().hex
+        self.closed = False
+        self._handlers: typing.Dict[SiteId, typing.Callable] = {}
+        self._channels: typing.Dict[SiteId, _Channel] = {}
+        #: Receiver-side dedup: (src, incarnation) -> highest seq seen.
+        self._seen: typing.Dict[typing.Tuple[SiteId, str], int] = {}
+        # Counter parity with the simulated Network (harness/metrics).
+        self.dead_letters: typing.List[Message] = []
+        self.sent_by_type: typing.Counter = collections.Counter()
+        self.total_sent = 0
+        self.record_deliveries = False
+        self.delivery_log: typing.List[Message] = []
+
+    # ------------------------------------------------------------------
+    # The Network contract (called synchronously from sim processes)
+    # ------------------------------------------------------------------
+
+    def set_handler(self, site: SiteId,
+                    handler: typing.Callable[[Message], None]) -> None:
+        self._handlers[site] = handler
+
+    def send(self, msg_type: MessageType, src: SiteId, dst: SiteId,
+             **payload) -> Message:
+        if src == dst:
+            raise ValueError("site s{} sending to itself".format(src))
+        if dst not in self.peers:
+            raise ValueError("unknown site s{}".format(dst))
+        message = Message(msg_type, src, dst, payload)
+        self.sent_by_type[msg_type] += 1
+        self.total_sent += 1
+        channel = self._channels.get(dst)
+        if channel is None:
+            channel = self._channels[dst] = _Channel(self, dst)
+        channel.put(message)
+        return message
+
+    # ------------------------------------------------------------------
+    # Receiving side (called by the SiteServer)
+    # ------------------------------------------------------------------
+
+    def fresh(self, src: SiteId, incarnation: str, seq: int) -> bool:
+        """Mark ``(src, incarnation, seq)`` seen; False if it already
+        was (a transport-level resend)."""
+        key = (src, incarnation)
+        if seq <= self._seen.get(key, 0):
+            return False
+        self._seen[key] = seq
+        return True
+
+    def mark_seen(self, src: SiteId, incarnation: str,
+                  seq: int) -> None:
+        """Pre-load the dedup table (journal replay on recovery)."""
+        key = (src, incarnation)
+        if seq > self._seen.get(key, 0):
+            self._seen[key] = seq
+
+    def accept(self, src: SiteId, incarnation: str, seq: int,
+               message: Message) -> bool:
+        """Dedup-check an inbound frame; deliver if it is new."""
+        if not self.fresh(src, incarnation, seq):
+            return False
+        self.deliver(message)
+        return True
+
+    def deliver(self, message: Message) -> None:
+        if self.record_deliveries:
+            self.delivery_log.append(message)
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            self.dead_letters.append(message)
+            return
+        handler(message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_out(self) -> int:
+        """Messages queued or in flight but not yet acknowledged."""
+        return sum(channel.backlog
+                   for channel in self._channels.values())
+
+    async def close(self) -> None:
+        self.closed = True
+        for channel in self._channels.values():
+            channel.wakeup.set()
+            channel.cancel()
+            if channel.task is not None:
+                try:
+                    await channel.task
+                except (asyncio.CancelledError, Exception):
+                    pass

@@ -106,18 +106,47 @@ class Site:
 
 
 class ReplicatedSystem:
-    """One fully-wired replicated database system."""
+    """One fully-wired replicated database system.
+
+    Parameters
+    ----------
+    env, placement, config:
+        As before.
+    transport:
+        The site-to-site message fabric.  Defaults to the simulated
+        :class:`~repro.network.network.Network`; the live cluster runtime
+        (:mod:`repro.cluster`) injects a TCP-backed transport with the
+        same ``send``/``set_handler`` interface and per-channel FIFO
+        guarantee instead.
+    local_sites:
+        Site ids hosted by *this* process.  Defaults to all sites (the
+        single-process simulation).  A live :class:`SiteServer` restricts
+        this to its own site: only local sites get engines/CPUs, and
+        protocols install handlers and background processes for local
+        sites only.
+    """
 
     def __init__(self, env: Environment, placement: DataPlacement,
-                 config: typing.Optional[SystemConfig] = None):
+                 config: typing.Optional[SystemConfig] = None,
+                 transport=None,
+                 local_sites: typing.Optional[
+                     typing.Iterable[SiteId]] = None):
         self.env = env
         self.placement = placement
         self.config = config or SystemConfig()
         self.copy_graph = CopyGraph.from_placement(placement)
-        self.network = Network(env, placement.n_sites,
-                               latency=self.config.network_latency)
-        self.sites = [Site(env, site_id, self.config)
-                      for site_id in range(placement.n_sites)]
+        if transport is None:
+            transport = Network(env, placement.n_sites,
+                                latency=self.config.network_latency)
+        self.network = transport
+        if local_sites is None:
+            local_sites = range(placement.n_sites)
+        self.local_site_ids: typing.List[SiteId] = sorted(local_sites)
+        local_set = set(self.local_site_ids)
+        self.sites: typing.List[typing.Optional[Site]] = [
+            Site(env, site_id, self.config) if site_id in local_set
+            else None
+            for site_id in range(placement.n_sites)]
         self.protocol: typing.Optional["ReplicationProtocol"] = None
         #: Registry of in-flight primary subtransactions by global id —
         #: lets a remote site's victim policy wound the owning primary
@@ -125,17 +154,31 @@ class ReplicatedSystem:
         #: applies it directly and only the ensuing cleanup traffic is
         #: charged to the network).
         self.primaries: typing.Dict[GlobalTransactionId, Transaction] = {}
+        #: Cross-process wound hook: ``(gid, reason) -> None``.  When a
+        #: victim policy needs to wound a primary whose registry lives in
+        #: another process, it calls this instead (the live runtime wires
+        #: it to a WOUND control message; ``None`` in the simulation,
+        #: where every primary is in :attr:`primaries`).
+        self.remote_wound: typing.Optional[typing.Callable] = None
         #: Observer hooks (set by the harness metrics collector).
         self.observers: typing.List = []
-        # Materialise item copies at their sites.
+        # Materialise item copies at their (locally hosted) sites.
         for item in placement.items:
-            self.site_of(placement.primary_site(item)) \
-                .engine.create_item(item)
-            for replica in placement.replica_sites(item):
-                self.site_of(replica).engine.create_item(item)
+            for copy_site in sorted(placement.sites_of(item)):
+                if copy_site in local_set:
+                    self.site_of(copy_site).engine.create_item(item)
+
+    @property
+    def local_sites(self) -> typing.List[Site]:
+        """The :class:`Site` runtimes hosted by this process."""
+        return [self.sites[site_id] for site_id in self.local_site_ids]
 
     def site_of(self, site_id: SiteId) -> Site:
-        return self.sites[site_id]
+        site = self.sites[site_id]
+        if site is None:
+            raise ConfigurationError(
+                "site s{} is not hosted by this process".format(site_id))
+        return site
 
     def use_protocol(self, protocol: "ReplicationProtocol") -> None:
         """Install the protocol and run its setup (handlers, processes)."""
@@ -273,10 +316,16 @@ class ReplicationProtocol:
                 elif holder.kind in (SubtransactionKind.BACKEDGE,
                                      SubtransactionKind.SPECIAL):
                     primary = self.system.primaries.get(holder.gid)
-                    if primary is not None and primary.wound(
-                            "global-deadlock"):
-                        wounded = True
-                        break
+                    if primary is not None:
+                        if primary.wound("global-deadlock"):
+                            wounded = True
+                            break
+                    elif self.system.remote_wound is not None:
+                        # The owning primary runs in another process
+                        # (live cluster): ship the wound as a control
+                        # message and keep waiting.
+                        self.system.remote_wound(holder.gid,
+                                                 "global-deadlock")
             del wounded  # Either way the subtransaction keeps waiting.
             return KEEP_WAITING
 

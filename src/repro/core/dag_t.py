@@ -124,7 +124,8 @@ class DagTProtocol(ReplicationProtocol):
 
     def setup(self) -> None:
         graph = self.graph
-        for site in self.system.sites:
+        local = set(self.system.local_site_ids)
+        for site in self.system.local_sites:
             site_id = site.site_id
             self.install_lazy_timeout_policy(site.engine.locks)
             self.network.set_handler(site_id, self._make_handler(site_id))
@@ -133,7 +134,7 @@ class DagTProtocol(ReplicationProtocol):
             if graph.children(site_id):
                 self.env.process(self._heartbeat_loop(site_id))
         for source in graph.sources():
-            if graph.children(source):
+            if source in local and graph.children(source):
                 self.env.process(self._epoch_loop(source))
 
     def _make_handler(self, site_id: SiteId):

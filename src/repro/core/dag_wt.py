@@ -56,7 +56,7 @@ class DagWtProtocol(ReplicationProtocol):
         self._queues: typing.Dict[SiteId, Mailbox] = {
             site.site_id: Mailbox(self.env,
                                   name="wt-queue-s{}".format(site.site_id))
-            for site in system.sites}
+            for site in system.local_sites}
 
     def _default_tree(self, prefer_chain: bool) -> PropagationTree:
         return build_propagation_tree(self.system.copy_graph,
@@ -67,7 +67,7 @@ class DagWtProtocol(ReplicationProtocol):
     # ------------------------------------------------------------------
 
     def setup(self) -> None:
-        for site in self.system.sites:
+        for site in self.system.local_sites:
             self.install_lazy_timeout_policy(site.engine.locks)
             self.network.set_handler(site.site_id, self._make_handler(site))
             self.env.process(self._queue_processor(site))
@@ -166,9 +166,14 @@ class DagWtProtocol(ReplicationProtocol):
     def _apply_secondary(self, site: Site, message: Message):
         gid = message.payload["gid"]
         writes = message.payload["writes"]
+        # The has_applied filter makes application idempotent: the live
+        # runtime's transport is at-least-once and its catch-up replies
+        # can land while the same update sits in this queue.  Under the
+        # simulator's exactly-once delivery it never filters anything.
         local_items = sorted(
             item for item in writes
-            if site.site_id in self.placement.replica_sites(item))
+            if site.site_id in self.placement.replica_sites(item)
+            and not site.engine.has_applied(item, gid))
         if local_items:
             txn = site.engine.begin(gid, SubtransactionKind.SECONDARY)
             for item in local_items:

@@ -58,7 +58,7 @@ class EagerProtocol(ReplicationProtocol):
         self._request_ids = itertools.count(1)
 
     def setup(self) -> None:
-        for site in self.system.sites:
+        for site in self.system.local_sites:
             self.network.set_handler(site.site_id, self._make_handler(site))
 
     def _make_handler(self, site: Site):

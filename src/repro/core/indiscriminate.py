@@ -62,7 +62,7 @@ class IndiscriminateProtocol(ReplicationProtocol):
             dict() for _ in range(system.placement.n_sites)]
 
     def setup(self) -> None:
-        for site in self.system.sites:
+        for site in self.system.local_sites:
             self.install_lazy_timeout_policy(site.engine.locks)
             self.network.set_handler(site.site_id, self._make_handler(site))
 

@@ -62,7 +62,7 @@ class PrimarySiteLockingProtocol(ReplicationProtocol):
     # ------------------------------------------------------------------
 
     def setup(self) -> None:
-        for site in self.system.sites:
+        for site in self.system.local_sites:
             # Default timeout behaviour (no policy installed): the waiting
             # request aborts — the paper's timeout mechanism.
             self.network.set_handler(site.site_id, self._make_handler(site))

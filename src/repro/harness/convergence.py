@@ -18,23 +18,47 @@ class ConvergenceViolation(ReproError):
     """A replica diverged from its primary copy after quiescence."""
 
 
+def divergent_copies(placement,
+                     state: typing.Mapping[int, typing.Mapping]
+                     ) -> typing.List[typing.Tuple]:
+    """Value-based divergence check over an externally collected state.
+
+    ``state`` maps ``site -> item -> {"value": ..., "version": int}`` —
+    the shape engines produce locally and live sites report in their
+    ``status`` responses, so the same oracle verifies a simulation and a
+    real cluster run.
+    """
+    problems = []
+    for item in placement.items:
+        primary_site = placement.primary_site(item)
+        primary = state[primary_site][item]
+        for replica_site in sorted(placement.replica_sites(item)):
+            replica = state[replica_site][item]
+            if replica["value"] != primary["value"]:
+                problems.append((item, primary_site, replica_site,
+                                 primary["version"],
+                                 replica["version"]))
+    return problems
+
+
+def system_state(system: ReplicatedSystem
+                 ) -> typing.Dict[int, typing.Dict]:
+    """Snapshot every hosted engine into the ``state`` shape above."""
+    state: typing.Dict[int, typing.Dict] = {}
+    for site in system.local_sites:
+        state[site.site_id] = {
+            item: {"value": site.engine.item(item).value,
+                   "version": site.engine.item(item).committed_version}
+            for item in site.engine.item_ids()}
+    return state
+
+
 def divergent_replicas(system: ReplicatedSystem
                        ) -> typing.List[typing.Tuple]:
     """All ``(item, primary_site, replica_site, primary_version,
     replica_version)`` tuples where a replica disagrees with the primary.
     """
-    problems = []
-    placement = system.placement
-    for item in placement.items:
-        primary_site = placement.primary_site(item)
-        primary_record = system.site_of(primary_site).engine.item(item)
-        for replica_site in sorted(placement.replica_sites(item)):
-            replica_record = system.site_of(replica_site).engine.item(item)
-            if replica_record.value != primary_record.value:
-                problems.append((item, primary_site, replica_site,
-                                 primary_record.committed_version,
-                                 replica_record.committed_version))
-    return problems
+    return divergent_copies(system.placement, system_state(system))
 
 
 def check_convergence(system: ReplicatedSystem) -> None:

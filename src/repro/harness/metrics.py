@@ -19,6 +19,17 @@ import typing
 from repro.types import GlobalTransactionId, SiteId
 
 
+def percentile(samples: typing.Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("percentile {} outside [0, 100]".format(pct))
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without math
+    return ordered[int(rank) - 1]
+
+
 class MetricsCollector:
     """Gathers per-site counters plus propagation tracking.
 
@@ -104,6 +115,20 @@ class MetricsCollector:
         if not self.response_times:
             return 0.0
         return statistics.fmean(self.response_times)
+
+    def response_time_percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile commit latency (nearest-rank)."""
+        return percentile(self.response_times, pct)
+
+    def latency_summary(self) -> typing.Dict[str, float]:
+        """Mean plus the p50/p95/p99 latencies the load generator
+        reports (zeroes when nothing committed)."""
+        return {
+            "mean": self.mean_response_time(),
+            "p50": self.response_time_percentile(50.0),
+            "p95": self.response_time_percentile(95.0),
+            "p99": self.response_time_percentile(99.0),
+        }
 
     def mean_propagation_delay(self) -> float:
         if not self.propagation_delays:

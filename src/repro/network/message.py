@@ -58,6 +58,20 @@ class MessageType(enum.Enum):
     - ``EAGER_WRITE`` — apply a write at a replica within the transaction.
       Payload: ``gid``, ``item``, ``value``, ``request_id``.
     - ``EAGER_WRITE_DONE`` — acknowledgement (or refusal on timeout).
+
+    Cluster runtime control plane (:mod:`repro.cluster`, handled by the
+    :class:`SiteServer` rather than by a protocol):
+
+    - ``WOUND`` — wound the primary of ``gid`` registered at the
+      destination (the cross-process form of the victim policy's direct
+      registry wound).  Payload: ``gid``, ``reason``.
+    - ``CATCHUP_REQUEST`` — a rejoining replica asks an item's primary
+      site for updates it missed while down.  Payload: ``items``
+      (item -> version held locally).
+    - ``CATCHUP_REPLY`` — the missed tail per item: current ``value``,
+      ``version``, and ``writers`` (the gid lineage of the missed
+      versions, oldest first).  Payload: ``items``
+      (item -> {value, version, writers}).
     """
 
     SECONDARY = "secondary"
@@ -74,6 +88,9 @@ class MessageType(enum.Enum):
     ABORT_SUBTXN = "abort-subtxn"
     EAGER_WRITE = "eager-write"
     EAGER_WRITE_DONE = "eager-write-done"
+    WOUND = "wound"
+    CATCHUP_REQUEST = "catchup-request"
+    CATCHUP_REPLY = "catchup-reply"
 
 
 @dataclasses.dataclass

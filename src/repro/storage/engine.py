@@ -148,6 +148,52 @@ class StorageEngine:
         self._log(LogRecordKind.WRITE, gid=txn.gid, item=item_id,
                   value=value, time=self.env.now)
 
+    def apply_catchup(self, item_id: ItemId, value, version: int,
+                      writers: typing.Sequence[GlobalTransactionId]
+                      ) -> int:
+        """Apply a missed update tail fetched from the primary copy.
+
+        ``writers`` are the gids of versions ``version - len(writers) + 1
+        .. version`` in commit order.  Each missed version is recorded as
+        a committed secondary subtransaction (WAL + history), mirroring
+        the order the primary committed them in, so the DSG edges match
+        what lazy propagation would have produced.  Intermediate values
+        were never observable, so every replayed version carries the
+        final ``value``.  Versions already present locally are skipped —
+        the call is idempotent against concurrent regular propagation.
+
+        Returns the number of versions applied.
+        """
+        record = self._items[item_id]
+        base = version - len(writers)
+        applied = 0
+        for offset, gid in enumerate(writers):
+            missed_version = base + offset + 1
+            if missed_version <= record.committed_version:
+                continue
+            self._log(LogRecordKind.BEGIN, gid=gid,
+                      txn_kind=SubtransactionKind.SECONDARY,
+                      time=self.env.now)
+            self._log(LogRecordKind.WRITE, gid=gid, item=item_id,
+                      value=value, time=self.env.now)
+            self._log(LogRecordKind.COMMIT, gid=gid, time=self.env.now)
+            record.committed_version = missed_version
+            record.writers.append(gid)
+            record.value = value
+            self.history.record(gid, SubtransactionKind.SECONDARY,
+                                self.env.now, {},
+                                {item_id: missed_version})
+            applied += 1
+        return applied
+
+    def has_applied(self, item_id: ItemId,
+                    gid: GlobalTransactionId) -> bool:
+        """Whether ``gid`` already wrote a committed version of
+        ``item_id`` here (the writer lineage check used for at-least-once
+        delivery dedup in the live runtime)."""
+        record = self._items.get(item_id)
+        return record is not None and gid in record.writers
+
     def prepare(self, txn: Transaction) -> None:
         """Enter the prepared state (locks retained; commit/abort later)."""
         self._check_active(txn)

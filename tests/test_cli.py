@@ -138,3 +138,72 @@ def test_explore_rejects_bad_sites_range(tmp_path):
     code, output = run_cli("explore", "--sites", "nope")
     assert code == 2
     assert "invalid --sites" in output
+
+
+def test_serve_args_round_trip():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--site", "1", "--protocol", "backedge", "--seed",
+         "7", "--host", "0.0.0.0", "--base-port", "9000", "--wal",
+         "/tmp/s1.wal", "--anti-entropy", "0.5", "--sites", "3"])
+    assert args.command == "serve"
+    assert args.site == 1
+    assert args.protocol == "backedge"
+    assert args.seed == 7
+    assert args.host == "0.0.0.0"
+    assert args.base_port == 9000
+    assert args.wal == "/tmp/s1.wal"
+    assert args.anti_entropy == 0.5
+    assert args.n_sites == 3
+
+
+def test_loadgen_args_round_trip():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["loadgen", "--spawn", "--seed", "3", "--base-port", "7700",
+         "--sites", "3", "--txns", "5", "--threads", "2",
+         "--no-verify", "--json", "report.json", "--txn-timeout",
+         "9.5", "--max-in-flight", "16", "--wal-dir", "/tmp/wals"])
+    assert args.command == "loadgen"
+    assert args.spawn
+    assert args.no_verify
+    assert args.json == "report.json"
+    assert args.txn_timeout == 9.5
+    assert args.max_in_flight == 16
+    assert args.wal_dir == "/tmp/wals"
+    assert args.transactions_per_thread == 5
+    assert args.threads_per_site == 2
+
+
+def test_loadgen_defaults_target_local_cluster():
+    args = build_parser().parse_args(["loadgen"])
+    assert args.protocol == "dag_wt"
+    assert args.host == "127.0.0.1"
+    assert args.base_port == 7450
+    assert not args.spawn
+
+
+def test_serve_requires_site():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve"])
+
+
+def test_loadgen_spawned_cluster_end_to_end(tmp_path):
+    """`repro loadgen --spawn` — the acceptance path: spins a real
+    3-site cluster, drives the matched workload, prints throughput and
+    latency percentiles, and exits 0 only if the oracles pass."""
+    code, output = run_cli(
+        "loadgen", "--spawn", "--seed", "3", "--base-port", "7560",
+        "--sites", "3", "--items", "12", "--replication", "0.8",
+        "--threads", "2", "--txns", "4",
+        "--wal-dir", str(tmp_path),
+        "--json", str(tmp_path / "report.json"))
+    assert code == 0, output
+    assert "throughput" in output and "committed txns/s" in output
+    assert "p50" in output and "p95" in output and "p99" in output
+    assert "convergent: yes" in output
+    assert "serializable: yes" in output
+    import json
+    report = json.loads((tmp_path / "report.json").read_text())
+    assert report["convergent"] and report["serializable"]
+    assert report["committed"] > 0

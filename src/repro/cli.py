@@ -216,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--max-in-flight", type=int, default=64,
                                 help="client-side transaction "
                                      "admission bound")
+    loadgen_parser.add_argument("--open-loop", action="store_true",
+                                help="submit each thread's whole "
+                                     "stream concurrently (bounded by "
+                                     "--max-in-flight) instead of the "
+                                     "closed per-thread loop")
     _add_param_flags(loadgen_parser)
 
     return parser
@@ -228,6 +233,16 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--base-port", type=int, default=7450,
                         help="site i listens on base-port + i")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="max messages per wire frame; > 1 also "
+                             "turns on WAL/journal group commit")
+    parser.add_argument("--durability",
+                        choices=("none", "flush", "fsync"),
+                        default="flush",
+                        help="WAL/journal sync level: none (process "
+                             "buffer), flush (OS page cache; survives "
+                             "a process crash), fsync (disk; survives "
+                             "power loss)")
 
 
 def _cluster_spec_from_args(args: argparse.Namespace):
@@ -235,7 +250,8 @@ def _cluster_spec_from_args(args: argparse.Namespace):
 
     return ClusterSpec(params=_params_from_args(args),
                        protocol=args.protocol, seed=args.seed,
-                       host=args.host, base_port=args.base_port)
+                       host=args.host, base_port=args.base_port,
+                       durability=args.durability, batch=args.batch)
 
 
 def _cmd_protocols(_args: argparse.Namespace,
@@ -413,15 +429,18 @@ def _cmd_loadgen(args: argparse.Namespace, out: typing.TextIO) -> int:
     from repro.cluster.loadgen import run_loadgen, spawn_and_load
 
     spec = _cluster_spec_from_args(args)
+    loop_mode = "open" if args.open_loop else "closed"
     if args.spawn:
         report = spawn_and_load(spec, wal_dir=args.wal_dir,
                                 verify=not args.no_verify,
                                 max_in_flight=args.max_in_flight,
-                                timeout=args.txn_timeout)
+                                timeout=args.txn_timeout,
+                                loop_mode=loop_mode)
     else:
         report = run_loadgen(spec, verify=not args.no_verify,
                              max_in_flight=args.max_in_flight,
-                             timeout=args.txn_timeout)
+                             timeout=args.txn_timeout,
+                             loop_mode=loop_mode)
     out.write(report.format() + "\n")
     if args.json:
         import json

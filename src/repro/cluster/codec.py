@@ -131,6 +131,60 @@ def decode_message(obj: typing.Mapping[str, typing.Any]) -> Message:
 
 
 # ----------------------------------------------------------------------
+# Batch frames
+# ----------------------------------------------------------------------
+#
+# A ``batch`` frame carries several consecutive channel messages in one
+# wire frame: ``{"kind": "batch", "inc": <incarnation>, "msgs":
+# [{"seq": n, "msg": {...}}, ...]}``.  Entries preserve the channel's
+# sequence numbering exactly as individual ``msg`` frames would — the
+# receiver dedups each ``(src, inc, seq)`` and replies with ONE
+# cumulative ack for the last entry, so batching changes the syscall
+# count, never the FIFO/dedup contract.
+
+
+def encode_batch_frame(incarnation: str,
+                       entries: typing.Iterable[
+                           typing.Tuple[int, Message]]
+                       ) -> typing.Dict[str, typing.Any]:
+    """A ``batch`` frame object from ``(seq, message)`` pairs."""
+    return {
+        "kind": "batch",
+        "inc": incarnation,
+        "msgs": [{"seq": int(seq), "msg": encode_message(message)}
+                 for seq, message in entries],
+    }
+
+
+def decode_batch_frame(obj: typing.Mapping[str, typing.Any]
+                       ) -> typing.Tuple[
+                           str, typing.List[typing.Tuple[int, Message]]]:
+    """Invert :func:`encode_batch_frame` -> ``(incarnation, entries)``.
+
+    Raises :class:`CodecError` on anything structurally malformed; an
+    empty ``msgs`` list is valid and decodes to no entries.
+    """
+    if obj.get("kind") != "batch":
+        raise CodecError("not a batch frame: {!r}".format(
+            obj.get("kind")))
+    msgs = obj.get("msgs")
+    if not isinstance(msgs, list):
+        raise CodecError("batch frame without a msgs list")
+    entries: typing.List[typing.Tuple[int, Message]] = []
+    for item in msgs:
+        if not isinstance(item, dict):
+            raise CodecError("batch entry is not an object")
+        try:
+            seq = int(item["seq"])
+            message = decode_message(item["msg"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CodecError(
+                "malformed batch entry: {}".format(exc)) from None
+        entries.append((seq, message))
+    return str(obj.get("inc", "")), entries
+
+
+# ----------------------------------------------------------------------
 # Frames
 # ----------------------------------------------------------------------
 

@@ -1,12 +1,22 @@
-"""Closed-loop load generator for a live cluster.
+"""Load generator for a live cluster (closed- or open-loop).
 
 Reproduces the paper's workload model against real servers: per site,
-``threads_per_site`` closed-loop workers each submit the transactions of
-their :meth:`~repro.workload.generator.TransactionGenerator.thread_stream`
-one at a time, waiting for each outcome before the next submission.  The
-generator streams are seeded exactly as the simulation harness seeds
+``threads_per_site`` workers submit the transactions of their
+:meth:`~repro.workload.generator.TransactionGenerator.thread_stream`.
+The generator streams are seeded exactly as the simulation harness seeds
 them, so a live run and a sim run with the same :class:`ClusterSpec`
 execute a **matched workload** — the basis of the live-vs-sim benchmark.
+
+Two loop disciplines:
+
+- ``"closed"`` (default, the paper's model): each worker waits for an
+  outcome before its next submission, so concurrency is exactly
+  ``n_sites * threads_per_site`` and throughput is latency-bound.
+- ``"open"``: each worker submits its whole stream concurrently,
+  bounded only by the client's ``max_in_flight`` admission semaphore.
+  This is the discipline that exposes the *hot-path* capacity of the
+  servers (and what the batching/group-commit layer amortizes);
+  latencies include admission queueing, as open-loop latencies must.
 
 After the workload drains, the generator waits for the cluster to
 quiesce (propagation queues empty, histories stable), then runs the same
@@ -66,6 +76,16 @@ class LoadReport:
     serializable: bool
     dsg_nodes: int
     messages_sent: int
+    #: Loop discipline the workload was driven with.
+    loop_mode: str = "closed"
+    #: Batching factor / durability level the cluster ran at.
+    batch: int = 1
+    durability: str = "flush"
+    #: Wire frames actually written across all sites — with batching,
+    #: ``messages_sent / frames_sent`` is the amortization ratio.
+    frames_sent: int = 0
+    #: WAL + journal write+flush sync points across all sites.
+    wal_syncs: int = 0
 
     def to_json(self) -> typing.Dict[str, typing.Any]:
         return dataclasses.asdict(self)
@@ -74,8 +94,10 @@ class LoadReport:
         lines = [
             "live cluster: {} sites, protocol {}, seed {}".format(
                 self.n_sites, self.protocol, self.seed),
-            "workload: {} threads/site x {} txns/thread".format(
-                self.threads_per_site, self.transactions_per_thread),
+            "workload: {} threads/site x {} txns/thread "
+            "({}-loop, batch {}, durability {})".format(
+                self.threads_per_site, self.transactions_per_thread,
+                self.loop_mode, self.batch, self.durability),
             "duration: {:.2f} s".format(self.duration),
             "committed: {}  aborted: {}  unknown: {}".format(
                 self.committed, self.aborted, self.unknown),
@@ -85,6 +107,11 @@ class LoadReport:
                 self.latency["p50"] * 1000, self.latency["p95"] * 1000,
                 self.latency["p99"] * 1000, self.latency["mean"] * 1000),
             "abort rate: {:.2f} %".format(self.abort_rate),
+            "wire: {} messages in {} frames ({:.1f} msgs/frame), "
+            "{} wal+journal syncs".format(
+                self.messages_sent, self.frames_sent,
+                (self.messages_sent / self.frames_sent
+                 if self.frames_sent else 0.0), self.wal_syncs),
             "convergent: {}  serializable: {} ({} DSG nodes)".format(
                 "yes" if self.convergent else
                 "NO ({} divergent)".format(self.divergent),
@@ -95,9 +122,13 @@ class LoadReport:
 
 async def generate_load(spec: ClusterSpec, client: ClusterClient,
                         verify: bool = True,
-                        quiesce_timeout: float = 30.0) -> LoadReport:
+                        quiesce_timeout: float = 30.0,
+                        loop_mode: str = "closed") -> LoadReport:
     """Drive the matched workload through ``client`` and verify."""
     spec.validate()
+    if loop_mode not in ("closed", "open"):
+        raise ValueError("loop_mode must be 'closed' or 'open', got "
+                         "{!r}".format(loop_mode))
     placement = spec.build_placement()
     # Streams are name-keyed, so this is the exact generator seeding the
     # simulation harness uses for the same (params, seed).
@@ -108,18 +139,29 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
     unknown = [0]
     started = time.monotonic()
 
+    async def submit_one(site: int, txn_spec) -> None:
+        sent = time.monotonic()
+        outcome = await client.run_transaction(txn_spec)
+        elapsed = time.monotonic() - sent
+        if outcome["status"] == "committed":
+            metrics.transaction_committed(site, elapsed)
+        elif outcome["status"] == "aborted":
+            metrics.transaction_aborted(
+                site, outcome.get("reason") or "aborted")
+        else:
+            unknown[0] += 1
+
     async def worker(site: int, thread: int) -> None:
-        for txn_spec in generator.thread_stream(site, thread):
-            sent = time.monotonic()
-            outcome = await client.run_transaction(txn_spec)
-            elapsed = time.monotonic() - sent
-            if outcome["status"] == "committed":
-                metrics.transaction_committed(site, elapsed)
-            elif outcome["status"] == "aborted":
-                metrics.transaction_aborted(
-                    site, outcome.get("reason") or "aborted")
-            else:
-                unknown[0] += 1
+        if loop_mode == "open":
+            # Open loop: the whole stream is offered at once; the
+            # client's admission semaphore is the only bound, so the
+            # servers see their capacity-limit concurrency.
+            await asyncio.gather(*(
+                submit_one(site, txn_spec)
+                for txn_spec in generator.thread_stream(site, thread)))
+        else:
+            for txn_spec in generator.thread_stream(site, thread):
+                await submit_one(site, txn_spec)
 
     await asyncio.gather(*(
         worker(site, thread)
@@ -160,6 +202,14 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
         dsg_nodes=dsg_nodes,
         messages_sent=sum(status.get("messages_sent", 0)
                           for status in statuses.values()),
+        loop_mode=loop_mode,
+        batch=spec.batch,
+        durability=spec.durability,
+        frames_sent=sum(status.get("frames_sent", 0)
+                        for status in statuses.values()),
+        wal_syncs=sum(status.get("wal_syncs", 0)
+                      + status.get("journal_syncs", 0)
+                      for status in statuses.values()),
     )
 
 
@@ -212,7 +262,8 @@ def history_from_status(status: typing.Mapping) -> SiteHistory:
 def run_loadgen(spec: ClusterSpec, verify: bool = True,
                 quiesce_timeout: float = 30.0,
                 max_in_flight: int = 64,
-                timeout: float = 30.0) -> LoadReport:
+                timeout: float = 30.0,
+                loop_mode: str = "closed") -> LoadReport:
     """Synchronous entry point (the ``repro loadgen`` command)."""
 
     async def _run() -> LoadReport:
@@ -221,7 +272,8 @@ def run_loadgen(spec: ClusterSpec, verify: bool = True,
         try:
             await client.wait_ready()
             return await generate_load(spec, client, verify=verify,
-                                       quiesce_timeout=quiesce_timeout)
+                                       quiesce_timeout=quiesce_timeout,
+                                       loop_mode=loop_mode)
         finally:
             await client.close()
 
@@ -233,7 +285,8 @@ def spawn_and_load(spec: ClusterSpec,
                    verify: bool = True,
                    quiesce_timeout: float = 30.0,
                    max_in_flight: int = 64,
-                   timeout: float = 30.0) -> LoadReport:
+                   timeout: float = 30.0,
+                   loop_mode: str = "closed") -> LoadReport:
     """``repro loadgen --spawn``: start every site in-process, drive the
     workload, tear the cluster down.  With ``wal_dir`` each site gets a
     durable WAL file ``site<N>.wal`` there."""
@@ -256,7 +309,8 @@ def spawn_and_load(spec: ClusterSpec,
                                    max_in_flight=max_in_flight)
             await client.wait_ready()
             return await generate_load(spec, client, verify=verify,
-                                       quiesce_timeout=quiesce_timeout)
+                                       quiesce_timeout=quiesce_timeout,
+                                       loop_mode=loop_mode)
         finally:
             if client is not None:
                 await client.close()

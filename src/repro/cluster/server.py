@@ -19,6 +19,16 @@ over real sockets via :class:`LiveTransport`.
 The server, not the protocol, handles the cluster control plane:
 
 - ``WOUND`` — apply a remote victim-policy wound to a local primary;
+- **group commit + batching** (``spec.batch > 1``) — WAL/journal
+  appends coalesce at durability *barriers* instead of paying one
+  flush per record, and inbound peer frames flow through a pipelined
+  read/apply pair of tasks so the socket read of batch ``n+1``
+  overlaps decode/journal/apply of batch ``n``.  The barriers keep the
+  externally visible promises exactly where they were: the WAL is
+  synced before a client sees a commit response and before any
+  outbound frame leaves (a forwarded update implies its commit record
+  is stable), and the journal is synced before a batch's cumulative
+  ack (journal-then-ack, per batch instead of per message);
 - ``CATCHUP_REQUEST``/``CATCHUP_REPLY`` — anti-entropy pulls: on start
   after WAL recovery, and periodically, each site asks the primary site
   of every item it replicates for the update tail it may have missed
@@ -36,6 +46,7 @@ import sys
 import typing
 
 from repro.cluster.codec import (
+    CodecError,
     decode_message,
     encode_value,
     read_frame,
@@ -61,6 +72,13 @@ from repro.types import (
 #: Protocols the live runtime supports (their cross-site interactions
 #: flow entirely through the transport + the control plane above).
 LIVE_PROTOCOLS = ("dag_wt", "backedge")
+
+#: Inbound peer frames buffered between the socket-reading task and the
+#: applying task.  Small on purpose: it exists to overlap one batch's
+#: apply with the next batch's read, not to absorb load — backpressure
+#: belongs at the senders (their unacked windows) and the client
+#: admission bound.
+APPLY_PIPELINE_DEPTH = 8
 
 
 def live_system_config(spec: ClusterSpec) -> SystemConfig:
@@ -136,14 +154,27 @@ class SiteServer:
         self.env = Environment()
         self.transport = LiveTransport(
             self.site_id, self.spec.addresses(),
-            fingerprint=self.spec.fingerprint())
+            fingerprint=self.spec.fingerprint(),
+            max_batch=self.spec.batch,
+            sync_hook=self._sync_wal)
         self.system = ReplicatedSystem(
             self.env, self.placement, live_system_config(self.spec),
             transport=self.transport, local_sites=[self.site_id])
         site = self.system.site_of(self.site_id)
         if self.wal_path is not None:
-            self.wal = FileWal(self.wal_path)
-            self.journal = MessageJournal(self.wal_path + ".inbox")
+            group_commit = self.spec.batch > 1
+            self.wal = FileWal(self.wal_path,
+                               durability=self.spec.durability,
+                               group_commit=group_commit)
+            # The journal always defers to its sync point — the ack
+            # barrier in the apply loop — which with unbatched frames
+            # degenerates to exactly one flush per message (the
+            # baseline behaviour) and with batches amortizes to one
+            # flush per batch.
+            self.journal = MessageJournal(
+                self.wal_path + ".inbox",
+                durability=self.spec.durability,
+                group_commit=True)
             if self.wal.recovered_records:
                 # Crash recovery: rebuild the engine from the redo log.
                 site.engine = recover(
@@ -157,6 +188,7 @@ class SiteServer:
                         LogRecordKind.CREATE, item=item_id,
                         value=site.engine.item(item_id).value,
                         time=self.env.now)
+                self.wal.sync()
         protocol = make_protocol(self.spec.protocol, self.system,
                                  **self.spec.protocol_options)
         self.system.use_protocol(protocol)
@@ -207,10 +239,14 @@ class SiteServer:
             self.transport.closed = True
             for channel in self.transport._channels.values():
                 channel.cancel()
+        # A crash loses the group-commit buffers too: records that
+        # never reached a sync point were never promised to anyone
+        # (no response, ack or forward went out for them), so dropping
+        # them here is exactly what recovery is specified against.
         if self.wal is not None:
-            self.wal.close()
+            self.wal.abandon()
         if self.journal is not None:
-            self.journal.close()
+            self.journal.abandon()
 
     async def _teardown(self) -> None:
         self._closed = True
@@ -305,23 +341,34 @@ class SiteServer:
         self.transport.send(MessageType.WOUND, self.site_id, gid.site,
                             gid=gid, reason=reason)
 
-    def _handle_peer_message(self, obj: typing.Mapping) -> None:
-        """Process one inbound ``msg`` frame.  The caller acks it
-        afterwards — including duplicates, which the sender needs acked
-        to retire its unacked queue."""
-        message = decode_message(obj["msg"])
+    def _sync_wal(self) -> None:
+        """Durability barrier: group-committed WAL records reach stable
+        storage.  Runs before a client response leaves (the commit it
+        reports must be durable) and before any outbound peer frame
+        (a forwarded update implies its commit record is stable).  With
+        group commit off this is a no-op — every append synced itself.
+        """
+        if self.wal is not None:
+            self.wal.sync()
+
+    def _accept_entry(self, incarnation: str, seq: int,
+                      obj_msg: typing.Mapping[str, typing.Any]) -> None:
+        """Dedup/journal/dispatch one channel entry (no kernel drive —
+        the caller drives once per frame, however many entries it
+        carried).  The caller acks afterwards — including duplicates,
+        which the sender needs acked to retire its unacked queue."""
+        message = decode_message(obj_msg)
         if message.dst != self.site_id:
             self.transport.dead_letters.append(message)
             return
-        if not self.transport.fresh(message.src, obj.get("inc", ""),
-                                    int(obj.get("seq", 0))):
+        if not self.transport.fresh(message.src, incarnation, seq):
             return  # transport-level resend
         if message.msg_type is MessageType.SECONDARY and \
                 self.journal is not None:
             # Journal before ack: once the sender retires this update,
             # the journal is the only copy that survives our crash.
-            self.journal.append(message.src, obj.get("inc", ""),
-                                int(obj.get("seq", 0)), obj["msg"])
+            # Appends buffer; the apply loop syncs before the ack.
+            self.journal.append(message.src, incarnation, seq, obj_msg)
         if message.msg_type is MessageType.WOUND:
             self._on_wound(message)
         elif message.msg_type is MessageType.CATCHUP_REQUEST:
@@ -330,7 +377,37 @@ class SiteServer:
             self._on_catchup_reply(message)
         else:
             self.transport.deliver(message)
+
+    def _apply_frame(self, frame: typing.Mapping) -> typing.Optional[int]:
+        """Apply one ``msg`` or ``batch`` frame; returns the cumulative
+        ack sequence (``None`` if the frame carried nothing to ack).
+
+        The per-frame shape is the amortization: every entry is
+        dedup-checked and dispatched in arrival order, then ONE journal
+        sync covers all the durable entries and ONE kernel drive runs
+        the protocol over the whole batch."""
+        if frame.get("kind") == "batch":
+            incarnation = str(frame.get("inc", ""))
+            msgs = frame.get("msgs")
+            if not isinstance(msgs, list):
+                raise CodecError("batch frame without a msgs list")
+            last_seq: typing.Optional[int] = None
+            for item in msgs:
+                try:
+                    seq = int(item["seq"])
+                    obj_msg = item["msg"]
+                except (TypeError, KeyError, ValueError):
+                    raise CodecError("malformed batch entry")
+                self._accept_entry(incarnation, seq, obj_msg)
+                last_seq = seq
+        else:
+            last_seq = int(frame.get("seq", 0))
+            self._accept_entry(str(frame.get("inc", "")), last_seq,
+                               frame["msg"])
+        if self.journal is not None:
+            self.journal.sync()  # journal-then-ack, once per frame
         self._drive()
+        return last_seq
 
     def _on_wound(self, message: Message) -> None:
         txn = self.system.primaries.get(message.payload["gid"])
@@ -508,20 +585,65 @@ class SiteServer:
 
     async def _peer_loop(self, reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
+        """Socket-reading half of the inbound pipeline.
+
+        Frames go through a small queue to :meth:`_apply_loop`, so the
+        read of batch ``n+1`` overlaps the decode/journal/apply of
+        batch ``n`` — the two stages of the hot path run concurrently
+        instead of strictly alternating.  The bounded queue applies
+        backpressure to the socket (we stop reading, the sender's
+        unacked window fills) rather than buffering unboundedly."""
+        queue: "asyncio.Queue" = asyncio.Queue(
+            maxsize=APPLY_PIPELINE_DEPTH)
+        apply_task = asyncio.get_running_loop().create_task(
+            self._apply_loop(queue, writer))
+        try:
+            while not self._closed and not apply_task.done():
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                if frame.get("kind") in ("msg", "batch"):
+                    await queue.put(frame)
+        finally:
+            if not apply_task.done():
+                try:
+                    # Let queued frames finish applying (their senders
+                    # are waiting on acks), then stop the consumer.
+                    queue.put_nowait(None)
+                except asyncio.QueueFull:
+                    apply_task.cancel()
+            try:
+                await apply_task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    async def _apply_loop(self, queue: "asyncio.Queue",
+                          writer: asyncio.StreamWriter) -> None:
+        """Applying half of the inbound pipeline: decode + journal +
+        drive each frame, then write its single cumulative ack."""
         while not self._closed:
-            frame = await read_frame(reader)
+            frame = await queue.get()
             if frame is None:
                 return
-            if frame.get("kind") != "msg":
+            try:
+                last_seq = self._apply_frame(frame)
+            except CodecError as exc:
+                print("site s{}: dropping malformed peer frame: {}"
+                      .format(self.site_id, exc), file=sys.stderr)
                 continue
-            self._handle_peer_message(frame)
+            if last_seq is None:
+                continue  # empty batch: nothing new to ack
             # Ack only after the frame is journalled (durable classes)
-            # and dispatched; the sender retires it on this ack.
+            # and dispatched; the sender retires everything <= last_seq
+            # on this one cumulative ack.  A failed ack write means the
+            # connection is dying; keep applying queued frames anyway —
+            # the reader will see EOF and stop the loop, and the
+            # unacked sender resends through the dedup filter.
             try:
                 await write_frame(writer, {
-                    "kind": "ack", "seq": int(frame.get("seq", 0))})
+                    "kind": "ack", "seq": last_seq})
             except (ConnectionError, OSError):
-                return
+                continue
 
     async def _client_loop(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
@@ -552,6 +674,11 @@ class SiteServer:
             response = {"ok": False, "error": repr(exc)}
         response["kind"] = "resp"
         response["rid"] = rid
+        # Group-commit barrier: a commit outcome must not reach the
+        # client before its WAL records reach stable storage.  One sync
+        # here covers every transaction that resolved in the same drive
+        # cycle — that coalescing IS the group commit.
+        self._sync_wal()
         try:
             async with write_lock:
                 await write_frame(writer, response)
@@ -612,9 +739,15 @@ class SiteServer:
                 msg_type.value: count for msg_type, count
                 in self.transport.sent_by_type.items()},
             "pending_out": self.transport.pending_out,
+            "frames_sent": self.transport.frames_sent,
+            "batch": self.spec.batch,
+            "durability": self.spec.durability,
             "wal_records": len(self.wal) if self.wal is not None else 0,
+            "wal_syncs": self.wal.syncs if self.wal is not None else 0,
             "journal_records": (len(self.journal)
                                 if self.journal is not None else 0),
+            "journal_syncs": (self.journal.syncs
+                              if self.journal is not None else 0),
             "recovered": self.recovered,
         }
 

@@ -34,6 +34,17 @@ class ClusterSpec:
     seed: int = 0
     host: str = "127.0.0.1"
     base_port: int = 7450
+    #: WAL/journal durability level: ``"none"`` (Python buffer —
+    #: a process crash can lose records), ``"flush"`` (default; OS page
+    #: cache — survives a process crash, **not** power loss) or
+    #: ``"fsync"`` (disk — survives power loss).  See
+    #: :mod:`repro.cluster.wal` for the honest fine print.
+    durability: str = "flush"
+    #: Hot-path batching factor: maximum messages per wire frame on
+    #: every peer channel.  ``1`` (default) is the unbatched baseline;
+    #: ``> 1`` also turns on WAL/journal group commit, coalescing
+    #: concurrent appends into single write+flush sync points.
+    batch: int = 1
 
     def validate(self) -> "ClusterSpec":
         self.params.validate()
@@ -41,6 +52,12 @@ class ClusterSpec:
             raise ValueError(
                 "base_port {} leaves no room for {} sites".format(
                     self.base_port, self.params.n_sites))
+        if self.durability not in ("none", "flush", "fsync"):
+            raise ValueError(
+                "unknown durability level {!r}".format(self.durability))
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1, got {}".format(
+                self.batch))
         return self
 
     # ------------------------------------------------------------------
@@ -69,7 +86,10 @@ class ClusterSpec:
         agreement set is hashed — the placement-determining parameters,
         the deadlock timeout, protocol and seed.  Workload-volume knobs
         (threads, transactions per thread, read mix) are load-generator
-        concerns; a client may drive any volume against served sites.
+        concerns, and the performance knobs (``durability``, ``batch``)
+        are per-process: the wire format is self-describing (``msg`` vs
+        ``batch`` frames), so batched and unbatched members interoperate
+        within one cluster.
         """
         params = self.params
         material = json.dumps(
@@ -94,6 +114,8 @@ class ClusterSpec:
             "seed": self.seed,
             "host": self.host,
             "base_port": self.base_port,
+            "durability": self.durability,
+            "batch": self.batch,
         }
 
     @classmethod
@@ -106,4 +128,6 @@ class ClusterSpec:
             seed=int(obj.get("seed", 0)),
             host=obj.get("host", "127.0.0.1"),
             base_port=int(obj.get("base_port", 7450)),
+            durability=obj.get("durability", "flush"),
+            batch=int(obj.get("batch", 1)),
         ).validate()

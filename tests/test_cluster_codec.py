@@ -16,9 +16,11 @@ import pytest
 
 from repro.cluster.codec import (
     CodecError,
+    decode_batch_frame,
     decode_frame_body,
     decode_message,
     decode_value,
+    encode_batch_frame,
     encode_frame,
     encode_message,
     encode_value,
@@ -189,6 +191,71 @@ def test_tagged_forms_are_distinguished():
 def test_unencodable_value_raises():
     with pytest.raises(CodecError):
         encode_value(object())
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batch_frame_round_trip_mixed_types(seed):
+    """A batch frame must round-trip any mix of message types with
+    their per-channel sequence numbers — through real JSON text, as on
+    the wire."""
+    rng = random.Random(seed)
+    types = sorted(MessageType, key=lambda t: t.value)
+    for _ in range(10):
+        seq = rng.randrange(1, 1000)
+        entries = []
+        for _ in range(rng.randrange(1, 9)):
+            msg_type = rng.choice(types)
+            entries.append((seq, Message(
+                msg_type, rng.randrange(8), rng.randrange(8),
+                PAYLOADS[msg_type](rng))))
+            seq += 1
+        frame = json.loads(json.dumps(
+            encode_batch_frame("inc-{}".format(seed), entries)))
+        incarnation, decoded = decode_batch_frame(frame)
+        assert incarnation == "inc-{}".format(seed)
+        assert [s for s, _ in decoded] == [s for s, _ in entries]
+        for (_, got), (_, sent) in zip(decoded, entries):
+            assert got.msg_type is sent.msg_type
+            assert got.src == sent.src and got.dst == sent.dst
+            assert got.msg_id == sent.msg_id
+            assert got.payload == sent.payload
+
+
+def test_batch_frame_empty_and_singleton():
+    # Empty is legal (decodes to no entries) — a receiver must not
+    # treat it as malformed, it simply acks nothing.
+    incarnation, entries = decode_batch_frame(json.loads(json.dumps(
+        encode_batch_frame("inc-e", []))))
+    assert incarnation == "inc-e" and entries == []
+    # A singleton batch carries the same data a "msg" frame would.
+    message = Message(MessageType.SECONDARY, 0, 1,
+                      PAYLOADS[MessageType.SECONDARY](random.Random(7)))
+    _, [(seq, decoded)] = decode_batch_frame(json.loads(json.dumps(
+        encode_batch_frame("inc-s", [(42, message)]))))
+    assert seq == 42
+    assert decoded.payload == message.payload
+
+
+def test_batch_frame_malformed_shapes_raise():
+    good = Message(MessageType.DUMMY, 0, 1, {"timestamp": 1.0})
+    cases = [
+        {"kind": "msg", "inc": "x", "msgs": []},          # wrong kind
+        {"kind": "batch", "inc": "x"},                    # no msgs
+        {"kind": "batch", "inc": "x", "msgs": "nope"},    # not a list
+        {"kind": "batch", "inc": "x", "msgs": [17]},      # not objects
+        {"kind": "batch", "inc": "x",
+         "msgs": [{"seq": 1}]},                           # no msg
+        {"kind": "batch", "inc": "x",
+         "msgs": [{"msg": encode_message(good)}]},        # no seq
+        {"kind": "batch", "inc": "x",
+         "msgs": [{"seq": "abc",
+                   "msg": encode_message(good)}]},        # bad seq
+        {"kind": "batch", "inc": "x",
+         "msgs": [{"seq": 1, "msg": {"type": "???"}}]},   # bad message
+    ]
+    for frame in cases:
+        with pytest.raises(CodecError):
+            decode_batch_frame(frame)
 
 
 def test_frame_round_trip_and_cap():

@@ -1,0 +1,289 @@
+"""Group-commit WAL/journal: buffering, sync barriers, crash honesty.
+
+The durability promise of a group-committed record attaches to the
+``sync()`` that covers it, never to the ``append()``.  These tests pin
+down both sides of that contract:
+
+- records buffered between sync points coalesce into **one** write+flush
+  (the amortization the live hot path depends on), and the size cap /
+  timer force a sync when no explicit barrier arrives;
+- a crash — simulated by ``abandon()`` or by truncating the file at
+  *every* byte offset — loses only never-promised records, and reload
+  repairs the file to the last complete record boundary;
+- ``"fsync"`` durability really calls :func:`os.fsync`; a malformed
+  *terminated* line (impossible from a torn append) is corruption, not
+  crash damage.
+"""
+
+import asyncio
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.cluster.codec import encode_message
+from repro.cluster.wal import CorruptLogError, FileWal, MessageJournal
+from repro.network.message import Message, MessageType
+from repro.storage.log import LogRecordKind
+from repro.types import GlobalTransactionId
+
+
+def gid(seq):
+    return GlobalTransactionId(0, seq)
+
+
+def append_n(wal, count, start=0):
+    for index in range(start, start + count):
+        wal.append(LogRecordKind.CREATE, item=index, value=index,
+                   time=float(index))
+
+
+# ----------------------------------------------------------------------
+# Buffering and sync points
+# ----------------------------------------------------------------------
+
+def test_appends_buffer_until_sync_then_one_write(tmp_path):
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    append_n(wal, 5)
+    assert wal.pending_sync == 5
+    assert wal.syncs == 0
+    # Nothing promised yet: a reload (the crash view) sees no records.
+    assert not path.exists() or FileWal(path).recovered_records == 0
+
+    assert wal.sync() == 5          # one barrier covers all five
+    assert wal.pending_sync == 0
+    assert wal.syncs == 1
+    assert FileWal(path).recovered_records == 5
+    wal.close()
+
+
+def test_without_group_commit_every_append_is_a_sync(tmp_path):
+    wal = FileWal(tmp_path / "site0.wal")  # group_commit=False
+    append_n(wal, 3)
+    assert wal.pending_sync == 0
+    assert wal.syncs == 3           # the pre-batching behaviour
+    wal.close()
+
+
+def test_max_pending_cap_forces_a_sync(tmp_path):
+    wal = FileWal(tmp_path / "site0.wal", group_commit=True,
+                  max_pending=4)
+    append_n(wal, 11)
+    # Two forced syncs at 4 and 8; three records still pending.
+    assert wal.syncs == 2
+    assert wal.pending_sync == 3
+    wal.close()
+    assert wal.syncs == 3           # close drains the tail
+
+
+def test_flush_interval_timer_syncs_without_explicit_barrier(tmp_path):
+    async def scenario():
+        wal = FileWal(tmp_path / "site0.wal", group_commit=True,
+                      flush_interval=0.01)
+        append_n(wal, 3)
+        assert wal.pending_sync == 3
+        deadline = asyncio.get_event_loop().time() + 5.0
+        while wal.pending_sync:
+            assert asyncio.get_event_loop().time() < deadline
+            await asyncio.sleep(0.005)
+        assert wal.syncs == 1
+        wal.close()
+
+    asyncio.run(scenario())
+
+
+def test_sync_with_nothing_pending_is_free(tmp_path):
+    wal = FileWal(tmp_path / "site0.wal", group_commit=True)
+    assert wal.sync() == 0
+    assert wal.syncs == 0           # no empty write+flush cycles
+    wal.close()
+
+
+def test_unknown_durability_level_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        FileWal(tmp_path / "site0.wal", durability="scout's-honour")
+
+
+# ----------------------------------------------------------------------
+# Crash semantics
+# ----------------------------------------------------------------------
+
+def test_abandon_loses_only_unpromised_records(tmp_path):
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    append_n(wal, 4)
+    wal.sync()                      # these four are promised
+    append_n(wal, 3, start=4)       # these three are not
+    wal.abandon()                   # the crash
+
+    survivor = FileWal(path)
+    assert survivor.recovered_records == 4
+    assert [record.item for record in survivor] == [0, 1, 2, 3]
+
+
+def test_crash_truncation_at_every_byte_offset(tmp_path):
+    """Cut the file at every byte: reload must keep exactly the
+    complete newline-terminated prefix, repair the file to that
+    boundary, and accept appends afterwards."""
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    append_n(wal, 6)
+    wal.close()
+    data = path.read_bytes()
+
+    for cut in range(len(data) + 1):
+        torn = tmp_path / "torn.wal"
+        torn.write_bytes(data[:cut])
+        survivors = data[:cut].count(b"\n")
+        reloaded = FileWal(torn)
+        assert reloaded.recovered_records == survivors
+        assert reloaded.torn_tail == (cut > 0 and data[cut - 1:cut]
+                                      != b"\n" )
+        # The torn bytes are gone from disk, not just skipped in RAM.
+        boundary = data[:cut].rfind(b"\n") + 1
+        reloaded.close()
+        assert torn.read_bytes() == data[:boundary]
+        # Appending lands on a clean record boundary.
+        reloaded = FileWal(torn)
+        reloaded.append(LogRecordKind.CREATE, item=99, value=99,
+                        time=9.0)
+        reloaded.close()
+        assert FileWal(torn).recovered_records == survivors + 1
+        torn.unlink()
+
+
+def test_malformed_terminated_line_is_corruption_not_crash(tmp_path):
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    append_n(wal, 2)
+    wal.close()
+    with open(path, "ab") as handle:
+        handle.write(b"{not json}\n")          # terminated => promised
+    with pytest.raises(CorruptLogError):
+        FileWal(path)
+    # Same verdict for a well-formed line that is not an object.
+    shutil.copy(path, tmp_path / "x.wal")
+    os.truncate(path, path.stat().st_size - len(b"{not json}\n"))
+    with open(path, "ab") as handle:
+        handle.write(b"[1, 2]\n")
+    with pytest.raises(CorruptLogError):
+        FileWal(path)
+
+
+# ----------------------------------------------------------------------
+# fsync honesty
+# ----------------------------------------------------------------------
+
+def test_fsync_durability_actually_calls_os_fsync(tmp_path,
+                                                  monkeypatch):
+    fsynced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: (fsynced.append(fd),
+                                    real_fsync(fd))[1])
+
+    wal = FileWal(tmp_path / "site0.wal", durability="fsync",
+                  group_commit=True)
+    append_n(wal, 5)
+    assert fsynced == []            # buffered: no promise, no fsync
+    wal.sync()
+    assert len(fsynced) == 1        # one barrier, one disk round trip
+    wal.close()
+
+    journal = MessageJournal(tmp_path / "site0.wal.inbox",
+                             durability="fsync", group_commit=True)
+    journal.append(1, "inc-a", 1, encode_message(
+        Message(MessageType.SECONDARY, 1, 0,
+                {"gid": gid(1), "writes": {0: 1}})))
+    before = len(fsynced)
+    journal.sync()
+    assert len(fsynced) == before + 1
+    journal.close()
+
+
+def test_flush_and_none_levels_never_fsync(tmp_path, monkeypatch):
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: pytest.fail("fsync at level<fsync"))
+    for durability in ("none", "flush"):
+        wal = FileWal(tmp_path / (durability + ".wal"),
+                      durability=durability, group_commit=True)
+        append_n(wal, 3)
+        wal.sync()
+        wal.close()
+
+
+# ----------------------------------------------------------------------
+# MessageJournal group commit (journal-then-ack)
+# ----------------------------------------------------------------------
+
+def _secondary(seq):
+    return Message(MessageType.SECONDARY, src=1, dst=0,
+                   payload={"gid": GlobalTransactionId(1, seq),
+                            "writes": {3: seq}})
+
+
+def test_journal_batch_is_atomic_at_the_sync_barrier(tmp_path):
+    path = tmp_path / "site0.wal.inbox"
+    journal = MessageJournal(path, group_commit=True)
+    for seq in range(1, 5):
+        journal.append(1, "inc-a", seq,
+                       encode_message(_secondary(seq)))
+    assert journal.pending_sync == 4
+    # Crash before the sync barrier: the ack never went out, so the
+    # sender still holds all four and will resend — losing them is
+    # correct, acking them would not have been.
+    journal.abandon()
+    assert len(MessageJournal(path)) == 0
+
+    journal = MessageJournal(path, group_commit=True)
+    for seq in range(1, 5):
+        journal.append(1, "inc-a", seq,
+                       encode_message(_secondary(seq)))
+    assert journal.sync() == 4      # journal-then-ack: one barrier
+    assert journal.syncs == 1
+    journal.abandon()               # crash *after* the barrier
+    reloaded = MessageJournal(path)
+    assert [entry["seq"] for entry in reloaded.entries] == [1, 2, 3, 4]
+
+
+def test_journal_torn_tail_repaired_on_reload(tmp_path):
+    path = tmp_path / "site0.wal.inbox"
+    journal = MessageJournal(path, group_commit=True)
+    for seq in range(1, 4):
+        journal.append(1, "inc-a", seq,
+                       encode_message(_secondary(seq)))
+    journal.sync()
+    journal.close()
+    with open(path, "ab") as handle:
+        handle.write(b'{"src": 1, "inc": "inc-a", "seq": 4')  # torn
+
+    reloaded = MessageJournal(path)
+    assert reloaded.torn_tail
+    assert [entry["seq"] for entry in reloaded.entries] == [1, 2, 3]
+    # Repaired in place: a fresh reload sees a clean file.
+    assert not MessageJournal(path).torn_tail
+
+
+def test_wal_sync_coalesces_interleaved_transactions(tmp_path):
+    """The group-commit story end to end: several transactions' records
+    interleave in the buffer, one sync makes them all durable, and the
+    reloaded WAL replays them in append order."""
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    for seq in (1, 2):
+        wal.append(LogRecordKind.BEGIN, gid=gid(seq), time=0.0)
+    for seq in (1, 2):
+        wal.append(LogRecordKind.WRITE, gid=gid(seq), item=seq,
+                   value=seq * 10, time=0.1)
+        wal.append(LogRecordKind.COMMIT, gid=gid(seq), time=0.2)
+    assert wal.sync() == 6
+    wal.close()
+
+    reloaded = FileWal(path)
+    kinds = [record.kind for record in reloaded]
+    assert kinds == [LogRecordKind.BEGIN, LogRecordKind.BEGIN,
+                     LogRecordKind.WRITE, LogRecordKind.COMMIT,
+                     LogRecordKind.WRITE, LogRecordKind.COMMIT]
+    assert json.loads(path.read_text().splitlines()[0])  # real JSONL

@@ -104,6 +104,92 @@ def test_live_mixed_workload_converges_and_serializes(
         <= report.latency["p99"]
 
 
+def test_live_batched_run_converges_and_keeps_pace(tmp_path):
+    """Perf smoke for the group-commit/batching hot path: a 3-site
+    batched run must stay correct (convergent, DSG-acyclic) and keep
+    pace with the unbatched baseline.
+
+    The threshold is deliberately noise-tolerant (0.7x) — tier-1 must
+    not flake on a loaded CI box; the strict >= 2x assertion lives in
+    ``benchmarks/bench_live_cluster.py`` where fsync durability makes
+    the amortization the bottleneck under test."""
+    params = PARAMS.replaced(threads_per_site=3,
+                             transactions_per_thread=12,
+                             read_txn_probability=0.1)
+
+    def run(batch, base_port, wal_dir):
+        spec = ClusterSpec(params=params, protocol="dag_wt", seed=3,
+                           base_port=base_port, batch=batch)
+
+        async def scenario():
+            servers, client = await start_cluster(spec,
+                                                  wal_dir=wal_dir)
+            try:
+                return await generate_load(spec, client, verify=True,
+                                           loop_mode="open")
+            finally:
+                await stop_cluster(servers, client)
+
+        return asyncio.run(scenario())
+
+    os.mkdir(os.path.join(str(tmp_path), "plain"))
+    os.mkdir(os.path.join(str(tmp_path), "batched"))
+    baseline = run(1, 7530, os.path.join(str(tmp_path), "plain"))
+    batched = run(32, 7535, os.path.join(str(tmp_path), "batched"))
+
+    expected = (params.n_sites * params.threads_per_site *
+                params.transactions_per_thread)
+    for report in (baseline, batched):
+        assert report.committed + report.aborted == expected
+        assert report.unknown == 0
+        assert report.convergent, "divergent: {}".format(
+            report.divergent)
+        assert report.serializable
+    # The batched run really batched: fewer wire frames than messages
+    # and fewer log syncs than the per-record baseline.
+    assert batched.frames_sent < batched.messages_sent
+    assert batched.wal_syncs < baseline.wal_syncs
+    # And it pays no throughput price for it.
+    assert batched.throughput >= 0.7 * baseline.throughput, \
+        "batched {:.1f} txn/s vs baseline {:.1f} txn/s".format(
+            batched.throughput, baseline.throughput)
+
+
+def test_mixed_batched_and_unbatched_members_interoperate(tmp_path):
+    """``batch``/``durability`` are per-process perf knobs, excluded
+    from the cluster fingerprint: a batched site and unbatched sites
+    must form one cluster (the wire is self-describing) and still pass
+    both oracles."""
+    batched_spec = ClusterSpec(params=PARAMS, protocol="dag_wt",
+                               seed=3, base_port=7540, batch=32)
+    plain_spec = ClusterSpec(params=PARAMS, protocol="dag_wt",
+                             seed=3, base_port=7540, batch=1)
+    assert batched_spec.fingerprint() == plain_spec.fingerprint()
+
+    async def scenario():
+        servers = {}
+        for site in range(PARAMS.n_sites):
+            spec = batched_spec if site == 0 else plain_spec
+            servers[site] = SiteServer(
+                spec, site,
+                wal_path=os.path.join(str(tmp_path),
+                                      "site{}.wal".format(site)),
+                anti_entropy_interval=0.3)
+            await servers[site].start()
+        client = ClusterClient(plain_spec, timeout=5.0)
+        await client.wait_ready()
+        try:
+            return await generate_load(plain_spec, client, verify=True)
+        finally:
+            await stop_cluster(servers, client)
+
+    report = asyncio.run(scenario())
+    assert report.committed > 0
+    assert report.unknown == 0
+    assert report.convergent
+    assert report.serializable
+
+
 def test_dag_wt_survives_kill_and_wal_restart(tmp_path):
     """The acceptance scenario: a replica site is killed mid-workload
     and restarted from stable storage; convergence and an acyclic DSG

@@ -147,6 +147,48 @@ def test_live_transport_counters_and_dedup():
     asyncio.run(scenario())
 
 
+def test_batching_preserves_the_network_counter_contract():
+    """``total_sent``/``sent_by_type`` count *messages* (the simulated
+    Network's units), never wire frames — batching must not leak into
+    the metrics the harness compares against the simulator."""
+
+    async def scenario():
+        frames = []
+
+        async def on_connect(reader, writer):
+            await read_frame(reader)                      # hello
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                frames.append(frame)
+
+        server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        transport = LiveTransport(0, {0: ("127.0.0.1", port - 1),
+                                      1: ("127.0.0.1", port)},
+                                  max_batch=16)
+        for seq in range(1, 25):
+            transport.send(MessageType.SECONDARY, 0, 1,
+                           gid=GlobalTransactionId(0, seq),
+                           writes={0: seq})
+        deadline = asyncio.get_event_loop().time() + 5.0
+        while transport.batched_messages < 24:
+            assert asyncio.get_event_loop().time() < deadline
+            await asyncio.sleep(0.01)
+
+        assert transport.total_sent == 24                 # messages
+        assert transport.sent_by_type[MessageType.SECONDARY] == 24
+        assert transport.pending_out == 24                # none acked
+        assert transport.frames_sent == len(frames) < 24  # amortized
+        assert transport.batched_messages == 24
+        await transport.close()
+        server.close()
+        await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
 def test_live_channel_fifo_with_ack_and_resend_after_reconnect():
     """Kill the receiving end mid-stream without acking everything: on
     reconnect the channel must resend the unacked tail, in order, with

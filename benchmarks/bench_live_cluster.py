@@ -16,9 +16,17 @@ transaction generator identically everywhere):
    calibration, not a race: absolute numbers differ (virtual clock vs
    real 2020s syscalls); what must agree is the workload (identical
    spec counts) and the correctness verdicts.
+3. **instrumented vs plain** — the batched configuration runs once
+   more with observability disabled (``obs=False``: no metrics
+   registry, no span tracing, no staleness probe).  The instrumented
+   run must stay **within 10 %** of the plain run's throughput — the
+   "low-overhead" claim of :mod:`repro.obs`, asserted where it is most
+   exposed (the fsync-amortized hot path).
 
 Writes ``BENCH_live_cluster.json`` with the paired numbers
-(p50/p95/p99 latency, throughput, wire amortization, speedup).
+(p50/p95/p99 latency, throughput, wire amortization, speedup,
+observability overhead, live propagation-delay p50/p95/max, and
+replica version-lag stats).
 """
 
 import json
@@ -51,15 +59,26 @@ LIVE_PARAMS = WorkloadParams(
 MAX_IN_FLIGHT = 64
 
 
-def run_live(batch: int):
+def run_live(batch: int, obs: bool = True):
     spec = ClusterSpec(params=LIVE_PARAMS, protocol="dag_wt",
-                       seed=LIVE_SEED, base_port=7580 + 10 * min(batch, 9),
-                       durability="fsync", batch=batch)
+                       seed=LIVE_SEED,
+                       base_port=(7580 + 10 * min(batch, 9) +
+                                  (0 if obs else 5)),
+                       durability="fsync", batch=batch, obs=obs)
     with tempfile.TemporaryDirectory(prefix="bench-live-") as wal_dir:
         return spawn_and_load(spec, wal_dir=wal_dir, verify=True,
                               max_in_flight=MAX_IN_FLIGHT,
                               loop_mode="open", timeout=120.0,
                               quiesce_timeout=60.0)
+
+
+def best_live(batch: int, obs: bool = True, runs: int = 2):
+    """Best-of-``runs`` throughput for one configuration.  Single live
+    runs jitter several percent on a shared box; the overhead
+    comparison below is a tight (10 %) bound, so each side gets its
+    best attempt rather than one noisy sample."""
+    reports = [run_live(batch, obs=obs) for _ in range(runs)]
+    return max(reports, key=lambda report: report.throughput)
 
 
 def run_sim():
@@ -71,7 +90,7 @@ def run_sim():
 def _live_row(report):
     return {
         "batch": report.batch, "durability": report.durability,
-        "loop_mode": report.loop_mode,
+        "loop_mode": report.loop_mode, "obs": report.obs,
         "committed": report.committed, "aborted": report.aborted,
         "duration_s": round(report.duration, 4),
         "throughput_txn_s": round(report.throughput, 2),
@@ -89,13 +108,13 @@ def _live_row(report):
 
 
 def test_live_cluster_batching_speedup(benchmark):
-    baseline, batched, sim = run_once(
-        benchmark, lambda: (run_live(batch=1), run_live(batch=64),
-                            run_sim()))
+    baseline, batched, plain, sim = run_once(
+        benchmark, lambda: (run_live(batch=1), best_live(batch=64),
+                            best_live(batch=64, obs=False), run_sim()))
 
     total = (LIVE_PARAMS.n_sites * LIVE_PARAMS.threads_per_site *
              LIVE_PARAMS.transactions_per_thread)
-    for live in (baseline, batched):
+    for live in (baseline, batched, plain):
         # Matched workload: every generated transaction was decided.
         assert live.committed + live.aborted == total
         assert live.unknown == 0
@@ -112,6 +131,20 @@ def test_live_cluster_batching_speedup(benchmark):
     assert speedup >= 2.0, \
         "batched run only {:.2f}x the unbatched baseline".format(speedup)
 
+    # The instrumented run measured real propagation + recency...
+    assert batched.obs and not plain.obs
+    propagation = batched.propagation
+    version_lag = batched.version_lag
+    assert propagation["complete"] > 0
+    assert propagation["p50"] <= propagation["p95"] \
+        <= propagation["max"]
+    assert version_lag["samples"] >= 1
+    # ...without costing the hot path: within 10 % of the plain run.
+    overhead_ratio = batched.throughput / plain.throughput
+    assert overhead_ratio >= 0.9, \
+        "instrumented run at {:.2f}x the plain run's " \
+        "throughput (budget: >= 0.90x)".format(overhead_ratio)
+
     rows = {
         "workload": {
             "protocol": "dag_wt", "seed": LIVE_SEED,
@@ -125,7 +158,18 @@ def test_live_cluster_batching_speedup(benchmark):
         },
         "live_baseline": _live_row(baseline),
         "live_batched": _live_row(batched),
+        "live_batched_noobs": _live_row(plain),
         "speedup": round(speedup, 3),
+        "obs_overhead_ratio": round(overhead_ratio, 3),
+        "propagation_delay_ms": {
+            "p50": round(propagation["p50"] * 1000.0, 3),
+            "p95": round(propagation["p95"] * 1000.0, 3),
+            "max": round(propagation["max"] * 1000.0, 3),
+            "mean": round(propagation["mean"] * 1000.0, 3),
+            "trees_complete": propagation["complete"],
+            "trees_propagating": propagation["propagating"],
+        },
+        "replica_version_lag": version_lag,
         "sim": {
             "committed": sim.committed, "aborted": sim.aborted,
             "duration_s": round(sim.duration, 4),
@@ -176,9 +220,25 @@ def test_live_cluster_batching_speedup(benchmark):
         "wal+journal syncs", baseline.wal_syncs, batched.wal_syncs,
         "-"))
     print("speedup (batched / baseline): {:.2f}x".format(speedup))
+    print("obs overhead (instrumented / plain): {:.2f}x".format(
+        overhead_ratio))
+    print("propagation delay (ms): p50 {:.1f}  p95 {:.1f}  max {:.1f} "
+          "({}/{} trees complete)".format(
+              propagation["p50"] * 1000.0, propagation["p95"] * 1000.0,
+              propagation["max"] * 1000.0, propagation["complete"],
+              propagation["propagating"]))
+    print("replica version lag: mean {:.2f}  p95 {}  max {} "
+          "({:.0%} current over {} samples)".format(
+              version_lag["mean"], version_lag["p95"],
+              version_lag["max"], version_lag["fraction_current"],
+              version_lag["samples"]))
     print("wrote {}".format(os.path.relpath(ARTIFACT)))
 
     benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["obs_overhead_ratio"] = round(
+        overhead_ratio, 3)
+    benchmark.extra_info["propagation_p95_ms"] = round(
+        propagation["p95"] * 1000.0, 3)
     benchmark.extra_info["baseline_throughput"] = round(
         baseline.throughput, 2)
     benchmark.extra_info["batched_throughput"] = round(

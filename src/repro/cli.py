@@ -27,6 +27,15 @@ Commands
     print throughput, latency percentiles, and the convergence +
     serializability verdicts.  ``--spawn`` starts the whole cluster
     in-process first.
+``stats``
+    Fetch every site's metrics-registry snapshot (counters, gauges,
+    sync-latency histograms) over the ``stats`` wire request.
+    ``--check`` validates the snapshot schema (CI mode).
+``trace``
+    Fetch span records (live, over the ``trace`` wire request, or
+    offline from per-site ``.trace`` JSONL files via ``--files``) and
+    reconstruct origin→replica propagation trees with per-hop
+    latencies.
 
 Examples::
 
@@ -38,6 +47,8 @@ Examples::
     python -m repro replay explorer-trace.json
     python -m repro serve --site 0 --sites 3 --items 12 --replication 0.8 --seed 3 --wal s0.wal
     python -m repro loadgen --spawn --sites 3 --items 12 --replication 0.8 --seed 3 --txns 20
+    python -m repro stats --sites 3 --seed 3 --check
+    python -m repro trace --files s0.wal.trace s1.wal.trace --require-complete 1
 """
 
 from __future__ import annotations
@@ -223,6 +234,49 @@ def build_parser() -> argparse.ArgumentParser:
                                      "closed per-thread loop")
     _add_param_flags(loadgen_parser)
 
+    stats_parser = subparsers.add_parser(
+        "stats", help="fetch every site's metrics snapshot from a "
+                      "live cluster")
+    _add_cluster_flags(stats_parser)
+    stats_parser.add_argument("--site", type=int, default=None,
+                              help="query one site instead of all")
+    stats_parser.add_argument("--check", action="store_true",
+                              help="validate each snapshot against the "
+                                   "stats schema; exit non-zero on "
+                                   "violation (CI mode)")
+    stats_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="also write the snapshots as JSON")
+    _add_param_flags(stats_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="reconstruct update-propagation trees from span "
+                      "records")
+    _add_cluster_flags(trace_parser)
+    trace_parser.add_argument("--id", metavar="TRACE", default=None,
+                              help="show one trace id (e.g. t0.3) in "
+                                   "full instead of the summary")
+    trace_parser.add_argument("--files", metavar="PATH", nargs="+",
+                              default=None,
+                              help="read spans offline from per-site "
+                                   ".trace JSONL files instead of the "
+                                   "live cluster")
+    trace_parser.add_argument("--limit", type=int, default=None,
+                              help="per-site span tail limit for live "
+                                   "fetches")
+    trace_parser.add_argument("--show", type=int, default=1,
+                              metavar="N",
+                              help="print the N slowest complete trees "
+                                   "(default 1)")
+    trace_parser.add_argument("--require-complete", type=int, default=0,
+                              metavar="N",
+                              help="exit non-zero unless at least N "
+                                   "complete propagation trees were "
+                                   "reconstructed (CI mode)")
+    trace_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="also write the propagation summary "
+                                   "as JSON")
+    _add_param_flags(trace_parser)
+
     return parser
 
 
@@ -243,6 +297,11 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
                              "buffer), flush (OS page cache; survives "
                              "a process crash), fsync (disk; survives "
                              "power loss)")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="disable the metrics registry, span "
+                             "tracing, and staleness probing for this "
+                             "process (per-process knob; mixed members "
+                             "interoperate)")
 
 
 def _cluster_spec_from_args(args: argparse.Namespace):
@@ -251,7 +310,8 @@ def _cluster_spec_from_args(args: argparse.Namespace):
     return ClusterSpec(params=_params_from_args(args),
                        protocol=args.protocol, seed=args.seed,
                        host=args.host, base_port=args.base_port,
-                       durability=args.durability, batch=args.batch)
+                       durability=args.durability, batch=args.batch,
+                       obs=not args.no_obs)
 
 
 def _cmd_protocols(_args: argparse.Namespace,
@@ -418,8 +478,33 @@ def _cmd_serve(args: argparse.Namespace, out: typing.TextIO) -> int:
     out.write("site s{} serving {}:{} (protocol {}, seed {}{})\n".format(
         args.site, host, port, spec.protocol, spec.seed,
         ", wal " + args.wal if args.wal else ""))
+    async def _serve_until_signalled() -> None:
+        # SIGTERM is the standard stop for a backgrounded site (shell
+        # scripts, CI smokes); a bare kill would drop the group-commit
+        # buffers and the deferred trace spans.  Catch it (and SIGINT)
+        # and tear down gracefully so the WAL, journal and `.trace`
+        # sink are all flushed before exit.
+        import signal
+
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stopping.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stopping.wait())
+        await asyncio.wait({serve_task, stop_task},
+                           return_when=asyncio.FIRST_COMPLETED)
+        stop_task.cancel()
+        if not serve_task.done():
+            serve_task.cancel()  # serve_forever() absorbs the cancel
+        await serve_task
+        await server.stop()
+
     try:
-        asyncio.run(server.serve_forever())
+        asyncio.run(_serve_until_signalled())
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     return 0
@@ -453,6 +538,148 @@ def _cmd_loadgen(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 0 if report.convergent and report.serializable else 1
 
 
+def _format_stats(site: int, response: typing.Mapping) -> str:
+    """Human-readable rendering of one site's stats response."""
+    from repro.obs.registry import snapshot_percentile
+
+    snapshot = response.get("stats", {})
+    lines = ["site s{} (obs {})".format(
+        site, "on" if snapshot.get("enabled") else "off")]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("  counters: " + "  ".join(
+            "{}={}".format(name, value)
+            for name, value in sorted(counters.items())))
+    for name, gauge in sorted(snapshot.get("gauges", {}).items()):
+        lines.append("  gauge {}: {} (high water {})".format(
+            name, gauge.get("value"), gauge.get("high_water")))
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        if not hist.get("count"):
+            continue
+        lines.append(
+            "  hist {}: n={} mean={:.4g} p50<={:.4g} p95<={:.4g} "
+            "max={:.4g}".format(
+                name, hist["count"], hist["sum"] / hist["count"],
+                snapshot_percentile(hist, 50.0),
+                snapshot_percentile(hist, 95.0), hist.get("max") or 0.0))
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import asyncio
+
+    from repro.cluster.client import ClusterClient, ClusterError
+    from repro.obs.registry import validate_snapshot
+
+    spec = _cluster_spec_from_args(args)
+
+    async def fetch():
+        client = ClusterClient(spec)
+        try:
+            if args.site is not None:
+                return {args.site: await client.stats(args.site)}
+            return await client.stats_all()
+        finally:
+            await client.close()
+
+    try:
+        responses = asyncio.run(fetch())
+    except (ClusterError, OSError) as exc:
+        out.write("stats fetch failed: {}\n".format(exc))
+        return 1
+    violations = 0
+    payload = {}
+    for site, response in sorted(responses.items()):
+        payload["s{}".format(site)] = response.get("stats")
+        out.write(_format_stats(site, response) + "\n")
+        if args.check:
+            try:
+                validate_snapshot(response.get("stats"))
+            except ValueError as exc:
+                out.write("  SCHEMA VIOLATION: {}\n".format(exc))
+                violations += 1
+    if args.check and not violations:
+        out.write("all {} snapshot(s) schema-valid\n".format(
+            len(responses)))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("wrote {}\n".format(args.json))
+    return 1 if violations else 0
+
+
+def _cmd_trace(args: argparse.Namespace, out: typing.TextIO) -> int:
+    from repro.obs.reconstruct import (format_tree, propagation_summary,
+                                       reconstruct)
+
+    if args.files:
+        from repro.obs.trace import load_trace_file
+
+        spans = []
+        for path in args.files:
+            spans.extend(load_trace_file(path))
+    else:
+        import asyncio
+
+        from repro.cluster.client import ClusterClient, ClusterError
+
+        spec = _cluster_spec_from_args(args)
+
+        async def fetch():
+            client = ClusterClient(spec)
+            try:
+                return await client.traces_all(trace=args.id,
+                                               limit=args.limit)
+            finally:
+                await client.close()
+
+        try:
+            spans = asyncio.run(fetch())
+        except (ClusterError, OSError) as exc:
+            out.write("trace fetch failed: {}\n".format(exc))
+            return 1
+    trees = reconstruct(spans)
+    if args.id is not None:
+        tree = trees.get(args.id)
+        if tree is None:
+            out.write("no spans for trace {}\n".format(args.id))
+            return 1
+        out.write(format_tree(tree) + "\n")
+        return 0
+    summary = propagation_summary(trees)
+    out.write("{} span(s), {} trace(s): {} propagating, {} complete\n"
+              .format(len(spans), summary["count"],
+                      summary["propagating"], summary["complete"]))
+    if summary["complete"]:
+        out.write("propagation delay: p50 {:.1f} ms  p95 {:.1f} ms  "
+                  "max {:.1f} ms\n".format(summary["p50"] * 1000,
+                                           summary["p95"] * 1000,
+                                           summary["max"] * 1000))
+    complete = sorted((tree for tree in trees.values() if tree.complete),
+                      key=lambda tree: tree.delay, reverse=True)
+    for tree in complete[:max(0, args.show)]:
+        out.write("\n" + format_tree(tree) + "\n")
+    if args.json:
+        import json
+
+        payload = {"summary": summary,
+                   "delays_ms": {tid: tree.delay * 1000
+                                 for tid, tree in trees.items()
+                                 if tree.delay is not None}}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("wrote {}\n".format(args.json))
+    if summary["complete"] < args.require_complete:
+        out.write("FAIL: {} complete tree(s) < required {}\n".format(
+            summary["complete"], args.require_complete))
+        return 1
+    return 0
+
+
 def main(argv: typing.Optional[typing.Sequence[str]] = None,
          out: typing.TextIO = sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
@@ -470,6 +697,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args, out)
 

@@ -215,6 +215,55 @@ class ClusterClient:
             *(self.status(site) for site in sites))
         return dict(zip(sites, results))
 
+    async def versions(self, site: SiteId
+                       ) -> typing.Dict[str, typing.Any]:
+        """One site's committed item versions (cheap; no history)."""
+        return await self._request(site, {"op": "versions"},
+                                   idempotent=True)
+
+    async def versions_all(self) -> typing.Dict[SiteId, typing.Dict]:
+        sites = sorted(self.spec.addresses())
+        results = await asyncio.gather(
+            *(self.versions(site) for site in sites))
+        return dict(zip(sites, results))
+
+    async def stats(self, site: SiteId) -> typing.Dict[str, typing.Any]:
+        """One site's metrics-registry snapshot (``repro.obs``)."""
+        return await self._request(site, {"op": "stats"},
+                                   idempotent=True)
+
+    async def stats_all(self) -> typing.Dict[SiteId, typing.Dict]:
+        sites = sorted(self.spec.addresses())
+        results = await asyncio.gather(
+            *(self.stats(site) for site in sites))
+        return dict(zip(sites, results))
+
+    async def trace(self, site: SiteId,
+                    trace: typing.Optional[str] = None,
+                    limit: typing.Optional[int] = None
+                    ) -> typing.Dict[str, typing.Any]:
+        """One site's span tail, optionally filtered to one trace id."""
+        frame: typing.Dict[str, typing.Any] = {"op": "trace"}
+        if trace is not None:
+            frame["trace"] = trace
+        if limit is not None:
+            frame["limit"] = limit
+        return await self._request(site, frame, idempotent=True)
+
+    async def traces_all(self, trace: typing.Optional[str] = None,
+                         limit: typing.Optional[int] = None
+                         ) -> typing.List[typing.Dict[str, typing.Any]]:
+        """All sites' spans pooled — ready for
+        :func:`repro.obs.reconstruct.reconstruct`."""
+        sites = sorted(self.spec.addresses())
+        results = await asyncio.gather(
+            *(self.trace(site, trace=trace, limit=limit)
+              for site in sites))
+        spans: typing.List[typing.Dict[str, typing.Any]] = []
+        for result in results:
+            spans.extend(result.get("spans", ()))
+        return spans
+
     async def crash(self, site: SiteId) -> None:
         """Ask a site to crash in place (volatile state lost, WAL kept)."""
         await self._request(site, {"op": "crash"}, idempotent=False)

@@ -40,7 +40,7 @@ import dataclasses
 import time
 import typing
 
-from repro.cluster.client import ClusterClient
+from repro.cluster.client import ClusterClient, ClusterError
 from repro.cluster.codec import decode_value
 from repro.cluster.spec import ClusterSpec
 from repro.harness.convergence import divergent_copies
@@ -49,6 +49,8 @@ from repro.harness.serializability import (
     build_serialization_graph,
     find_dsg_cycle,
 )
+from repro.obs.probe import LiveStalenessProbe
+from repro.obs.reconstruct import propagation_summary, reconstruct
 from repro.sim.rng import RngRegistry
 from repro.storage.history import SiteHistory
 from repro.types import SubtransactionKind
@@ -86,6 +88,16 @@ class LoadReport:
     frames_sent: int = 0
     #: WAL + journal write+flush sync points across all sites.
     wal_syncs: int = 0
+    #: Whether the cluster ran with observability on (the two stat
+    #: blocks below are empty otherwise).
+    obs: bool = True
+    #: Live propagation-delay stats (seconds) from reconstructed trace
+    #: trees: count / complete / p50 / p95 / max / mean.
+    propagation: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+    #: Replica version-lag stats sampled by the live staleness probe.
+    version_lag: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
 
     def to_json(self) -> typing.Dict[str, typing.Any]:
         return dataclasses.asdict(self)
@@ -117,6 +129,25 @@ class LoadReport:
                 "NO ({} divergent)".format(self.divergent),
                 "yes" if self.serializable else "NO", self.dsg_nodes),
         ]
+        if self.propagation:
+            prop = self.propagation
+            lines.append(
+                "propagation: {}/{} trees complete, delay p50 {:.1f} ms"
+                "  p95 {:.1f} ms  max {:.1f} ms".format(
+                    prop.get("complete", 0),
+                    prop.get("propagating", prop.get("count", 0)),
+                    prop.get("p50", 0.0) * 1000,
+                    prop.get("p95", 0.0) * 1000,
+                    prop.get("max", 0.0) * 1000))
+        if self.version_lag:
+            lag = self.version_lag
+            lines.append(
+                "replica lag: mean {:.2f}  p95 {}  max {} versions "
+                "({:.0f}% current, {} samples)".format(
+                    lag.get("mean", 0.0), lag.get("p95", 0),
+                    lag.get("max", 0),
+                    lag.get("fraction_current", 1.0) * 100,
+                    lag.get("samples", 0)))
         return "\n".join(lines)
 
 
@@ -137,7 +168,14 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
                                      .stream("workload"))
     metrics = MetricsCollector(spec.params.n_sites)
     unknown = [0]
+    # Recency probe: rides the lightweight versions plane alongside the
+    # workload, so lag is measured while propagation queues are
+    # actually loaded.
+    probe = (LiveStalenessProbe(spec, client, period=0.1)
+             if spec.obs else None)
     started = time.monotonic()
+    if probe is not None:
+        probe.start()
 
     async def submit_one(site: int, txn_spec) -> None:
         sent = time.monotonic()
@@ -168,8 +206,23 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
         for site in range(spec.params.n_sites)
         for thread in range(spec.params.threads_per_site)))
     duration = time.monotonic() - started
+    if probe is not None:
+        # One last sample after the workload drains, then stop — the
+        # quiescent tail would only dilute the loaded-phase lags.
+        await probe.sample_once()
+        await probe.stop()
 
     statuses = await wait_quiescent(client, timeout=quiesce_timeout)
+    propagation: typing.Dict[str, typing.Any] = {}
+    version_lag: typing.Dict[str, typing.Any] = {}
+    if spec.obs:
+        version_lag = probe.summary()
+        try:
+            spans = await client.traces_all()
+        except ClusterError:
+            spans = []
+        if spans:
+            propagation = propagation_summary(reconstruct(spans))
     convergent, divergent, serializable, dsg_nodes = True, 0, True, 0
     if verify:
         state = {site: decode_value(status["items"])
@@ -210,6 +263,9 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
         wal_syncs=sum(status.get("wal_syncs", 0)
                       + status.get("journal_syncs", 0)
                       for status in statuses.values()),
+        obs=spec.obs,
+        propagation=propagation,
+        version_lag=version_lag,
     )
 
 

@@ -36,13 +36,22 @@ The server, not the protocol, handles the cluster control plane:
   replay the primary's commit order, so serializability is preserved;
 - delivery dedup — at-least-once transport resends and catch-up overlap
   are filtered via the transport sequence numbers and the writer-lineage
-  check before a ``SECONDARY`` reaches the protocol queue.
+  check before a ``SECONDARY`` reaches the protocol queue;
+- observability (``spec.obs``, on by default) — a
+  :class:`repro.obs.registry.MetricsRegistry` instruments the hot path
+  (frames, batch sizes, WAL/journal sync latency, apply-queue depth,
+  drive time), and a :class:`repro.obs.trace.TraceSink` records
+  propagation spans (received → journaled → applied …) keyed by
+  deterministic per-origin-transaction trace ids; both are served over
+  the client plane by the ``stats`` and ``trace`` requests.  See
+  ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import sys
+import time
 import typing
 
 from repro.cluster.codec import (
@@ -58,6 +67,12 @@ from repro.cluster.wal import FileWal, MessageJournal
 from repro.core.base import ReplicatedSystem, SystemConfig, make_protocol
 from repro.errors import TransactionAborted
 from repro.network.message import Message, MessageType
+from repro.obs.registry import (
+    LAG_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.trace import TraceSink, message_trace_ids, traces_of_obj
 from repro.sim.environment import Environment
 from repro.storage.log import LogRecordKind, recover
 from repro.types import (
@@ -130,6 +145,31 @@ class SiteServer:
         self.committed = 0
         self.aborted = 0
         self.recovered = False
+        # Observability plane (docs/OBSERVABILITY.md).  A disabled
+        # registry hands out no-op instruments and the sink stays None,
+        # so an obs-off member records nothing and stamps nothing.
+        self.metrics = MetricsRegistry(enabled=spec.obs)
+        self.trace: typing.Optional[TraceSink] = (
+            TraceSink(site_id,
+                      path=(wal_path + ".trace"
+                            if wal_path is not None else None))
+            if spec.obs else None)
+        self.apply_queue_hwm = 0
+        self._m_frames_decoded = self.metrics.counter(
+            "server.frames_decoded")
+        self._m_frame_msgs = self.metrics.histogram(
+            "server.frame_msgs", SIZE_BUCKETS)
+        self._m_committed = self.metrics.counter("txn.committed")
+        self._m_aborted = self.metrics.counter("txn.aborted")
+        self._h_drive = self.metrics.histogram("server.drive_s")
+        self._h_wal_sync = self.metrics.histogram("wal.sync_s")
+        self._h_journal_sync = self.metrics.histogram("journal.sync_s")
+        self._g_apply_queue = self.metrics.gauge("server.apply_queue")
+        self._m_catchup_requests = self.metrics.counter(
+            "catchup.requests")
+        self._m_catchup_replies = self.metrics.counter("catchup.replies")
+        self._h_catchup_lag = self.metrics.histogram(
+            "catchup.lag_versions", LAG_BUCKETS)
         self._closed = False
         self._loop: typing.Optional[asyncio.AbstractEventLoop] = None
         self._epoch = 0.0
@@ -156,10 +196,14 @@ class SiteServer:
             self.site_id, self.spec.addresses(),
             fingerprint=self.spec.fingerprint(),
             max_batch=self.spec.batch,
-            sync_hook=self._sync_wal)
+            sync_hook=self._sync_wal,
+            metrics=self.metrics if self.spec.obs else None,
+            trace_sink=self.trace)
         self.system = ReplicatedSystem(
             self.env, self.placement, live_system_config(self.spec),
             transport=self.transport, local_sites=[self.site_id])
+        if self.trace is not None:
+            self.system.observers.append(_SpanObserver(self))
         site = self.system.site_of(self.site_id)
         if self.wal_path is not None:
             group_commit = self.spec.batch > 1
@@ -175,6 +219,11 @@ class SiteServer:
                 self.wal_path + ".inbox",
                 durability=self.spec.durability,
                 group_commit=True)
+            if self.metrics:
+                self.wal.set_sync_observer(
+                    lambda dt, _n: self._h_wal_sync.observe(dt))
+                self.journal.set_sync_observer(
+                    lambda dt, _n: self._h_journal_sync.observe(dt))
             if self.wal.recovered_records:
                 # Crash recovery: rebuild the engine from the redo log.
                 site.engine = recover(
@@ -247,6 +296,10 @@ class SiteServer:
             self.wal.abandon()
         if self.journal is not None:
             self.journal.abandon()
+        # Trace spans are diagnostics, not promises — keeping them
+        # through a simulated crash only helps the post-mortem.
+        if self.trace is not None:
+            self.trace.close()
 
     async def _teardown(self) -> None:
         self._closed = True
@@ -265,6 +318,8 @@ class SiteServer:
             self.wal.close()
         if self.journal is not None:
             self.journal.close()
+        if self.trace is not None:
+            self.trace.close()
 
     # ------------------------------------------------------------------
     # The real-time clock driver
@@ -279,6 +334,8 @@ class SiteServer:
         if self._closed:
             return
         env = self.env
+        hist = self._h_drive
+        started = time.perf_counter() if hist else 0.0
         try:
             while True:
                 target = max(env.now, self._wall())
@@ -288,6 +345,8 @@ class SiteServer:
         except Exception as exc:  # pragma: no cover - defensive
             print("site s{}: event loop error: {!r}".format(
                 self.site_id, exc), file=sys.stderr)
+        if hist:
+            hist.observe(time.perf_counter() - started)
         self._arm_timer()
 
     def _arm_timer(self) -> None:
@@ -315,15 +374,22 @@ class SiteServer:
 
         def body():
             start = env.now
+            if self.trace is not None:
+                self.trace.emit("submitted", gid=spec.gid, now=start)
             try:
                 yield from protocol.run_transaction(
                     spec.origin, spec, process_ref[0])
             except TransactionAborted as exc:
                 self.aborted += 1
+                self._m_aborted.inc()
+                if self.trace is not None:
+                    self.trace.emit("aborted", gid=spec.gid,
+                                    now=env.now, reason=exc.reason)
                 _resolve(future, ("aborted", exc.reason,
                                   env.now - start))
                 return
             self.committed += 1
+            self._m_committed.inc()
             _resolve(future, ("committed", None, env.now - start))
 
         process_ref.append(env.process(body()))
@@ -363,12 +429,28 @@ class SiteServer:
             return
         if not self.transport.fresh(message.src, incarnation, seq):
             return  # transport-level resend
+        traces: typing.List[str] = []
+        if self.trace is not None:
+            # Prefer the sender's stamp; a plain (obs-off) sender omits
+            # it, so re-derive the ids from the decoded payload — the
+            # trace invariant must not depend on the peer's config.
+            traces = traces_of_obj(obj_msg) or message_trace_ids(message)
+            if traces:
+                self.trace.emit(
+                    "received", trace=traces[0],
+                    traces=traces if len(traces) > 1 else None,
+                    peer=message.src, type=message.msg_type.value)
         if message.msg_type is MessageType.SECONDARY and \
                 self.journal is not None:
             # Journal before ack: once the sender retires this update,
             # the journal is the only copy that survives our crash.
             # Appends buffer; the apply loop syncs before the ack.
             self.journal.append(message.src, incarnation, seq, obj_msg)
+            if traces:
+                self.trace.emit(
+                    "journaled", trace=traces[0],
+                    traces=traces if len(traces) > 1 else None,
+                    peer=message.src, type=message.msg_type.value)
         if message.msg_type is MessageType.WOUND:
             self._on_wound(message)
         elif message.msg_type is MessageType.CATCHUP_REQUEST:
@@ -392,6 +474,7 @@ class SiteServer:
             if not isinstance(msgs, list):
                 raise CodecError("batch frame without a msgs list")
             last_seq: typing.Optional[int] = None
+            count = 0
             for item in msgs:
                 try:
                     seq = int(item["seq"])
@@ -400,10 +483,14 @@ class SiteServer:
                     raise CodecError("malformed batch entry")
                 self._accept_entry(incarnation, seq, obj_msg)
                 last_seq = seq
+                count += 1
         else:
             last_seq = int(frame.get("seq", 0))
             self._accept_entry(str(frame.get("inc", "")), last_seq,
                                frame["msg"])
+            count = 1
+        self._m_frames_decoded.inc()
+        self._m_frame_msgs.observe(count)
         if self.journal is not None:
             self.journal.sync()  # journal-then-ack, once per frame
         self._drive()
@@ -427,6 +514,14 @@ class SiteServer:
         so replay past the durable point is idempotent."""
         for entry in self.journal.entries:
             message = decode_message(entry["msg"])
+            if self.trace is not None:
+                traces = traces_of_obj(entry["msg"]) or \
+                    message_trace_ids(message)
+                if traces:
+                    self.trace.emit(
+                        "replayed", trace=traces[0],
+                        traces=traces if len(traces) > 1 else None,
+                        peer=message.src, type=message.msg_type.value)
             self.transport.accept(int(entry["src"]), entry["inc"],
                                   int(entry["seq"]), message)
 
@@ -486,12 +581,17 @@ class SiteServer:
                 self._request_catchup()
 
     def _on_catchup_request(self, message: Message) -> None:
+        self._m_catchup_requests.inc()
         engine = self.system.site_of(self.site_id).engine
         reply: typing.Dict = {}
         for item, remote_version in message.payload["items"].items():
             if not engine.has_item(item):
                 continue
             record = engine.item(item)
+            # Free recency sample: the requester just told us how far
+            # its replica trails this primary, in versions.
+            self._h_catchup_lag.observe(
+                max(0, record.committed_version - remote_version))
             if record.committed_version > remote_version:
                 reply[item] = {
                     "value": record.value,
@@ -509,6 +609,7 @@ class SiteServer:
                                 message.src, items=reply)
 
     def _on_catchup_reply(self, message: Message) -> None:
+        self._m_catchup_replies.inc()
         engine = self.system.site_of(self.site_id).engine
         locks = engine.locks
         busy = {request.item for request in locks.waiting_requests()}
@@ -521,8 +622,17 @@ class SiteServer:
             # the gap, and racing it could double-apply a version.
             if item in busy or locks.holders(item):
                 continue
-            if not self._catchup_tail_aligned(engine.item(item), entry):
+            record = engine.item(item)
+            if not self._catchup_tail_aligned(record, entry):
                 continue
+            if self.trace is not None:
+                # The tail's writers beyond our current version are the
+                # origin transactions this catch-up applies for us.
+                base = entry["version"] - len(entry["writers"])
+                for writer in entry["writers"][
+                        record.committed_version - base:]:
+                    self.trace.emit("caught-up", gid=writer,
+                                    peer=message.src, item=item)
             engine.apply_catchup(item, entry["value"], entry["version"],
                                  entry["writers"])
 
@@ -604,6 +714,10 @@ class SiteServer:
                     return
                 if frame.get("kind") in ("msg", "batch"):
                     await queue.put(frame)
+                    depth = queue.qsize()
+                    if depth > self.apply_queue_hwm:
+                        self.apply_queue_hwm = depth
+                    self._g_apply_queue.set(depth)
         finally:
             if not apply_task.done():
                 try:
@@ -708,6 +822,30 @@ class SiteServer:
                     "elapsed": elapsed}
         if op == "status":
             return self._status()
+        if op == "versions":
+            # Lightweight recency plane: committed versions only, no
+            # values and no history — cheap enough for a staleness
+            # probe to poll mid-workload without perturbing the run.
+            engine = self.system.site_of(self.site_id).engine
+            return {"ok": True, "site": self.site_id,
+                    "versions": encode_value(
+                        {item: engine.item(item).committed_version
+                         for item in engine.item_ids()})}
+        if op == "stats":
+            return {"ok": True, "site": self.site_id,
+                    "obs": self.spec.obs,
+                    "stats": self.metrics.snapshot()}
+        if op == "trace":
+            # Span tail, optionally filtered to one trace id.  The
+            # limit keeps the response under the wire frame cap.
+            limit = min(int(frame.get("limit") or 20000), 20000)
+            trace = frame.get("trace")
+            spans = (self.trace.spans(trace=trace, limit=limit)
+                     if self.trace is not None else [])
+            return {"ok": True, "site": self.site_id,
+                    "obs": self.spec.obs, "spans": spans,
+                    "dropped": (self.trace.dropped
+                                if self.trace is not None else 0)}
         if op == "crash":
             return {"ok": True, "_crash": True}
         if op == "shutdown":
@@ -726,6 +864,15 @@ class SiteServer:
              "reads": encode_value(dict(entry.reads)),
              "writes": encode_value(dict(entry.writes))}
             for entry in engine.history]
+        # Canonical durability counters, one sub-dict per log.  The flat
+        # wal_*/journal_* keys below duplicate the subset older tooling
+        # (loadgen, tests) already reads.
+        wal_stats = _appender_stats(self.wal)
+        wal_stats["records"] = len(self.wal) if self.wal is not None \
+            else 0
+        journal_stats = _appender_stats(self.journal)
+        journal_stats["records"] = (len(self.journal)
+                                    if self.journal is not None else 0)
         return {
             "ok": True,
             "site": self.site_id,
@@ -740,16 +887,54 @@ class SiteServer:
                 in self.transport.sent_by_type.items()},
             "pending_out": self.transport.pending_out,
             "frames_sent": self.transport.frames_sent,
+            "connects": self.transport.connects,
+            "resent_messages": self.transport.resent_messages,
+            "dedup_dropped": self.transport.dedup_dropped,
             "batch": self.spec.batch,
             "durability": self.spec.durability,
-            "wal_records": len(self.wal) if self.wal is not None else 0,
-            "wal_syncs": self.wal.syncs if self.wal is not None else 0,
-            "journal_records": (len(self.journal)
-                                if self.journal is not None else 0),
-            "journal_syncs": (self.journal.syncs
-                              if self.journal is not None else 0),
+            "obs": self.spec.obs,
+            "wal": wal_stats,
+            "journal": journal_stats,
+            "apply_queue_hwm": self.apply_queue_hwm,
+            "wal_records": wal_stats["records"],
+            "wal_syncs": wal_stats["syncs"],
+            "journal_records": journal_stats["records"],
+            "journal_syncs": journal_stats["syncs"],
             "recovered": self.recovered,
         }
+
+
+class _SpanObserver:
+    """System observer translating protocol commit notifications into
+    trace spans (registered only when the server traces)."""
+
+    def __init__(self, server: SiteServer):
+        self.server = server
+
+    def on_primary_commit(self, gid: GlobalTransactionId, site: SiteId,
+                          time: float,
+                          expected_replicas: typing.Set[SiteId]) -> None:
+        self.server.trace.emit("committed", gid=gid, now=time,
+                               expected=sorted(expected_replicas))
+
+    def on_replica_commit(self, gid: GlobalTransactionId, site: SiteId,
+                          time: float) -> None:
+        self.server.trace.emit("applied", gid=gid, now=time)
+
+
+def _appender_stats(log) -> typing.Dict[str, int]:
+    """Durability counters of a :class:`FileWal`/:class:`MessageJournal`
+    (zeroes for a memory-only site)."""
+    if log is None:
+        return {"appended": 0, "syncs": 0, "bytes": 0, "pending": 0,
+                "abandoned": 0}
+    return {
+        "appended": log.appended,
+        "syncs": log.syncs,
+        "bytes": log.bytes_written,
+        "pending": log.pending_sync,
+        "abandoned": log.abandoned,
+    }
 
 
 def _resolve(future: "asyncio.Future", value) -> None:

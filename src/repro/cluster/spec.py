@@ -45,6 +45,12 @@ class ClusterSpec:
     #: ``> 1`` also turns on WAL/journal group commit, coalescing
     #: concurrent appends into single write+flush sync points.
     batch: int = 1
+    #: Observability: metrics registry + trace spans + ``stats``/
+    #: ``trace`` requests on this member.  Per-process, like the perf
+    #: knobs: trace stamps ride *outside* message payloads and the
+    #: codec ignores them, so instrumented and plain members
+    #: interoperate and ``obs`` stays out of the fingerprint.
+    obs: bool = True
 
     def validate(self) -> "ClusterSpec":
         self.params.validate()
@@ -58,6 +64,7 @@ class ClusterSpec:
         if self.batch < 1:
             raise ValueError("batch must be >= 1, got {}".format(
                 self.batch))
+        self.obs = bool(self.obs)
         return self
 
     # ------------------------------------------------------------------
@@ -89,7 +96,9 @@ class ClusterSpec:
         concerns, and the performance knobs (``durability``, ``batch``)
         are per-process: the wire format is self-describing (``msg`` vs
         ``batch`` frames), so batched and unbatched members interoperate
-        within one cluster.
+        within one cluster.  ``obs`` is likewise per-process — trace
+        stamps are codec-ignored extras on the wire object, never
+        payload — so it is excluded too.
         """
         params = self.params
         material = json.dumps(
@@ -116,6 +125,7 @@ class ClusterSpec:
             "base_port": self.base_port,
             "durability": self.durability,
             "batch": self.batch,
+            "obs": self.obs,
         }
 
     @classmethod
@@ -130,4 +140,5 @@ class ClusterSpec:
             base_port=int(obj.get("base_port", 7450)),
             durability=obj.get("durability", "flush"),
             batch=int(obj.get("batch", 1)),
+            obs=bool(obj.get("obs", True)),
         ).validate()

@@ -57,6 +57,8 @@ from repro.cluster.codec import (
     write_frame,
 )
 from repro.network.message import Message, MessageType
+from repro.obs.registry import SIZE_BUCKETS, MetricsRegistry
+from repro.obs.trace import message_trace_ids, stamp_message_obj
 from repro.types import SiteId
 
 #: Reconnect backoff bounds (seconds).
@@ -125,6 +127,8 @@ class _Channel:
                         continue
                     backoff = _BACKOFF_MIN
                     reader, writer = connection
+                    self.transport._note_connect(self.dst,
+                                                 len(self.unacked))
                     while self.unacked:
                         self.unsent.appendleft(self.unacked.pop())
                     self._ack_task = asyncio.get_running_loop() \
@@ -145,17 +149,26 @@ class _Channel:
                     # is committed must be on stable storage before the
                     # bytes leave the process.
                     sync_hook()
+                # Trace ids ride beside the payload on each wire object
+                # (stamped only when this member traces; the receiver
+                # can re-derive them from the payload regardless).
+                stamp = (stamp_message_obj
+                         if self.transport.trace_sink is not None
+                         else None)
                 if count == 1:
                     seq, message = entries[0]
+                    obj = encode_message(message)
+                    if stamp is not None:
+                        stamp(obj, message)
                     frame = {
                         "kind": "msg",
                         "inc": self.transport.incarnation,
                         "seq": seq,
-                        "msg": encode_message(message),
+                        "msg": obj,
                     }
                 else:
                     frame = encode_batch_frame(
-                        self.transport.incarnation, entries)
+                        self.transport.incarnation, entries, stamp=stamp)
                 try:
                     await write_frame(writer, frame)
                 except (ConnectionError, OSError):
@@ -163,8 +176,7 @@ class _Channel:
                     continue
                 for _ in range(count):
                     self.unacked.append(self.unsent.popleft())
-                self.transport.frames_sent += 1
-                self.transport.batched_messages += count
+                self.transport._note_frame(self.dst, entries)
         finally:
             if writer is not None:
                 await self._drop_connection(writer)
@@ -179,7 +191,8 @@ class _Channel:
                     continue
                 acked = int(frame["seq"])
                 while self.unacked and self.unacked[0][0] <= acked:
-                    self.unacked.popleft()
+                    _seq, message = self.unacked.popleft()
+                    self.transport._note_acked(self.dst, message)
         except (ConnectionError, OSError, CodecError,
                 asyncio.CancelledError, ValueError, KeyError):
             return
@@ -238,7 +251,9 @@ class LiveTransport:
                  peers: typing.Mapping[SiteId, typing.Tuple[str, int]],
                  fingerprint: str = "", max_batch: int = 1,
                  sync_hook: typing.Optional[
-                     typing.Callable[[], typing.Any]] = None):
+                     typing.Callable[[], typing.Any]] = None,
+                 metrics: typing.Optional[MetricsRegistry] = None,
+                 trace_sink: typing.Optional[typing.Any] = None):
         self.site_id = site_id
         self.peers = dict(peers)
         self.n_sites = max(peers, default=site_id) + 1
@@ -266,8 +281,28 @@ class LiveTransport:
         #: amortization ratio (messages per syscall) for the bench.
         self.frames_sent = 0
         self.batched_messages = 0
+        #: Channel repair accounting: connections (re)established,
+        #: unacked messages requeued for resend, inbound resends the
+        #: dedup filter dropped.
+        self.connects = 0
+        self.resent_messages = 0
+        self.dedup_dropped = 0
         self.record_deliveries = False
         self.delivery_log: typing.List[Message] = []
+        #: Observability (both optional): a metrics registry — a
+        #: disabled stand-in when absent, so instrument calls are no-op
+        #: — and a span sink; trace ids are stamped onto outbound wire
+        #: objects only when a sink is attached.
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(enabled=False)
+        self.trace_sink = trace_sink
+        self._m_frames = self.metrics.counter("net.frames_sent")
+        self._m_batch = self.metrics.histogram("net.batch_size",
+                                               SIZE_BUCKETS)
+        self._m_connects = self.metrics.counter("net.connects")
+        self._m_resent = self.metrics.counter("net.resent")
+        self._m_dedup = self.metrics.counter("net.dedup_dropped")
+        self._m_acked = self.metrics.counter("net.acked")
 
     # ------------------------------------------------------------------
     # The Network contract (called synchronously from sim processes)
@@ -293,6 +328,50 @@ class LiveTransport:
         return message
 
     # ------------------------------------------------------------------
+    # Channel accounting (observability)
+    # ------------------------------------------------------------------
+
+    def _note_connect(self, dst: SiteId, requeued: int) -> None:
+        """A channel (re)connected; ``requeued`` unacked messages will
+        be resent through the receiver's dedup filter."""
+        self.connects += 1
+        self._m_connects.inc()
+        if requeued:
+            self.resent_messages += requeued
+            self._m_resent.inc(requeued)
+            self.metrics.counter(
+                "net.resent.s{}".format(dst)).inc(requeued)
+
+    def _note_frame(self, dst: SiteId,
+                    entries: typing.Sequence[
+                        typing.Tuple[int, Message]]) -> None:
+        """One frame's bytes left the process."""
+        count = len(entries)
+        self.frames_sent += 1
+        self.batched_messages += count
+        self._m_frames.inc()
+        self._m_batch.observe(count)
+        sink = self.trace_sink
+        if sink is not None:
+            for _seq, message in entries:
+                ids = message_trace_ids(message)
+                if ids:
+                    sink.emit("forwarded", trace=ids[0],
+                              traces=ids if len(ids) > 1 else None,
+                              peer=dst, type=message.msg_type.value)
+
+    def _note_acked(self, dst: SiteId, message: Message) -> None:
+        """The receiver durably took responsibility for ``message``."""
+        self._m_acked.inc()
+        sink = self.trace_sink
+        if sink is not None:
+            ids = message_trace_ids(message)
+            if ids:
+                sink.emit("acked", trace=ids[0],
+                          traces=ids if len(ids) > 1 else None,
+                          peer=dst, type=message.msg_type.value)
+
+    # ------------------------------------------------------------------
     # Receiving side (called by the SiteServer)
     # ------------------------------------------------------------------
 
@@ -301,6 +380,10 @@ class LiveTransport:
         was (a transport-level resend)."""
         key = (src, incarnation)
         if seq <= self._seen.get(key, 0):
+            self.dedup_dropped += 1
+            self._m_dedup.inc()
+            self.metrics.counter(
+                "net.dedup_dropped.s{}".format(src)).inc()
             return False
         self._seen[key] = seq
         return True

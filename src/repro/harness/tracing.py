@@ -4,10 +4,19 @@ A :class:`Tracer` registers as a system observer and records every
 ``primary_commit`` / ``primary_abort`` / ``replica_commit`` notification
 as a timestamped event.  Tests use it to assert protocol event
 sequences; the CLI's ``run --trace`` prints the tail of a run's trace.
+
+A bounded tracer is a **ring buffer**: when ``capacity`` events are
+held and another arrives, the *oldest* event is evicted and the new one
+kept.  The retained window is therefore always the most recent
+``capacity`` events — what ``run --trace`` (and a human debugging the
+end of a long run) actually wants — and ``dropped`` counts the evicted
+ones.  Queries (:meth:`of_kind`, :meth:`of_gid`,
+:meth:`propagation_events`) see only the retained window.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import typing
 
@@ -30,21 +39,24 @@ class TraceEvent:
 
 
 class Tracer:
-    """System observer collecting a bounded event trace."""
+    """System observer keeping the most recent ``capacity`` events."""
 
     def __init__(self, capacity: typing.Optional[int] = None):
         self.capacity = capacity
-        self.events: typing.List[TraceEvent] = []
-        self.dropped = 0
+        self.events: typing.Deque[TraceEvent] = \
+            collections.deque(maxlen=capacity)
+        self._recorded = 0
 
     def __len__(self) -> int:
         return len(self.events)
 
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring to make room for newer ones."""
+        return self._recorded - len(self.events)
+
     def _record(self, kind: str, gid, site, time, **details) -> None:
-        if self.capacity is not None and \
-                len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
+        self._recorded += 1
         self.events.append(TraceEvent(time=time, kind=kind, gid=gid,
                                       site=site, details=details))
 
@@ -74,7 +86,9 @@ class Tracer:
         return sorted(self.of_gid(gid), key=lambda event: event.time)
 
     def tail(self, count: int = 20) -> str:
-        lines = [str(event) for event in self.events[-count:]]
+        # deques don't slice; materialise the window first.
+        lines = [str(event) for event in list(self.events)[-count:]]
         if self.dropped:
-            lines.append("... ({} events dropped)".format(self.dropped))
+            lines.append("... ({} older events dropped)".format(
+                self.dropped))
         return "\n".join(lines)

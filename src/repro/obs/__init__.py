@@ -1,0 +1,39 @@
+"""``repro.obs`` — telemetry for the live cluster runtime.
+
+Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.registry` — a low-overhead metrics registry
+  (counters, gauges, fixed-bucket histograms) instrumenting the hot
+  paths of :mod:`repro.cluster`.  Disabled registries hand out shared
+  no-op instruments, so un-instrumented members pay nothing.
+- :mod:`repro.obs.trace` — distributed update-propagation tracing:
+  deterministic per-origin-transaction trace ids stamped onto every
+  wire message derived from that transaction, and a per-site span sink
+  (ring buffer + optional JSONL file).
+- :mod:`repro.obs.reconstruct` — stitches span records from many sites
+  into per-transaction propagation trees with per-hop latencies — the
+  paper's Sec. 5.3.4 propagation-delay measure on real sockets.
+- :mod:`repro.obs.probe` — a live replica-recency probe sampling
+  version lag through the cluster ``status`` plane (the wire analogue
+  of :class:`repro.harness.probes.StalenessProbe`).
+"""
+
+from repro.obs.registry import (  # noqa: F401
+    MetricsRegistry,
+    snapshot_percentile,
+    validate_snapshot,
+)
+from repro.obs.trace import (  # noqa: F401
+    TraceSink,
+    load_trace_file,
+    message_trace_ids,
+    stamp_message_obj,
+    trace_id,
+)
+from repro.obs.reconstruct import (  # noqa: F401
+    PropagationTree,
+    format_tree,
+    propagation_summary,
+    reconstruct,
+)
+from repro.obs.probe import LiveStalenessProbe  # noqa: F401

@@ -1,0 +1,138 @@
+"""Live replica-recency probe.
+
+The wire analogue of :class:`repro.harness.probes.StalenessProbe`:
+instead of peeking at simulated engines, it periodically polls every
+site's ``status`` response and measures, for each (item, primary,
+replica) pair of the placement, how many committed versions the replica
+trails its primary by.  Sec. 5.3.4's claim — that replica recency "can
+be expected to be very good in practice" — becomes a measured number on
+real sockets.
+
+The probe is client-driven over the lightweight ``versions`` wire
+request (committed versions only — no values, no history — so polling
+mid-workload does not perturb the run), needs no clock agreement (lag
+is a version count, not a time), and keeps sampling through site
+crashes (a failed poll is skipped, not fatal — exactly when staleness
+is interesting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import typing
+
+from repro.harness.metrics import percentile
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    # Runtime import would be circular: cluster modules import
+    # repro.obs (for stamping/instruments), whose package init loads
+    # this module.  The probe only duck-types its collaborators anyway
+    # (the few cluster names it needs are imported lazily below).
+    from repro.cluster.client import ClusterClient
+    from repro.cluster.spec import ClusterSpec
+
+
+class LiveStalenessProbe:
+    """Samples per-replica version lag over the cluster status plane."""
+
+    def __init__(self, spec: "ClusterSpec", client: "ClusterClient",
+                 period: float = 0.05):
+        self.spec = spec
+        self.client = client
+        self.period = period
+        #: One entry per successful poll: per-replica version lags.
+        self.samples: typing.List[typing.List[int]] = []
+        #: Polls that failed (site down / timed out) and were skipped.
+        self.failed_polls = 0
+        self._task: typing.Optional[asyncio.Task] = None
+        placement = spec.build_placement()
+        self._pairs: typing.List[typing.Tuple[str, int, int]] = []
+        for item in placement.items:
+            primary = placement.primary_site(item)
+            for replica in placement.replica_sites(item):
+                self._pairs.append((item, primary, replica))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    async def sample_once(self) -> typing.Optional[typing.List[int]]:
+        """Take one sample; returns the lags, or ``None`` on a failed
+        poll (recorded in ``failed_polls``)."""
+        from repro.cluster.client import ClusterError
+        from repro.cluster.codec import decode_value
+        try:
+            responses = await self.client.versions_all()
+        except (ClusterError, OSError, asyncio.TimeoutError):
+            self.failed_polls += 1
+            return None
+        versions: typing.Dict[int, typing.Dict[str, int]] = {}
+        for site, response in responses.items():
+            versions[site] = decode_value(response["versions"])
+        lags = []
+        for item, primary, replica in self._pairs:
+            primary_version = versions.get(primary, {}).get(item)
+            replica_version = versions.get(replica, {}).get(item)
+            if primary_version is None or replica_version is None:
+                continue
+            lags.append(max(0, primary_version - replica_version))
+        self.samples.append(lags)
+        return lags
+
+    async def _sampler(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.period)
+                await self.sample_once()
+        except asyncio.CancelledError:
+            pass
+
+    def start(self) -> "asyncio.Task":
+        """Spawn the background sampling task; returns it."""
+        self._task = asyncio.get_running_loop().create_task(
+            self._sampler())
+        return self._task
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # ------------------------------------------------------------------
+    # Aggregates (mirror harness.probes.StalenessProbe)
+    # ------------------------------------------------------------------
+
+    def _flat(self) -> typing.List[int]:
+        return [lag for sample in self.samples for lag in sample]
+
+    def mean_version_lag(self) -> float:
+        values = self._flat()
+        return sum(values) / len(values) if values else 0.0
+
+    def max_version_lag(self) -> int:
+        return max(self._flat(), default=0)
+
+    def fraction_current(self) -> float:
+        """Fraction of sampled replica observations that were fully up
+        to date."""
+        values = self._flat()
+        if not values:
+            return 1.0
+        return sum(1 for lag in values if lag == 0) / len(values)
+
+    def summary(self) -> typing.Dict[str, typing.Any]:
+        """JSON-safe aggregate for reports and bench artifacts."""
+        values = self._flat()
+        return {
+            "samples": len(self.samples),
+            "observations": len(values),
+            "failed_polls": self.failed_polls,
+            "mean": self.mean_version_lag(),
+            "p95": percentile(values, 95.0),
+            "max": self.max_version_lag(),
+            "fraction_current": self.fraction_current(),
+        }

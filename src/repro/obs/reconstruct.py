@@ -1,0 +1,188 @@
+"""Stitch per-site span records into propagation trees.
+
+Each origin transaction's spans — emitted independently at every site it
+touched (:mod:`repro.obs.trace`) — are grouped by trace id and folded
+into one :class:`PropagationTree`: the origin commit at the root, one
+hop per replica site with its received → journaled → applied
+timestamps, and the end-to-end **propagation delay** (origin commit to
+last expected replica apply).  This is the paper's Sec. 5.3.4 measure,
+taken on real sockets instead of the simulator's perfect clock.
+
+All sites of a live cluster share one host clock (``time.time()``), so
+cross-site deltas are directly meaningful here; on a genuinely
+distributed deployment they would inherit the clock skew of the hosts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.harness.metrics import percentile
+
+#: Hop events recorded per replica site, in their causal order.
+HOP_EVENTS = ("received", "journaled", "applied", "caught-up")
+
+
+@dataclasses.dataclass
+class PropagationTree:
+    """One origin transaction's reconstructed propagation fan-out."""
+
+    trace: str
+    #: Origin site, from the ``committed`` span (``None`` if that span
+    #: was never captured — e.g. it fell off a ring, or the trace was
+    #: observed only via catch-up lineage).
+    origin: typing.Optional[int] = None
+    #: Wall-clock time of the origin commit.
+    committed_t: typing.Optional[float] = None
+    #: Replica sites the origin expected to reach.
+    expected: typing.List[int] = dataclasses.field(default_factory=list)
+    #: Per replica site: earliest wall-clock time of each hop event.
+    hops: typing.Dict[int, typing.Dict[str, float]] = \
+        dataclasses.field(default_factory=dict)
+    #: Every span of this trace, ordered by wall-clock time.
+    events: typing.List[typing.Dict[str, typing.Any]] = \
+        dataclasses.field(default_factory=list)
+
+    @property
+    def applied_sites(self) -> typing.List[int]:
+        """Replica sites that durably applied the update (including via
+        catch-up)."""
+        return sorted(site for site, marks in self.hops.items()
+                      if "applied" in marks or "caught-up" in marks)
+
+    @property
+    def complete(self) -> bool:
+        """True when the origin commit was captured and every expected
+        replica applied."""
+        return (self.committed_t is not None and self.expected != [] and
+                set(self.expected) <= set(self.applied_sites))
+
+    def applied_at(self, site: int) -> typing.Optional[float]:
+        marks = self.hops.get(site, {})
+        times = [marks[event] for event in ("applied", "caught-up")
+                 if event in marks]
+        return min(times) if times else None
+
+    @property
+    def delay(self) -> typing.Optional[float]:
+        """End-to-end propagation delay: origin commit → last expected
+        replica apply.  ``None`` until the tree is complete."""
+        if not self.complete:
+            return None
+        return max(self.applied_at(site) for site in self.expected) \
+            - self.committed_t
+
+    def hop_delay(self, site: int) -> typing.Optional[float]:
+        """Origin commit → apply at one replica site."""
+        applied = self.applied_at(site)
+        if applied is None or self.committed_t is None:
+            return None
+        return applied - self.committed_t
+
+
+def reconstruct(spans: typing.Iterable[typing.Mapping[str, typing.Any]]
+                ) -> typing.Dict[str, PropagationTree]:
+    """Group spans (from any number of sites) into per-trace trees."""
+    by_trace: typing.Dict[str, typing.List[typing.Dict]] = {}
+    for span in spans:
+        ids: typing.List[str] = []
+        trace = span.get("trace")
+        if isinstance(trace, str):
+            ids.append(trace)
+        for tid in span.get("traces", ()):
+            if isinstance(tid, str) and tid not in ids:
+                ids.append(tid)
+        for tid in ids:
+            by_trace.setdefault(tid, []).append(dict(span))
+    trees: typing.Dict[str, PropagationTree] = {}
+    for tid, trace_spans in sorted(by_trace.items()):
+        trees[tid] = _build_tree(tid, trace_spans)
+    return trees
+
+
+def _build_tree(trace: str,
+                spans: typing.List[typing.Dict[str, typing.Any]]
+                ) -> PropagationTree:
+    tree = PropagationTree(trace=trace)
+    tree.events = sorted(spans, key=lambda span: span.get("t", 0.0))
+    for span in tree.events:
+        event = span.get("event")
+        site = span.get("site")
+        wall = span.get("t")
+        if not isinstance(site, int) or not isinstance(wall, (int, float)):
+            continue
+        if event == "committed":
+            # Re-forwards after a crash re-emit nothing here; keep the
+            # first commit instant we saw.
+            if tree.committed_t is None:
+                tree.origin = site
+                tree.committed_t = float(wall)
+                expected = span.get("expected")
+                if isinstance(expected, list):
+                    tree.expected = sorted(int(s) for s in expected)
+        elif event in HOP_EVENTS and site != tree.origin:
+            marks = tree.hops.setdefault(site, {})
+            if event not in marks or wall < marks[event]:
+                marks[event] = float(wall)
+    return tree
+
+
+def propagation_summary(trees: typing.Mapping[str, PropagationTree]
+                        ) -> typing.Dict[str, typing.Any]:
+    """Aggregate delay statistics over many trees (seconds).
+
+    ``count`` is every trace observed; ``propagating`` those whose
+    origin committed replicated writes (read-only and unreplicated
+    transactions have no fan-out to measure); ``complete`` those whose
+    full fan-out was captured.  The percentiles run over complete trees
+    only (an incomplete tree has no honest end-to-end delay).
+    """
+    delays = [tree.delay for tree in trees.values()
+              if tree.delay is not None]
+    return {
+        "count": len(trees),
+        "propagating": sum(1 for tree in trees.values()
+                           if tree.expected),
+        "complete": len(delays),
+        "p50": percentile(delays, 50.0),
+        "p95": percentile(delays, 95.0),
+        "max": max(delays, default=0.0),
+        "mean": (sum(delays) / len(delays)) if delays else 0.0,
+    }
+
+
+def format_tree(tree: PropagationTree) -> str:
+    """Human-readable rendering of one propagation tree."""
+
+    def ms(delta: typing.Optional[float]) -> str:
+        return "?" if delta is None else "+{:.1f}ms".format(delta * 1000)
+
+    header = tree.trace
+    if tree.origin is not None:
+        header += "  origin s{} committed".format(tree.origin)
+        if tree.expected:
+            header += "  expects {}".format(
+                ",".join("s{}".format(site) for site in tree.expected))
+    else:
+        header += "  (origin commit not captured)"
+    lines = [header]
+    base = tree.committed_t
+    for site in sorted(tree.hops):
+        marks = tree.hops[site]
+        stages = []
+        for event in HOP_EVENTS:
+            if event in marks:
+                delta = marks[event] - base if base is not None else None
+                stages.append("{} {}".format(event, ms(delta)))
+        lines.append("  └─ s{}: {}".format(site, "  ".join(stages)))
+    if tree.complete:
+        lines.append("  complete, propagation delay {}".format(
+            ms(tree.delay)))
+    else:
+        missing = sorted(set(tree.expected) - set(tree.applied_sites))
+        lines.append("  incomplete{}".format(
+            " (missing {})".format(
+                ",".join("s{}".format(site) for site in missing))
+            if missing else ""))
+    return "\n".join(lines)

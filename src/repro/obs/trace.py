@@ -1,0 +1,249 @@
+"""Distributed update-propagation tracing for the live cluster.
+
+Every origin (primary) transaction gets a **trace id** derived
+deterministically from its global transaction id (:func:`trace_id`).
+Deterministic derivation is the crash-safety trick: a restarted site
+re-forwarding committed primaries from its WAL, or a catch-up reply
+assembled months later, stamps exactly the same trace id without any
+volatile lookup table — the invariant "every wire message derived from
+an origin transaction carries its trace id" survives restarts for free.
+
+The sender stamps the id onto the *wire object* of each message
+(:func:`stamp_message_obj`), outside the protocol payload: the protocol
+classes never see it, the codec ignores unknown keys, and un-stamped
+frames from an observability-disabled member decode identically — so
+instrumented and plain members interoperate, and the receiver can
+always re-derive the id from the decoded payload anyway.
+
+Each site appends timestamped **span records** to its
+:class:`TraceSink`: a bounded in-memory ring (served live by the
+``trace`` wire request) plus an optional JSONL file next to the WAL.
+Span events along one update's life:
+
+``submitted → committed → forwarded → received → journaled → applied
+→ forwarded → ... → acked`` (plus ``aborted``, ``replayed``,
+``caught-up`` on the failure/recovery paths).
+
+:mod:`repro.obs.reconstruct` stitches spans from all sites back into
+the origin→replica propagation tree with per-hop latencies.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import time
+import typing
+
+from repro.types import GlobalTransactionId
+
+#: Span events a sink may emit (documented set; not enforced, so new
+#: instrumentation points don't need a lockstep edit here).
+SPAN_EVENTS = (
+    "submitted",     # origin: client transaction entered the server
+    "committed",     # origin: primary committed (expected replicas known)
+    "aborted",       # origin: primary aborted
+    "forwarded",     # sender: message bytes left on a peer channel
+    "received",      # receiver: frame entry accepted (post-dedup)
+    "journaled",     # receiver: durable-class message journalled
+    "applied",       # replica: secondary subtransaction committed
+    "acked",         # sender: receiver acknowledged (journal-then-ack)
+    "replayed",      # receiver: re-delivered from the inbox journal
+    "caught-up",     # replica: version applied via a catch-up tail
+)
+
+
+def trace_id(gid: GlobalTransactionId) -> str:
+    """The trace id of the origin transaction ``gid`` (deterministic)."""
+    return "t{}.{}".format(gid.site, gid.seq)
+
+
+def gid_of_trace(trace: str) -> typing.Optional[GlobalTransactionId]:
+    """Invert :func:`trace_id`; ``None`` for a malformed id."""
+    if not isinstance(trace, str) or not trace.startswith("t"):
+        return None
+    site, sep, seq = trace[1:].partition(".")
+    if not sep:
+        return None
+    try:
+        return GlobalTransactionId(int(site), int(seq))
+    except ValueError:
+        return None
+
+
+def message_trace_ids(message) -> typing.List[str]:
+    """Trace ids of the origin transactions ``message`` derives from.
+
+    - Any payload carrying a ``gid`` (secondary/backedge/special
+      subtransactions, 2PC rounds, wounds, lock traffic) derives from
+      exactly that transaction.
+    - A ``CATCHUP_REPLY`` re-ships the update tails of many origin
+      transactions: every gid in its per-item ``writers`` lineage.
+    - Pure control traffic (``CATCHUP_REQUEST``, ``DUMMY``) derives
+      from no transaction and carries no trace.
+    """
+    payload = message.payload
+    gid = payload.get("gid")
+    if isinstance(gid, GlobalTransactionId):
+        return [trace_id(gid)]
+    ids: typing.List[str] = []
+    seen: typing.Set[str] = set()
+    items = payload.get("items")
+    if isinstance(items, dict):
+        for entry in items.values():
+            if not isinstance(entry, dict):
+                continue
+            for writer in entry.get("writers", ()):
+                if isinstance(writer, GlobalTransactionId):
+                    tid = trace_id(writer)
+                    if tid not in seen:
+                        seen.add(tid)
+                        ids.append(tid)
+    return ids
+
+
+def stamp_message_obj(obj: typing.Dict[str, typing.Any],
+                      message) -> typing.Dict[str, typing.Any]:
+    """Stamp trace ids onto an encoded wire message object, in place.
+
+    ``obj`` is the dict :func:`repro.cluster.codec.encode_message`
+    produced; the stamp lives beside (not inside) the payload, so
+    :func:`decode_message` and the protocols never see it, and the
+    journal — which stores the wire object verbatim — preserves it
+    across a receiver crash.
+    """
+    ids = message_trace_ids(message)
+    if ids:
+        obj["trace"] = ids[0]
+        if len(ids) > 1:
+            obj["traces"] = ids
+    return obj
+
+
+def traces_of_obj(obj: typing.Mapping[str, typing.Any]
+                  ) -> typing.List[str]:
+    """All trace ids stamped on a wire message object (maybe empty)."""
+    traces = obj.get("traces")
+    if isinstance(traces, list):
+        return [str(tid) for tid in traces]
+    trace = obj.get("trace")
+    return [str(trace)] if isinstance(trace, str) else []
+
+
+class TraceSink:
+    """Per-site span recorder: bounded ring + optional JSONL file.
+
+    The ring keeps the **tail** — the newest ``capacity`` spans — and
+    counts what it overwrote (``dropped``); the live ``trace`` wire
+    request serves from it.  With ``path`` set, every span is also
+    appended to a JSONL file so offline reconstruction survives the
+    process.  File serialization is deferred: :meth:`emit` only queues
+    the span dict (keeping json encoding off the server's hot path) and
+    the JSONL is written on :meth:`flush` / :meth:`close` or when the
+    queue reaches ``flush_every`` spans.
+    """
+
+    def __init__(self, site_id: int,
+                 path: typing.Optional[str] = None,
+                 capacity: int = 65536,
+                 flush_every: int = 8192):
+        self.site_id = site_id
+        self.path = str(path) if path is not None else None
+        self.capacity = int(capacity)
+        self.flush_every = int(flush_every)
+        self._ring: typing.Deque[typing.Dict[str, typing.Any]] = \
+            collections.deque(maxlen=self.capacity)
+        self._total = 0
+        self._pending: typing.List[typing.Dict[str, typing.Any]] = []
+        self._handle: typing.Optional[typing.TextIO] = None
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Spans overwritten in the ring (still in the file, if any)."""
+        return self._total - len(self._ring)
+
+    def emit(self, event: str, trace: typing.Optional[str] = None,
+             **fields) -> typing.Dict[str, typing.Any]:
+        """Record one span; returns the span dict.
+
+        Canonical optional ``fields``: ``gid`` (a
+        :class:`GlobalTransactionId`, encoded as ``[site, seq]``),
+        ``now`` (site-local virtual time), ``peer`` (the other site of
+        a hop), ``type`` (wire message type), ``traces`` (multi-origin
+        derivations, e.g. catch-up), plus free-form extras.
+        """
+        span: typing.Dict[str, typing.Any] = {
+            "t": time.time(),
+            "site": self.site_id,
+            "event": event,
+        }
+        if trace is not None:
+            span["trace"] = trace
+        gid = fields.pop("gid", None)
+        if gid is not None:
+            span["gid"] = [gid.site, gid.seq]
+            if trace is None:
+                span["trace"] = trace_id(gid)
+        for key, value in fields.items():
+            if value is not None:
+                span[key] = value
+        self._ring.append(span)
+        self._total += 1
+        if self.path is not None:
+            self._pending.append(span)
+            if len(self._pending) >= self.flush_every:
+                self.flush()
+        return span
+
+    def spans(self, trace: typing.Optional[str] = None,
+              limit: typing.Optional[int] = None
+              ) -> typing.List[typing.Dict[str, typing.Any]]:
+        """Newest-last spans from the ring, optionally filtered to one
+        trace id (matches ``trace`` and multi-origin ``traces``)."""
+        if trace is None:
+            selected = list(self._ring)
+        else:
+            selected = [span for span in self._ring
+                        if span.get("trace") == trace
+                        or trace in span.get("traces", ())]
+        if limit is not None and len(selected) > limit:
+            selected = selected[-limit:]
+        return selected
+
+    def flush(self) -> None:
+        """Serialize queued spans to the JSONL file (lazy-opened)."""
+        if self.path is None or not self._pending:
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        pending, self._pending = self._pending, []
+        self._handle.write("".join(
+            json.dumps(span, sort_keys=True) + "\n" for span in pending))
+        self._handle.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def load_trace_file(path: str
+                    ) -> typing.List[typing.Dict[str, typing.Any]]:
+    """Load one site's span JSONL (tolerates a torn last line)."""
+    spans: typing.List[typing.Dict[str, typing.Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a crashed writer
+            if isinstance(span, dict):
+                spans.append(span)
+    return spans

@@ -207,3 +207,130 @@ def test_loadgen_spawned_cluster_end_to_end(tmp_path):
     report = json.loads((tmp_path / "report.json").read_text())
     assert report["convergent"] and report["serializable"]
     assert report["committed"] > 0
+
+
+def test_stats_and_trace_args_round_trip():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["stats", "--site", "1", "--check", "--json", "stats.json",
+         "--base-port", "7710", "--sites", "3", "--no-obs"])
+    assert args.command == "stats"
+    assert args.site == 1
+    assert args.check
+    assert args.json == "stats.json"
+    assert args.no_obs
+
+    args = parser.parse_args(
+        ["trace", "--id", "t0.3", "--files", "a.trace", "b.trace",
+         "--limit", "50", "--show", "2", "--require-complete", "3",
+         "--json", "trees.json"])
+    assert args.command == "trace"
+    assert args.id == "t0.3"
+    assert args.files == ["a.trace", "b.trace"]
+    assert args.limit == 50
+    assert args.show == 2
+    assert args.require_complete == 3
+
+    args = parser.parse_args(["loadgen", "--no-obs"])
+    assert args.no_obs
+
+
+def test_loadgen_then_offline_trace_reconstruction(tmp_path):
+    """The observability CLI loop: a spawned instrumented run reports
+    propagation + replica-lag lines and leaves per-site span files that
+    `repro trace --files` reconstructs offline (CI's smoke path)."""
+    code, output = run_cli(
+        "loadgen", "--spawn", "--seed", "3", "--base-port", "7565",
+        "--sites", "3", "--items", "12", "--replication", "0.8",
+        "--threads", "2", "--txns", "4", "--wal-dir", str(tmp_path))
+    assert code == 0, output
+    assert "propagation:" in output
+    assert "replica lag:" in output
+
+    trace_files = sorted(str(path)
+                         for path in tmp_path.glob("*.wal.trace"))
+    assert len(trace_files) == 3
+    code, output = run_cli("trace", "--files", *trace_files,
+                           "--require-complete", "1", "--show", "2",
+                           "--json", str(tmp_path / "trees.json"))
+    assert code == 0, output
+    assert "complete" in output
+    assert "propagation delay" in output
+
+    # Pick one reconstructed trace id and render it alone.
+    import re
+    tid = re.search(r"\n(t\d+\.\d+)\s+origin", output).group(1)
+    code, output = run_cli("trace", "--files", *trace_files,
+                           "--id", tid)
+    assert code == 0
+    assert tid in output and "origin" in output
+
+    import json
+    trees = json.loads((tmp_path / "trees.json").read_text())
+    assert trees["summary"]["complete"] >= 1
+    assert tid in trees["delays_ms"]
+
+    # An impossible completeness bar fails the run (CI contract).
+    code, output = run_cli("trace", "--files", *trace_files,
+                           "--require-complete", "999999")
+    assert code == 1
+    assert "FAIL" in output
+
+
+def test_serve_flushes_trace_sink_on_sigterm(tmp_path):
+    """`kill <pid>` is how scripted runs stop a backgrounded `repro
+    serve`; the server must tear down gracefully so the deferred span
+    queue reaches the `.wal.trace` file (offline reconstruction relies
+    on it)."""
+    import json
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    wal = tmp_path / "site0.wal"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--site", "0",
+         "--sites", "1", "--items", "6", "--replication", "0.8",
+         "--seed", "3", "--base-port", "7575", "--wal", str(wal)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    try:
+        deadline = time.time() + 10
+        code = None
+        while time.time() < deadline:
+            code, _ = run_cli(
+                "loadgen", "--seed", "3", "--base-port", "7575",
+                "--sites", "1", "--items", "6", "--replication", "0.8",
+                "--threads", "1", "--txns", "3")
+            if code == 0:
+                break
+            time.sleep(0.25)
+        assert code == 0
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=10) == 0
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.wait()
+
+    trace_path = tmp_path / "site0.wal.trace"
+    assert trace_path.exists()
+    spans = [json.loads(line)
+             for line in trace_path.read_text().splitlines()]
+    assert any(span["event"] == "committed" for span in spans)
+
+
+def test_loadgen_no_obs_disables_telemetry(tmp_path):
+    code, output = run_cli(
+        "loadgen", "--spawn", "--no-obs", "--seed", "3",
+        "--base-port", "7570", "--sites", "3", "--items", "12",
+        "--replication", "0.8", "--threads", "2", "--txns", "4",
+        "--wal-dir", str(tmp_path))
+    assert code == 0, output
+    assert "propagation:" not in output
+    assert "replica lag:" not in output
+    assert list(tmp_path.glob("*.trace")) == []

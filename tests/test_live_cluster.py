@@ -300,3 +300,209 @@ def test_recovered_site_keeps_serving_transactions(tmp_path):
     state = {site: decode_value(status["items"])
              for site, status in statuses.items()}
     assert divergent_copies(placement, state) == []
+
+
+# ----------------------------------------------------------------------
+# Observability (repro.obs wired through the live runtime)
+# ----------------------------------------------------------------------
+
+def test_stats_trace_wire_ops_and_durability_status(tmp_path):
+    """The observability plane end to end: the ``stats`` op serves a
+    schema-valid metrics snapshot with the hot-path instruments
+    populated, the ``trace`` op serves spans that reconstruct into
+    complete propagation trees, the load report carries the propagation
+    and version-lag aggregates, and ``status`` exposes the WAL/journal
+    durability sub-dicts plus the apply-queue high-water mark."""
+    from repro.obs import (propagation_summary, reconstruct,
+                           validate_snapshot)
+
+    spec = make_spec("dag_wt", 3, 7545)
+
+    async def scenario():
+        servers, client = await start_cluster(spec,
+                                              wal_dir=str(tmp_path))
+        try:
+            report = await generate_load(spec, client, verify=True)
+            stats = await client.stats_all()
+            spans = await client.traces_all()
+            statuses = await client.statuses()
+            return report, stats, spans, statuses
+        finally:
+            await stop_cluster(servers, client)
+
+    report, stats, spans, statuses = asyncio.run(scenario())
+
+    # -- stats op: schema-valid, hot-path instruments populated.
+    committed = frames = 0
+    for site, response in stats.items():
+        assert response["obs"] is True
+        validate_snapshot(response["stats"])
+        snapshot = response["stats"]
+        assert snapshot["enabled"] is True
+        committed += snapshot["counters"].get("txn.committed", 0)
+        frames += snapshot["counters"].get("net.frames_sent", 0)
+        assert snapshot["histograms"]["wal.sync_s"]["count"] > 0
+        assert snapshot["histograms"]["journal.sync_s"]["count"] >= 0
+        assert snapshot["histograms"]["server.drive_s"]["count"] > 0
+    assert committed == report.committed
+    assert frames > 0
+
+    # -- trace op: the pooled spans rebuild complete trees whose
+    # aggregate matches what the load report embedded.
+    assert spans
+    summary = propagation_summary(reconstruct(spans))
+    assert summary["propagating"] > 0
+    assert summary["complete"] == summary["propagating"]
+    assert report.obs
+    assert report.propagation["complete"] == summary["complete"]
+    assert report.propagation["p50"] <= report.propagation["p95"] \
+        <= report.propagation["max"]
+    assert report.version_lag["samples"] >= 1
+    assert 0.0 <= report.version_lag["fraction_current"] <= 1.0
+
+    # -- status satellite: durability counters + queue high-water mark.
+    for site, status in statuses.items():
+        for log in ("wal", "journal"):
+            for key in ("records", "appended", "syncs", "bytes",
+                        "pending", "abandoned"):
+                assert status[log][key] >= 0
+        assert status["wal"]["bytes"] > 0
+        assert status["wal"]["records"] == status["wal_records"]
+        assert status["wal"]["syncs"] == status["wal_syncs"]
+        assert status["journal"]["records"] == \
+            status["journal_records"]
+        assert status["apply_queue_hwm"] >= 0
+        assert status["obs"] is True
+
+
+def test_mixed_obs_and_plain_members_interoperate(tmp_path):
+    """``obs`` is a per-process knob excluded from the fingerprint: an
+    instrumented member and plain members form one cluster, stamped
+    frames decode identically on both, and the plain member exposes a
+    disabled (stateless, still schema-valid) stats snapshot."""
+    from repro.obs import validate_snapshot
+
+    obs_spec = ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                           base_port=7550, obs=True)
+    plain_spec = ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                             base_port=7550, obs=False)
+    assert obs_spec.fingerprint() == plain_spec.fingerprint()
+
+    async def scenario():
+        servers = {}
+        for site in range(PARAMS.n_sites):
+            spec = plain_spec if site == 0 else obs_spec
+            servers[site] = SiteServer(
+                spec, site,
+                wal_path=os.path.join(str(tmp_path),
+                                      "site{}.wal".format(site)),
+                anti_entropy_interval=0.3)
+            await servers[site].start()
+        client = ClusterClient(obs_spec, timeout=5.0)
+        await client.wait_ready()
+        try:
+            report = await generate_load(obs_spec, client, verify=True)
+            stats = await client.stats_all()
+            traces = {site: await client.trace(site)
+                      for site in range(PARAMS.n_sites)}
+            return report, stats, traces
+        finally:
+            await stop_cluster(servers, client)
+
+    report, stats, traces = asyncio.run(scenario())
+    assert report.committed > 0
+    assert report.unknown == 0
+    assert report.convergent
+    assert report.serializable
+
+    # The plain member records nothing and serves the empty snapshot...
+    assert stats[0]["obs"] is False
+    assert stats[0]["stats"]["enabled"] is False
+    assert stats[0]["stats"]["counters"] == {}
+    validate_snapshot(stats[0]["stats"])
+    assert traces[0]["spans"] == []
+    # ...while instrumented members observed real traffic, including
+    # frames from the un-stamped member (re-derived from the payload).
+    assert stats[1]["stats"]["counters"]["server.frames_decoded"] > 0
+    received_from_plain = [
+        span for span in traces[1]["spans"] + traces[2]["spans"]
+        if span["event"] == "received" and span.get("peer") == 0]
+    assert received_from_plain
+    assert all(span.get("trace") for span in received_from_plain)
+
+
+def test_trace_ids_survive_kill_restart_and_catchup(tmp_path):
+    """The tracing crash-safety invariant: trace ids are re-derived
+    deterministically, so spans recorded before a crash (in the JSONL
+    file), after the WAL restart (replayed / re-forwarded), and over
+    the anti-entropy plane (caught-up) all stitch into the same trees —
+    and after quiescence every propagating tree is complete."""
+    import re
+
+    from repro.obs import propagation_summary, reconstruct
+    from repro.obs.trace import load_trace_file
+
+    spec = make_spec("dag_wt", 3, 7555)
+    placement = spec.build_placement()
+    victim = 2
+
+    async def scenario():
+        servers, client = await start_cluster(spec,
+                                              wal_dir=str(tmp_path))
+        generator = TransactionGenerator(
+            spec.params, placement,
+            RngRegistry(spec.seed).stream("workload"))
+
+        async def worker(site, thread):
+            for txn_spec in generator.thread_stream(site, thread):
+                await client.run_transaction(txn_spec)
+                await asyncio.sleep(0.005)
+
+        async def crash_and_restart():
+            await asyncio.sleep(0.1)
+            servers[victim].kill()
+            await asyncio.sleep(0.3)
+            servers[victim] = SiteServer(
+                spec, victim,
+                wal_path=os.path.join(str(tmp_path),
+                                      "site{}.wal".format(victim)),
+                anti_entropy_interval=0.3)
+            await servers[victim].start()
+
+        await asyncio.gather(
+            crash_and_restart(),
+            *(worker(site, thread)
+              for site in range(spec.params.n_sites)
+              for thread in range(spec.params.threads_per_site)))
+        await wait_quiescent(client, timeout=20.0, settle_polls=3)
+        live_spans = await client.traces_all()
+        try:
+            return live_spans
+        finally:
+            await stop_cluster(servers, client)
+
+    live_spans = asyncio.run(scenario())
+
+    # Pool the live rings with the on-disk JSONL sinks: the victim's
+    # pre-crash ring died with it, but its file did not.
+    spans = list(live_spans)
+    for site in range(spec.params.n_sites):
+        path = os.path.join(str(tmp_path),
+                            "site{}.wal.trace".format(site))
+        spans.extend(load_trace_file(path))
+
+    # Every stamped id has the deterministic shape.
+    tids = {span["trace"] for span in spans if "trace" in span}
+    assert tids
+    assert all(re.fullmatch(r"t\d+\.\d+", tid) for tid in tids)
+
+    # The victim saw the failure/recovery paths, attributed to traces.
+    victim_events = {span["event"] for span in spans
+                     if span["site"] == victim}
+    assert victim_events & {"replayed", "caught-up", "received"}
+
+    # The headline invariant: ids survived restart, re-forward, and
+    # catch-up, so reconstruction closes every propagating tree.
+    summary = propagation_summary(reconstruct(spans))
+    assert summary["propagating"] > 0
+    assert summary["complete"] == summary["propagating"], summary

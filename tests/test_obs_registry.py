@@ -1,0 +1,204 @@
+"""Unit tests for the metrics registry (:mod:`repro.obs.registry`).
+
+The registry underpins the live cluster's ``stats`` plane, so the
+tests pin down the three design constraints: exact counts under thread
+concurrency, Prometheus-style ``le`` bucket semantics at the edges,
+and a disabled registry that keeps literally no state (the guard that
+mixed instrumented/plain cluster members can interoperate).
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    LAG_BUCKETS,
+    LATENCY_BUCKETS_S,
+    NULL,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    snapshot_percentile,
+    validate_snapshot,
+)
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+
+def test_counter_and_gauge_basics():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+    gauge = Gauge("g")
+    gauge.set(3.0)
+    gauge.set(7.5)
+    gauge.set(2.0)
+    assert gauge.value == 2.0
+    assert gauge.high_water == 7.5
+
+
+def test_histogram_bucket_edges_are_le_semantics():
+    """A value exactly on an edge counts toward that edge's bucket;
+    just above it falls into the next one; above the last edge lands in
+    the overflow bucket."""
+    hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+    hist.observe(1.0)      # == first edge -> bucket 0
+    hist.observe(1.0001)   # just above -> bucket 1
+    hist.observe(2.0)      # == second edge -> bucket 1
+    hist.observe(4.0)      # == last edge -> bucket 2
+    hist.observe(99.0)     # overflow
+    assert hist.bucket_counts() == [1, 2, 1, 1]
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(1.0 + 1.0001 + 2.0 + 4.0 + 99.0)
+    snap = hist.snapshot()
+    assert snap["min"] == 1.0 and snap["max"] == 99.0
+
+
+def test_histogram_percentile_is_bucket_upper_bound():
+    hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+    for value in (0.5, 0.5, 1.5, 3.0):
+        hist.observe(value)
+    assert hist.percentile(50.0) == 1.0   # rank 2 still in bucket <=1
+    assert hist.percentile(75.0) == 2.0
+    assert hist.percentile(100.0) == 4.0
+    hist.observe(50.0)  # overflow: percentile reports the exact max
+    assert hist.percentile(100.0) == 50.0
+    with pytest.raises(ValueError):
+        hist.percentile(101.0)
+
+
+def test_histogram_empty_and_invalid_buckets():
+    assert Histogram("h").percentile(99.0) == 0.0
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(2.0, 1.0))
+
+
+def test_default_bucket_tables_are_ascending():
+    for table in (LATENCY_BUCKETS_S, SIZE_BUCKETS, LAG_BUCKETS):
+        assert list(table) == sorted(table)
+        assert len(set(table)) == len(table)
+
+
+def test_snapshot_percentile_matches_live_instrument():
+    hist = Histogram("h", buckets=(0.001, 0.01, 0.1, 1.0))
+    for value in (0.0005, 0.003, 0.02, 0.02, 0.5, 3.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    for pct in (0.0, 25.0, 50.0, 90.0, 99.0, 100.0):
+        assert snapshot_percentile(snap, pct) == hist.percentile(pct)
+    assert snapshot_percentile(
+        {"counts": [0, 0], "buckets": [1.0], "count": 0,
+         "sum": 0.0, "min": None, "max": None}, 50.0) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Concurrency
+# ----------------------------------------------------------------------
+
+def test_instruments_are_exact_under_thread_concurrency():
+    registry = MetricsRegistry(enabled=True)
+    counter = registry.counter("hits")
+    hist = registry.histogram("lat", buckets=(0.5, 1.5))
+    n_threads, per_thread = 8, 5000
+
+    def worker():
+        for i in range(per_thread):
+            counter.inc()
+            hist.observe(1.0)
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = n_threads * per_thread
+    assert counter.value == total
+    assert hist.count == total
+    assert hist.bucket_counts() == [0, total, 0]
+    assert hist.sum == pytest.approx(float(total))
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour
+# ----------------------------------------------------------------------
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry(enabled=True)
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    with pytest.raises(TypeError):
+        registry.gauge("a")  # name already registered as a Counter
+
+
+def test_disabled_registry_keeps_no_state():
+    """The interoperability guard: a disabled registry hands out the
+    shared falsy null instrument and its snapshot exposes nothing that
+    could leak onto the wire or into a fingerprint."""
+    registry = MetricsRegistry(enabled=False)
+    assert not registry
+    counter = registry.counter("hits")
+    assert counter is NULL and not counter
+    counter.inc(100)
+    registry.gauge("depth").set(9.0)
+    registry.histogram("lat").observe(1.0)
+    snap = registry.snapshot()
+    assert snap == {"enabled": False, "counters": {}, "gauges": {},
+                    "histograms": {}}
+    validate_snapshot(snap)  # still schema-valid
+    assert registry._instruments == {}
+
+
+def test_enabled_registry_snapshot_roundtrip_and_schema():
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("net.frames_sent").inc(3)
+    registry.gauge("server.apply_queue").set(2.0)
+    registry.histogram("wal.sync_s").observe(0.004)
+    snap = registry.snapshot()
+    validate_snapshot(snap)
+    assert snap["enabled"] is True
+    assert snap["counters"]["net.frames_sent"] == 3
+    assert snap["gauges"]["server.apply_queue"]["high_water"] == 2.0
+    assert snap["histograms"]["wal.sync_s"]["count"] == 1
+    # JSON-safe: survives an encode/decode round trip unchanged.
+    import json
+    assert json.loads(json.dumps(snap)) == snap
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda snap: snap.pop("enabled"),
+    lambda snap: snap.pop("histograms"),
+    lambda snap: snap["counters"].__setitem__("bad", -1),
+    lambda snap: snap["counters"].__setitem__("bad", True),
+    lambda snap: snap["gauges"].__setitem__("bad", {"value": 1.0}),
+    lambda snap: snap["histograms"]["wal.sync_s"].__setitem__(
+        "count", 99),
+    lambda snap: snap["histograms"]["wal.sync_s"]["counts"].pop(),
+])
+def test_validate_snapshot_rejects_malformed(mutate):
+    registry = MetricsRegistry(enabled=True)
+    registry.counter("ok").inc()
+    registry.gauge("g").set(1.0)
+    registry.histogram("wal.sync_s").observe(0.002)
+    snap = registry.snapshot()
+    mutate(snap)
+    with pytest.raises(ValueError):
+        validate_snapshot(snap)
+
+
+def test_null_instrument_is_inert_and_falsy():
+    assert not NULL
+    NULL.inc()
+    NULL.set(5.0)
+    NULL.observe(1.0)
+    assert NULL.value == 0
+    assert NULL.count == 0
+    assert NULL.high_water == 0.0

@@ -1,0 +1,236 @@
+"""Unit tests for trace-id derivation, span sinks, and propagation-tree
+reconstruction (:mod:`repro.obs.trace` / :mod:`repro.obs.reconstruct`).
+
+All synthetic — no sockets.  The live end-to-end invariants (stamps on
+real wire frames, surviving restart and catch-up) are covered in
+``test_live_cluster.py``.
+"""
+
+import json
+
+from repro.network.message import Message, MessageType
+from repro.obs.reconstruct import (
+    format_tree,
+    propagation_summary,
+    reconstruct,
+)
+from repro.obs.trace import (
+    TraceSink,
+    gid_of_trace,
+    load_trace_file,
+    message_trace_ids,
+    stamp_message_obj,
+    trace_id,
+    traces_of_obj,
+)
+from repro.types import GlobalTransactionId
+
+
+def gid(site, seq):
+    return GlobalTransactionId(site, seq)
+
+
+# ----------------------------------------------------------------------
+# Trace ids
+# ----------------------------------------------------------------------
+
+def test_trace_id_roundtrip_and_determinism():
+    assert trace_id(gid(2, 7)) == "t2.7"
+    assert gid_of_trace("t2.7") == gid(2, 7)
+    # Same gid -> same id, always; no state involved.
+    assert trace_id(gid(2, 7)) == trace_id(gid(2, 7))
+
+
+def test_gid_of_trace_rejects_malformed():
+    for bad in ("x2.7", "t2", "t.7", "ta.b", "", None, 3):
+        assert gid_of_trace(bad) is None
+
+
+def test_message_trace_ids_gid_payloads():
+    secondary = Message(MessageType.SECONDARY, src=0, dst=1,
+                        payload={"gid": gid(0, 3), "writes": {}})
+    assert message_trace_ids(secondary) == ["t0.3"]
+
+
+def test_message_trace_ids_catchup_reply_writers_lineage():
+    reply = Message(MessageType.CATCHUP_REPLY, src=0, dst=1, payload={
+        "items": {
+            5: {"version": 2, "writers": [gid(0, 1), gid(0, 4)]},
+            9: {"version": 1, "writers": [gid(0, 4)]},  # deduped
+        }})
+    assert message_trace_ids(reply) == ["t0.1", "t0.4"]
+
+
+def test_message_trace_ids_control_traffic_is_untraced():
+    request = Message(MessageType.CATCHUP_REQUEST, src=1, dst=0,
+                      payload={"versions": {}})
+    assert message_trace_ids(request) == []
+
+
+def test_stamp_and_read_back_wire_object():
+    secondary = Message(MessageType.SECONDARY, src=0, dst=1,
+                        payload={"gid": gid(0, 3), "writes": {}})
+    obj = {"type": "secondary", "payload": {}}
+    stamp_message_obj(obj, secondary)
+    assert obj["trace"] == "t0.3"
+    assert "traces" not in obj
+    assert traces_of_obj(obj) == ["t0.3"]
+
+    reply = Message(MessageType.CATCHUP_REPLY, src=0, dst=1, payload={
+        "items": {5: {"version": 1, "writers": [gid(0, 1), gid(1, 2)]}}})
+    obj = stamp_message_obj({}, reply)
+    assert obj["trace"] == "t0.1"
+    assert obj["traces"] == ["t0.1", "t1.2"]
+    assert traces_of_obj(obj) == ["t0.1", "t1.2"]
+
+    untraced = Message(MessageType.CATCHUP_REQUEST, src=1, dst=0,
+                       payload={})
+    assert stamp_message_obj({}, untraced) == {}
+    assert traces_of_obj({}) == []
+
+
+# ----------------------------------------------------------------------
+# TraceSink
+# ----------------------------------------------------------------------
+
+def test_sink_records_and_filters_spans():
+    sink = TraceSink(site_id=1)
+    sink.emit("received", gid=gid(0, 3), peer=0, type="secondary")
+    sink.emit("applied", gid=gid(0, 3))
+    sink.emit("received", trace="t2.9", peer=2)
+    sink.emit("journaled", traces=["t0.3", "t2.9"])
+
+    assert len(sink) == 4
+    spans = sink.spans(trace="t0.3")
+    assert [span["event"] for span in spans] == \
+        ["received", "applied", "journaled"]
+    assert spans[0]["gid"] == [0, 3]
+    assert spans[0]["site"] == 1
+    assert all("t" in span for span in spans)
+    assert len(sink.spans(trace="t2.9")) == 2
+    assert sink.spans(limit=2)[-1]["event"] == "journaled"
+
+
+def test_sink_ring_keeps_tail_and_counts_dropped():
+    sink = TraceSink(site_id=0, capacity=3)
+    for seq in range(5):
+        sink.emit("submitted", gid=gid(0, seq))
+    assert len(sink) == 3
+    assert sink.dropped == 2
+    assert [span["gid"][1] for span in sink.spans()] == [2, 3, 4]
+
+
+def test_sink_jsonl_file_and_torn_tail(tmp_path):
+    path = str(tmp_path / "site0.trace")
+    sink = TraceSink(site_id=0, path=path)
+    sink.emit("submitted", gid=gid(0, 1))
+    sink.emit("committed", gid=gid(0, 1), expected=[1, 2])
+    sink.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"t": 1.0, "site": 0, "ev')  # crashed writer
+
+    spans = load_trace_file(path)
+    assert [span["event"] for span in spans] == ["submitted",
+                                                 "committed"]
+    assert spans[1]["expected"] == [1, 2]
+    # every line that did load is valid JSON from the sink
+    with open(path, "r", encoding="utf-8") as handle:
+        assert json.loads(handle.readline())["trace"] == "t0.1"
+
+
+# ----------------------------------------------------------------------
+# Reconstruction
+# ----------------------------------------------------------------------
+
+def synthetic_spans():
+    """t0.1 fully propagates to s1+s2 (s2 via catch-up); t0.2 never
+    reaches s2; t1.1 is read-only (no expected replicas)."""
+    return [
+        {"t": 1.00, "site": 0, "event": "submitted", "trace": "t0.1"},
+        {"t": 1.01, "site": 0, "event": "committed", "trace": "t0.1",
+         "expected": [1, 2]},
+        {"t": 1.02, "site": 0, "event": "forwarded", "trace": "t0.1"},
+        {"t": 1.03, "site": 1, "event": "received", "trace": "t0.1"},
+        {"t": 1.04, "site": 1, "event": "journaled", "trace": "t0.1"},
+        {"t": 1.05, "site": 1, "event": "applied", "trace": "t0.1"},
+        # s2 missed the forward; a catch-up reply carried the tail.
+        {"t": 1.50, "site": 2, "event": "caught-up",
+         "traces": ["t0.1"]},
+        {"t": 2.00, "site": 0, "event": "committed", "trace": "t0.2",
+         "expected": [1, 2]},
+        {"t": 2.02, "site": 1, "event": "received", "trace": "t0.2"},
+        {"t": 2.03, "site": 1, "event": "applied", "trace": "t0.2"},
+        {"t": 3.00, "site": 1, "event": "committed", "trace": "t1.1",
+         "expected": []},
+    ]
+
+
+def test_reconstruct_builds_complete_and_incomplete_trees():
+    trees = reconstruct(synthetic_spans())
+    assert sorted(trees) == ["t0.1", "t0.2", "t1.1"]
+
+    done = trees["t0.1"]
+    assert done.origin == 0
+    assert done.expected == [1, 2]
+    assert done.applied_sites == [1, 2]  # caught-up counts as applied
+    assert done.complete
+    assert done.delay == 1.50 - 1.01  # last expected apply wins
+    assert done.hop_delay(1) == 1.05 - 1.01
+    assert done.hops[1]["received"] == 1.03
+
+    partial = trees["t0.2"]
+    assert not partial.complete
+    assert partial.delay is None
+    assert partial.applied_sites == [1]
+
+    readonly = trees["t1.1"]
+    assert readonly.expected == []
+    assert not readonly.complete
+
+
+def test_reconstruct_keeps_first_commit_and_earliest_hop():
+    """A re-forward after a crash can duplicate received/applied spans
+    and never re-emits the commit; the tree keeps the first commit and
+    the earliest per-site hop mark."""
+    spans = [
+        {"t": 1.0, "site": 0, "event": "committed", "trace": "t0.9",
+         "expected": [1]},
+        {"t": 1.2, "site": 1, "event": "received", "trace": "t0.9"},
+        {"t": 1.3, "site": 1, "event": "applied", "trace": "t0.9"},
+        # duplicate delivery after a sender restart
+        {"t": 5.0, "site": 1, "event": "received", "trace": "t0.9"},
+        {"t": 6.0, "site": 0, "event": "committed", "trace": "t0.9",
+         "expected": [1, 2]},
+    ]
+    tree = reconstruct(spans)["t0.9"]
+    assert tree.committed_t == 1.0
+    assert tree.expected == [1]
+    assert tree.hops[1]["received"] == 1.2
+    assert tree.delay == 1.3 - 1.0
+
+
+def test_propagation_summary_counts_and_percentiles():
+    summary = propagation_summary(reconstruct(synthetic_spans()))
+    assert summary["count"] == 3
+    assert summary["propagating"] == 2  # t1.1 has no fan-out
+    assert summary["complete"] == 1
+    assert summary["p50"] == summary["max"] == 1.50 - 1.01
+    empty = propagation_summary({})
+    assert empty["count"] == 0 and empty["p95"] == 0.0
+
+
+def test_format_tree_renders_hops_and_verdict():
+    trees = reconstruct(synthetic_spans())
+    text = format_tree(trees["t0.1"])
+    assert "t0.1" in text and "origin s0" in text
+    assert "expects s1,s2" in text
+    assert "s1: received" in text and "applied" in text
+    assert "caught-up" in text
+    assert "complete, propagation delay" in text
+
+    text = format_tree(trees["t0.2"])
+    assert "incomplete (missing s2)" in text
+
+    headless = reconstruct([{"t": 1.0, "site": 1, "event": "received",
+                             "trace": "t9.9"}])["t9.9"]
+    assert "origin commit not captured" in format_tree(headless)

@@ -1,0 +1,110 @@
+"""Bench trajectory: append-only run history + regression comparator.
+
+Single-run bench artifacts (``BENCH_*.json``) answer "what did this
+commit do"; the history file answers "is the trend sliding".  Each
+bench run appends one JSONL record — stamped with the git SHA and a
+wall-clock timestamp — to ``BENCH_history.jsonl`` at the repo root, and
+the comparator warns when a headline metric drops more than a
+threshold below the best run ever recorded on this machine.
+
+The comparator *warns* rather than asserts: bench boxes differ, and a
+cold cache or a busy host should not fail CI — but the warning makes a
+real regression visible in the bench output and in the history file
+itself.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+import typing
+
+#: Shared trajectory file, next to the per-bench JSON artifacts.
+HISTORY_PATH = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_history.jsonl"
+
+
+def git_sha(repo: typing.Optional[pathlib.Path] = None) -> str:
+    """Current commit SHA, or ``"unknown"`` outside a usable checkout
+    (shallow CI exports, tarballs)."""
+    cwd = str(repo or HISTORY_PATH.parent)
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"], cwd=cwd,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def append_history(bench: str, metrics: typing.Mapping[str, typing.Any],
+                   path: typing.Optional[pathlib.Path] = None
+                   ) -> typing.Dict[str, typing.Any]:
+    """Append one run record; returns the record as written."""
+    path = path or HISTORY_PATH
+    record = {
+        "bench": bench,
+        "t": time.time(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(path.parent),
+        "metrics": dict(metrics),
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(bench: str,
+                 path: typing.Optional[pathlib.Path] = None
+                 ) -> typing.List[typing.Dict[str, typing.Any]]:
+    """All prior records of one bench (malformed lines skipped)."""
+    path = path or HISTORY_PATH
+    records: typing.List[typing.Dict[str, typing.Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and \
+                        record.get("bench") == bench:
+                    records.append(record)
+    except OSError:
+        pass
+    return records
+
+
+def check_regression(bench: str, metric: str, current: float,
+                     threshold: float = 0.2,
+                     path: typing.Optional[pathlib.Path] = None
+                     ) -> typing.Optional[str]:
+    """Compare ``current`` against the best recorded value of
+    ``metric``; returns a warning string when it dropped more than
+    ``threshold`` (fraction), else ``None``.
+
+    Call *before* appending the current run, so a regressed run does
+    not rank against itself.
+    """
+    best: typing.Optional[float] = None
+    best_sha = None
+    for record in load_history(bench, path=path):
+        value = record.get("metrics", {}).get(metric)
+        if isinstance(value, (int, float)) and \
+                (best is None or value > best):
+            best = float(value)
+            best_sha = record.get("git_sha")
+    if best is None or best <= 0:
+        return None
+    if current < best * (1.0 - threshold):
+        return ("REGRESSION WARNING: {} {} = {:.2f} is {:.0f}% below "
+                "the best recorded run ({:.2f} at {})".format(
+                    bench, metric, current,
+                    (1.0 - current / best) * 100.0, best, best_sha))
+    return None

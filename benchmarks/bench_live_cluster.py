@@ -26,7 +26,11 @@ transaction generator identically everywhere):
 Writes ``BENCH_live_cluster.json`` with the paired numbers
 (p50/p95/p99 latency, throughput, wire amortization, speedup,
 observability overhead, live propagation-delay p50/p95/max, and
-replica version-lag stats).
+replica version-lag stats), appends the run to the
+``BENCH_history.jsonl`` trajectory (git SHA + timestamp), and warns if
+batched throughput dropped more than 20 % below the best recorded run.
+The instrumented runs ride with the embedded invariant watchdog; a
+healthy bench must record **zero critical alerts**.
 """
 
 import json
@@ -34,6 +38,7 @@ import os
 import pathlib
 import tempfile
 
+from bench_history import append_history, check_regression
 from common import BENCH_TXNS, run_once
 from repro.cluster.loadgen import spawn_and_load
 from repro.cluster.spec import ClusterSpec
@@ -66,10 +71,13 @@ def run_live(batch: int, obs: bool = True):
                                   (0 if obs else 5)),
                        durability="fsync", batch=batch, obs=obs)
     with tempfile.TemporaryDirectory(prefix="bench-live-") as wal_dir:
+        # The embedded watchdog only attaches on instrumented runs
+        # (monitor needs the stats plane); alert counts land in
+        # report.alerts and must stay free of criticals.
         return spawn_and_load(spec, wal_dir=wal_dir, verify=True,
                               max_in_flight=MAX_IN_FLIGHT,
                               loop_mode="open", timeout=120.0,
-                              quiesce_timeout=60.0)
+                              quiesce_timeout=60.0, monitor=obs)
 
 
 def best_live(batch: int, obs: bool = True, runs: int = 2):
@@ -145,6 +153,14 @@ def test_live_cluster_batching_speedup(benchmark):
         "instrumented run at {:.2f}x the plain run's " \
         "throughput (budget: >= 0.90x)".format(overhead_ratio)
 
+    # The embedded watchdog rode the instrumented runs: a healthy
+    # bench cluster must finish with zero critical alerts.
+    assert batched.alerts, "instrumented run was not monitored"
+    assert batched.alerts["critical"] == 0, \
+        "watchdog fired critical alerts on a healthy bench run: " \
+        "{}".format(batched.alerts["by_rule"])
+    assert not plain.alerts  # no stats plane to monitor
+
     rows = {
         "workload": {
             "protocol": "dag_wt", "seed": LIVE_SEED,
@@ -170,6 +186,7 @@ def test_live_cluster_batching_speedup(benchmark):
             "trees_propagating": propagation["propagating"],
         },
         "replica_version_lag": version_lag,
+        "monitor_alerts": batched.alerts,
         "sim": {
             "committed": sim.committed, "aborted": sim.aborted,
             "duration_s": round(sim.duration, 4),
@@ -183,6 +200,22 @@ def test_live_cluster_batching_speedup(benchmark):
     with open(ARTIFACT, "w", encoding="utf-8") as handle:
         json.dump(rows, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+    # Bench trajectory: compare against the best recorded batched
+    # throughput *before* appending this run, then append it.
+    warning = check_regression("live_cluster",
+                               "batched_throughput_txn_s",
+                               batched.throughput, threshold=0.2)
+    history_record = append_history("live_cluster", {
+        "baseline_throughput_txn_s": round(baseline.throughput, 2),
+        "batched_throughput_txn_s": round(batched.throughput, 2),
+        "speedup": round(speedup, 3),
+        "obs_overhead_ratio": round(overhead_ratio, 3),
+        "propagation_p95_ms": round(propagation["p95"] * 1000.0, 3),
+        "monitor_critical": batched.alerts.get("critical", 0),
+        "monitor_warning": batched.alerts.get("warning", 0),
+        "regression_warning": warning,
+    })
 
     print("")
     print("=" * 70)
@@ -232,7 +265,16 @@ def test_live_cluster_batching_speedup(benchmark):
               version_lag["mean"], version_lag["p95"],
               version_lag["max"], version_lag["fraction_current"],
               version_lag["samples"]))
+    print("monitor: {} critical / {} warning alert(s) over {} "
+          "poll(s)".format(batched.alerts.get("critical", 0),
+                           batched.alerts.get("warning", 0),
+                           batched.alerts.get("polls", 0)))
+    if warning:
+        print(warning)
     print("wrote {}".format(os.path.relpath(ARTIFACT)))
+    print("appended run {} to {}".format(
+        history_record["git_sha"],
+        os.path.relpath(str(ARTIFACT.parent / "BENCH_history.jsonl"))))
 
     benchmark.extra_info["speedup"] = round(speedup, 3)
     benchmark.extra_info["obs_overhead_ratio"] = round(

@@ -36,6 +36,23 @@ Commands
     offline from per-site ``.trace`` JSONL files via ``--files``) and
     reconstruct origin→replica propagation trees with per-hop
     latencies.
+``metrics``
+    Fetch every site's Prometheus text exposition over the ``metrics``
+    wire request (the same text the optional ``--metrics-base-port``
+    HTTP endpoint serves).  ``--check`` validates the exposition
+    grammar (CI mode).
+``monitor``
+    Online invariant watchdog: poll a live cluster and alert on
+    replica-lag SLO violations, stuck propagation (localized to the
+    copy-graph hop via trace trees), apply-queue saturation, WAL sync
+    regressions, divergence and dead sites.  ``--check`` exits
+    non-zero if any critical alert fired (CI mode); ``--alerts``
+    appends each alert to a JSONL sink.
+``top``
+    Live terminal dashboard: per-site throughput, queue depths,
+    version lag, propagation-delay percentiles, sparklines and active
+    alerts, refreshed in place on a TTY; degrades to a single-shot
+    snapshot when stdout is not a terminal (or with ``--once``).
 
 Examples::
 
@@ -49,6 +66,9 @@ Examples::
     python -m repro loadgen --spawn --sites 3 --items 12 --replication 0.8 --seed 3 --txns 20
     python -m repro stats --sites 3 --seed 3 --check
     python -m repro trace --files s0.wal.trace s1.wal.trace --require-complete 1
+    python -m repro metrics --sites 3 --seed 3 --check
+    python -m repro monitor --sites 3 --seed 3 --duration 10 --check
+    python -m repro top --sites 3 --seed 3 --once
 """
 
 from __future__ import annotations
@@ -227,6 +247,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_parser.add_argument("--max-in-flight", type=int, default=64,
                                 help="client-side transaction "
                                      "admission bound")
+    loadgen_parser.add_argument("--monitor", action="store_true",
+                                help="attach the invariant watchdog "
+                                     "during the run and report its "
+                                     "alert counts")
     loadgen_parser.add_argument("--open-loop", action="store_true",
                                 help="submit each thread's whole "
                                      "stream concurrently (bounded by "
@@ -277,6 +301,81 @@ def build_parser() -> argparse.ArgumentParser:
                                    "as JSON")
     _add_param_flags(trace_parser)
 
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="fetch every site's Prometheus text exposition "
+                        "from a live cluster")
+    _add_cluster_flags(metrics_parser)
+    metrics_parser.add_argument("--site", type=int, default=None,
+                                help="query one site instead of all")
+    metrics_parser.add_argument("--check", action="store_true",
+                                help="validate each exposition against "
+                                     "the text-format grammar; exit "
+                                     "non-zero on violation (CI mode)")
+    metrics_parser.add_argument("--out", metavar="PATH", default=None,
+                                help="also write the concatenated "
+                                     "exposition to a file")
+    _add_param_flags(metrics_parser)
+
+    monitor_parser = subparsers.add_parser(
+        "monitor", help="online invariant watchdog against a live "
+                        "cluster")
+    _add_cluster_flags(monitor_parser)
+    monitor_parser.add_argument("--interval", type=float, default=0.5,
+                                help="poll period in seconds")
+    monitor_parser.add_argument("--duration", type=float, default=10.0,
+                                help="how long to watch, in seconds "
+                                     "(0 = until interrupted)")
+    monitor_parser.add_argument("--alerts", metavar="PATH",
+                                default=None,
+                                help="append each alert (and "
+                                     "escalation) to this JSONL file")
+    monitor_parser.add_argument("--check", action="store_true",
+                                help="exit non-zero if any critical "
+                                     "alert fired (CI mode)")
+    monitor_parser.add_argument("--lag-warn", type=int, default=4,
+                                help="replica version lag that warns")
+    monitor_parser.add_argument("--lag-slo", type=int, default=16,
+                                help="replica version-lag SLO; beyond "
+                                     "it the alert is critical")
+    monitor_parser.add_argument("--stuck-deadline", type=float,
+                                default=5.0,
+                                help="seconds a committed update may "
+                                     "stay un-applied at an expected "
+                                     "replica before propagation "
+                                     "counts as stuck")
+    monitor_parser.add_argument("--trace-limit", type=int,
+                                default=20000,
+                                help="per-site span fetch cap for "
+                                     "stuck-propagation localization "
+                                     "(0 disables the rule)")
+    monitor_parser.add_argument("--no-convergence",
+                                action="store_true",
+                                help="skip the sampled convergence "
+                                     "(divergence) checks")
+    monitor_parser.add_argument("--json", metavar="PATH", default=None,
+                                help="also write the final alert "
+                                     "summary as JSON")
+    _add_param_flags(monitor_parser)
+
+    top_parser = subparsers.add_parser(
+        "top", help="live cluster dashboard (single-shot when stdout "
+                    "is not a terminal)")
+    _add_cluster_flags(top_parser)
+    top_parser.add_argument("--interval", type=float, default=1.0,
+                            help="refresh period in seconds")
+    top_parser.add_argument("--once", action="store_true",
+                            help="print one snapshot and exit even on "
+                                 "a terminal")
+    top_parser.add_argument("--iterations", type=int, default=None,
+                            metavar="N",
+                            help="refresh N times then exit (default: "
+                                 "until interrupted)")
+    top_parser.add_argument("--trace-limit", type=int, default=5000,
+                            help="per-site span fetch cap for the "
+                                 "propagation-delay panel (0 disables "
+                                 "it)")
+    _add_param_flags(top_parser)
+
     return parser
 
 
@@ -302,6 +401,11 @@ def _add_cluster_flags(parser: argparse.ArgumentParser) -> None:
                              "tracing, and staleness probing for this "
                              "process (per-process knob; mixed members "
                              "interoperate)")
+    parser.add_argument("--metrics-base-port", type=int, default=None,
+                        help="also serve plain-HTTP GET /metrics "
+                             "(Prometheus text format) on "
+                             "metrics-base-port + site (per-process "
+                             "knob; off by default)")
 
 
 def _cluster_spec_from_args(args: argparse.Namespace):
@@ -311,7 +415,8 @@ def _cluster_spec_from_args(args: argparse.Namespace):
                        protocol=args.protocol, seed=args.seed,
                        host=args.host, base_port=args.base_port,
                        durability=args.durability, batch=args.batch,
-                       obs=not args.no_obs)
+                       obs=not args.no_obs,
+                       metrics_base_port=args.metrics_base_port)
 
 
 def _cmd_protocols(_args: argparse.Namespace,
@@ -520,12 +625,14 @@ def _cmd_loadgen(args: argparse.Namespace, out: typing.TextIO) -> int:
                                 verify=not args.no_verify,
                                 max_in_flight=args.max_in_flight,
                                 timeout=args.txn_timeout,
-                                loop_mode=loop_mode)
+                                loop_mode=loop_mode,
+                                monitor=args.monitor)
     else:
         report = run_loadgen(spec, verify=not args.no_verify,
                              max_in_flight=args.max_in_flight,
                              timeout=args.txn_timeout,
-                             loop_mode=loop_mode)
+                             loop_mode=loop_mode,
+                             monitor=args.monitor)
     out.write(report.format() + "\n")
     if args.json:
         import json
@@ -556,12 +663,19 @@ def _format_stats(site: int, response: typing.Mapping) -> str:
     for name, hist in sorted(snapshot.get("histograms", {}).items()):
         if not hist.get("count"):
             continue
+        # Snapshots ship pre-derived quantiles since the registry
+        # started computing them server-side; fall back to deriving
+        # from the raw buckets for older senders.
+        p50 = hist.get("p50", None)
+        p95 = hist.get("p95", None)
+        if p50 is None or p95 is None:
+            p50 = snapshot_percentile(hist, 50.0)
+            p95 = snapshot_percentile(hist, 95.0)
         lines.append(
             "  hist {}: n={} mean={:.4g} p50<={:.4g} p95<={:.4g} "
             "max={:.4g}".format(
                 name, hist["count"], hist["sum"] / hist["count"],
-                snapshot_percentile(hist, 50.0),
-                snapshot_percentile(hist, 95.0), hist.get("max") or 0.0))
+                p50, p95, hist.get("max") or 0.0))
     return "\n".join(lines)
 
 
@@ -609,6 +723,138 @@ def _cmd_stats(args: argparse.Namespace, out: typing.TextIO) -> int:
             handle.write("\n")
         out.write("wrote {}\n".format(args.json))
     return 1 if violations else 0
+
+
+def _cmd_metrics(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import asyncio
+
+    from repro.cluster.client import ClusterClient, ClusterError
+    from repro.obs.exposition import validate_exposition
+
+    spec = _cluster_spec_from_args(args)
+
+    async def fetch():
+        client = ClusterClient(spec)
+        try:
+            sites = ([args.site] if args.site is not None
+                     else sorted(spec.addresses()))
+            results = await asyncio.gather(
+                *(client.metrics(site) for site in sites))
+            return dict(zip(sites, results))
+        finally:
+            await client.close()
+
+    try:
+        responses = asyncio.run(fetch())
+    except (ClusterError, OSError) as exc:
+        out.write("metrics fetch failed: {}\n".format(exc))
+        return 1
+    violations = 0
+    chunks = []
+    for site, response in sorted(responses.items()):
+        text = response.get("exposition", "")
+        chunks.append(text)
+        out.write(text)
+        if args.check:
+            try:
+                validate_exposition(text)
+            except ValueError as exc:
+                out.write("# SCHEMA VIOLATION s{}: {}\n".format(
+                    site, exc))
+                violations += 1
+    if args.check and not violations:
+        out.write("# all {} exposition(s) format-valid\n".format(
+            len(responses)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("".join(chunks))
+        out.write("# wrote {}\n".format(args.out))
+    return 1 if violations else 0
+
+
+def _cmd_monitor(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import asyncio
+
+    from repro.cluster.client import ClusterClient
+    from repro.obs.monitor import MonitorConfig, Watchdog
+
+    spec = _cluster_spec_from_args(args)
+    config = MonitorConfig(
+        interval=args.interval, lag_warn=args.lag_warn,
+        lag_critical=args.lag_slo, stuck_deadline=args.stuck_deadline,
+        trace_limit=args.trace_limit,
+        convergence_every=0 if args.no_convergence else 5)
+    duration = None if args.duration == 0 else args.duration
+
+    async def run() -> Watchdog:
+        # Short per-request timeout + one retry: a dead member must
+        # slow a poll by ~a connect failure, not a full client timeout.
+        client = ClusterClient(spec, timeout=2.0, retries=1)
+        watchdog = Watchdog(
+            spec, client, config=config, sink_path=args.alerts,
+            on_alert=lambda alert: out.write(alert.format() + "\n"))
+        try:
+            await watchdog.run(duration=duration)
+        finally:
+            watchdog.close()
+            await client.close()
+        return watchdog
+
+    try:
+        watchdog = asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 130
+    summary = watchdog.summary()
+    out.write("monitored {} poll(s): {} critical, {} warning "
+              "alert(s)\n".format(summary["polls"],
+                                  summary["critical"],
+                                  summary["warning"]))
+    for rule, count in summary["by_rule"].items():
+        out.write("  {} x{}\n".format(rule, count))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write("wrote {}\n".format(args.json))
+    if args.check and summary["critical"]:
+        out.write("FAIL: {} critical alert(s)\n".format(
+            summary["critical"]))
+        return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import asyncio
+
+    from repro.cluster.client import ClusterClient
+    from repro.obs.dashboard import Dashboard
+
+    spec = _cluster_spec_from_args(args)
+    live = (not args.once and out is sys.stdout
+            and sys.stdout.isatty())
+
+    async def run() -> None:
+        client = ClusterClient(spec, timeout=2.0, retries=1)
+        dashboard = Dashboard(spec, client, interval=args.interval,
+                              trace_limit=args.trace_limit)
+        try:
+            if live:
+                await dashboard.run(out, iterations=args.iterations)
+            elif args.iterations is not None and args.iterations > 1:
+                await dashboard.run(out, iterations=args.iterations,
+                                    clear=False)
+            else:
+                await dashboard.snapshot(out)
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        return 0
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace, out: typing.TextIO) -> int:
@@ -699,6 +945,9 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "loadgen": _cmd_loadgen,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
+        "monitor": _cmd_monitor,
+        "top": _cmd_top,
     }
     return handlers[args.command](args, out)
 

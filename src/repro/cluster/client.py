@@ -238,6 +238,41 @@ class ClusterClient:
             *(self.stats(site) for site in sites))
         return dict(zip(sites, results))
 
+    async def metrics(self, site: SiteId
+                      ) -> typing.Dict[str, typing.Any]:
+        """One site's Prometheus text exposition (wire ``metrics``)."""
+        return await self._request(site, {"op": "metrics"},
+                                   idempotent=True)
+
+    async def try_each(self, op: str, **fields
+                       ) -> typing.Tuple[typing.Dict[SiteId,
+                                                     typing.Dict],
+                                         typing.List[SiteId]]:
+        """Fan one idempotent request out to every site, tolerating
+        per-site failure: returns ``(responses, unreachable_sites)``.
+
+        The monitoring plane's fetch primitive — a watchdog or
+        dashboard polling a degraded cluster must keep observing the
+        members that still answer (a dead site is the *finding*, not
+        an error)."""
+        sites = sorted(self.spec.addresses())
+        frame = dict(fields, op=op)
+        results = await asyncio.gather(
+            *(self._request(site, dict(frame), idempotent=True)
+              for site in sites),
+            return_exceptions=True)
+        responses: typing.Dict[SiteId, typing.Dict] = {}
+        unreachable: typing.List[SiteId] = []
+        for site, result in zip(sites, results):
+            if isinstance(result, (ClusterError, OSError,
+                                   asyncio.TimeoutError)):
+                unreachable.append(site)
+            elif isinstance(result, BaseException):
+                raise result
+            else:
+                responses[site] = result
+        return responses, unreachable
+
     async def trace(self, site: SiteId,
                     trace: typing.Optional[str] = None,
                     limit: typing.Optional[int] = None

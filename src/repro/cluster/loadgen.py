@@ -49,6 +49,7 @@ from repro.harness.serializability import (
     build_serialization_graph,
     find_dsg_cycle,
 )
+from repro.obs.monitor import MonitorConfig, Watchdog
 from repro.obs.probe import LiveStalenessProbe
 from repro.obs.reconstruct import propagation_summary, reconstruct
 from repro.sim.rng import RngRegistry
@@ -97,6 +98,11 @@ class LoadReport:
         default_factory=dict)
     #: Replica version-lag stats sampled by the live staleness probe.
     version_lag: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+    #: Watchdog alert counts from the optional embedded monitor
+    #: (``polls`` / ``critical`` / ``warning`` / ``by_rule``); empty
+    #: when the run was not monitored.
+    alerts: typing.Dict[str, typing.Any] = dataclasses.field(
         default_factory=dict)
 
     def to_json(self) -> typing.Dict[str, typing.Any]:
@@ -148,14 +154,35 @@ class LoadReport:
                     lag.get("max", 0),
                     lag.get("fraction_current", 1.0) * 100,
                     lag.get("samples", 0)))
+        if self.alerts:
+            by_rule = self.alerts.get("by_rule") or {}
+            lines.append(
+                "monitor: {} critical, {} warning alert(s) over {} "
+                "poll(s){}".format(
+                    self.alerts.get("critical", 0),
+                    self.alerts.get("warning", 0),
+                    self.alerts.get("polls", 0),
+                    " — " + ", ".join(
+                        "{} x{}".format(rule, count)
+                        for rule, count in sorted(by_rule.items()))
+                    if by_rule else ""))
         return "\n".join(lines)
 
 
 async def generate_load(spec: ClusterSpec, client: ClusterClient,
                         verify: bool = True,
                         quiesce_timeout: float = 30.0,
-                        loop_mode: str = "closed") -> LoadReport:
-    """Drive the matched workload through ``client`` and verify."""
+                        loop_mode: str = "closed",
+                        monitor: bool = False) -> LoadReport:
+    """Drive the matched workload through ``client`` and verify.
+
+    With ``monitor=True`` (and ``spec.obs``) an embedded
+    :class:`~repro.obs.monitor.Watchdog` rides along and its alert
+    counts land in :attr:`LoadReport.alerts` — a healthy bench run
+    should report zero criticals.  The embedded config is deliberately
+    light (no trace fetches, no convergence sampling) so monitoring
+    does not perturb the throughput being measured.
+    """
     spec.validate()
     if loop_mode not in ("closed", "open"):
         raise ValueError("loop_mode must be 'closed' or 'open', got "
@@ -173,9 +200,17 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
     # actually loaded.
     probe = (LiveStalenessProbe(spec, client, period=0.1)
              if spec.obs else None)
+    watchdog: typing.Optional[Watchdog] = None
+    watchdog_task: typing.Optional[asyncio.Task] = None
+    if monitor and spec.obs:
+        watchdog = Watchdog(spec, client, config=MonitorConfig(
+            interval=0.5, convergence_every=0, trace_limit=0))
     started = time.monotonic()
     if probe is not None:
         probe.start()
+    if watchdog is not None:
+        watchdog_task = asyncio.get_running_loop().create_task(
+            watchdog.run())
 
     async def submit_one(site: int, txn_spec) -> None:
         sent = time.monotonic()
@@ -211,6 +246,16 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
         # quiescent tail would only dilute the loaded-phase lags.
         await probe.sample_once()
         await probe.stop()
+    alerts: typing.Dict[str, typing.Any] = {}
+    if watchdog is not None:
+        watchdog.request_stop()
+        await watchdog_task
+        watchdog.close()
+        summary = watchdog.summary()
+        alerts = {"polls": summary["polls"],
+                  "critical": summary["critical"],
+                  "warning": summary["warning"],
+                  "by_rule": summary["by_rule"]}
 
     statuses = await wait_quiescent(client, timeout=quiesce_timeout)
     propagation: typing.Dict[str, typing.Any] = {}
@@ -266,6 +311,7 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
         obs=spec.obs,
         propagation=propagation,
         version_lag=version_lag,
+        alerts=alerts,
     )
 
 
@@ -319,7 +365,8 @@ def run_loadgen(spec: ClusterSpec, verify: bool = True,
                 quiesce_timeout: float = 30.0,
                 max_in_flight: int = 64,
                 timeout: float = 30.0,
-                loop_mode: str = "closed") -> LoadReport:
+                loop_mode: str = "closed",
+                monitor: bool = False) -> LoadReport:
     """Synchronous entry point (the ``repro loadgen`` command)."""
 
     async def _run() -> LoadReport:
@@ -329,7 +376,8 @@ def run_loadgen(spec: ClusterSpec, verify: bool = True,
             await client.wait_ready()
             return await generate_load(spec, client, verify=verify,
                                        quiesce_timeout=quiesce_timeout,
-                                       loop_mode=loop_mode)
+                                       loop_mode=loop_mode,
+                                       monitor=monitor)
         finally:
             await client.close()
 
@@ -342,7 +390,8 @@ def spawn_and_load(spec: ClusterSpec,
                    quiesce_timeout: float = 30.0,
                    max_in_flight: int = 64,
                    timeout: float = 30.0,
-                   loop_mode: str = "closed") -> LoadReport:
+                   loop_mode: str = "closed",
+                   monitor: bool = False) -> LoadReport:
     """``repro loadgen --spawn``: start every site in-process, drive the
     workload, tear the cluster down.  With ``wal_dir`` each site gets a
     durable WAL file ``site<N>.wal`` there."""
@@ -366,7 +415,8 @@ def spawn_and_load(spec: ClusterSpec,
             await client.wait_ready()
             return await generate_load(spec, client, verify=verify,
                                        quiesce_timeout=quiesce_timeout,
-                                       loop_mode=loop_mode)
+                                       loop_mode=loop_mode,
+                                       monitor=monitor)
         finally:
             if client is not None:
                 await client.close()

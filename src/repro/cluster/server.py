@@ -67,6 +67,7 @@ from repro.cluster.wal import FileWal, MessageJournal
 from repro.core.base import ReplicatedSystem, SystemConfig, make_protocol
 from repro.errors import TransactionAborted
 from repro.network.message import Message, MessageType
+from repro.obs.exposition import CONTENT_TYPE, render_exposition
 from repro.obs.registry import (
     LAG_BUCKETS,
     SIZE_BUCKETS,
@@ -175,6 +176,7 @@ class SiteServer:
         self._epoch = 0.0
         self._timer: typing.Optional[asyncio.TimerHandle] = None
         self._tcp_server: typing.Optional[asyncio.AbstractServer] = None
+        self._http_server: typing.Optional[asyncio.AbstractServer] = None
         self._conn_writers: typing.Set[asyncio.StreamWriter] = set()
         self._anti_entropy_task: typing.Optional[asyncio.Task] = None
         self.env: typing.Optional[Environment] = None
@@ -252,6 +254,10 @@ class SiteServer:
         host, port = self.spec.address(self.site_id)
         self._tcp_server = await asyncio.start_server(
             self._on_connection, host, port)
+        scrape = self.spec.metrics_address(self.site_id)
+        if scrape is not None:
+            self._http_server = await asyncio.start_server(
+                self._on_http_connection, scrape[0], scrape[1])
         self._request_catchup()
         if self.anti_entropy_interval > 0:
             self._anti_entropy_task = self._loop.create_task(
@@ -280,6 +286,8 @@ class SiteServer:
             self._anti_entropy_task.cancel()
         if self._tcp_server is not None:
             self._tcp_server.close()
+        if self._http_server is not None:
+            self._http_server.close()
         # A real crash severs established connections too — peers and
         # clients must see the failure, not talk to a zombie.
         for writer in list(self._conn_writers):
@@ -310,6 +318,9 @@ class SiteServer:
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
         for writer in list(self._conn_writers):
             writer.close()
         if self.transport is not None:
@@ -835,6 +846,16 @@ class SiteServer:
             return {"ok": True, "site": self.site_id,
                     "obs": self.spec.obs,
                     "stats": self.metrics.snapshot()}
+        if op == "metrics":
+            # Prometheus text exposition of the same snapshot `stats`
+            # serves as JSON.  A --no-obs member answers too — with the
+            # empty-but-valid exposition (just the obs_enabled 0
+            # canary) — so scraping never needs to know the member's
+            # configuration.
+            return {"ok": True, "site": self.site_id,
+                    "obs": self.spec.obs,
+                    "content_type": CONTENT_TYPE,
+                    "exposition": self.render_exposition()}
         if op == "trace":
             # Span tail, optionally filtered to one trace id.  The
             # limit keeps the response under the wire frame cap.
@@ -851,6 +872,60 @@ class SiteServer:
         if op == "shutdown":
             return {"ok": True, "_shutdown": True}
         return {"ok": False, "error": "unknown op {!r}".format(op)}
+
+    def render_exposition(self) -> str:
+        """This site's metrics snapshot as Prometheus text."""
+        return render_exposition(self.metrics.snapshot(),
+                                 labels={"site": str(self.site_id)})
+
+    # ------------------------------------------------------------------
+    # HTTP scrape plane (spec.metrics_base_port)
+    # ------------------------------------------------------------------
+
+    async def _on_http_connection(self, reader: asyncio.StreamReader,
+                                  writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.0 responder for ``GET /metrics`` scrapes.
+
+        One request per connection, ``Connection: close`` semantics —
+        everything a Prometheus scraper (or ``curl``) needs and nothing
+        more; the wire ``metrics`` request is the first-class path."""
+        self._conn_writers.add(writer)
+        try:
+            request = await asyncio.wait_for(reader.readline(), 5.0)
+            parts = request.decode("latin-1", "replace").split()
+            # Drain the header block; scrape requests have no body.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), 5.0)
+                if line in (b"", b"\r\n", b"\n"):
+                    break
+            if len(parts) < 2 or parts[0] != "GET":
+                status, body, ctype = ("405 Method Not Allowed",
+                                       "method not allowed\n",
+                                       "text/plain")
+            elif parts[1].split("?", 1)[0] not in ("/metrics", "/"):
+                status, body, ctype = ("404 Not Found", "not found\n",
+                                       "text/plain")
+            else:
+                status, body, ctype = ("200 OK",
+                                       self.render_exposition(),
+                                       CONTENT_TYPE)
+            payload = body.encode("utf-8")
+            writer.write((
+                "HTTP/1.0 {}\r\nContent-Type: {}\r\n"
+                "Content-Length: {}\r\nConnection: close\r\n\r\n"
+                .format(status, ctype, len(payload))).encode("ascii"))
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError,
+                asyncio.TimeoutError):
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
 
     def _status(self) -> typing.Dict[str, typing.Any]:
         engine = self.system.site_of(self.site_id).engine

@@ -51,6 +51,12 @@ class ClusterSpec:
     #: codec ignores them, so instrumented and plain members
     #: interoperate and ``obs`` stays out of the fingerprint.
     obs: bool = True
+    #: Plain-HTTP Prometheus scrape plane: when set, site ``i`` also
+    #: serves ``GET /metrics`` on ``metrics_base_port + i``.  A monitor
+    #: knob like ``obs`` — per-process, excluded from the fingerprint
+    #: (scraping is read-only and changes nothing members must agree
+    #: on), ``None`` (default) disables the listener entirely.
+    metrics_base_port: typing.Optional[int] = None
 
     def validate(self) -> "ClusterSpec":
         self.params.validate()
@@ -65,6 +71,13 @@ class ClusterSpec:
             raise ValueError("batch must be >= 1, got {}".format(
                 self.batch))
         self.obs = bool(self.obs)
+        if self.metrics_base_port is not None and not \
+                1 <= self.metrics_base_port <= 65535 - \
+                self.params.n_sites:
+            raise ValueError(
+                "metrics_base_port {} leaves no room for {} "
+                "sites".format(self.metrics_base_port,
+                               self.params.n_sites))
         return self
 
     # ------------------------------------------------------------------
@@ -80,6 +93,13 @@ class ClusterSpec:
     def address(self, site: SiteId) -> typing.Tuple[str, int]:
         """Listen address of ``site``'s server."""
         return self.host, self.base_port + site
+
+    def metrics_address(self, site: SiteId
+                        ) -> typing.Optional[typing.Tuple[str, int]]:
+        """HTTP scrape address of ``site`` (``None`` when disabled)."""
+        if self.metrics_base_port is None:
+            return None
+        return self.host, self.metrics_base_port + site
 
     def addresses(self) -> typing.Dict[SiteId, typing.Tuple[str, int]]:
         return {site: self.address(site)
@@ -98,7 +118,9 @@ class ClusterSpec:
         ``batch`` frames), so batched and unbatched members interoperate
         within one cluster.  ``obs`` is likewise per-process — trace
         stamps are codec-ignored extras on the wire object, never
-        payload — so it is excluded too.
+        payload — so it is excluded too, as is the monitoring plane's
+        ``metrics_base_port`` (a read-only scrape listener changes
+        nothing members must agree on).
         """
         params = self.params
         material = json.dumps(
@@ -126,6 +148,7 @@ class ClusterSpec:
             "durability": self.durability,
             "batch": self.batch,
             "obs": self.obs,
+            "metrics_base_port": self.metrics_base_port,
         }
 
     @classmethod
@@ -141,4 +164,7 @@ class ClusterSpec:
             durability=obj.get("durability", "flush"),
             batch=int(obj.get("batch", 1)),
             obs=bool(obj.get("obs", True)),
+            metrics_base_port=(
+                int(obj["metrics_base_port"])
+                if obj.get("metrics_base_port") is not None else None),
         ).validate()

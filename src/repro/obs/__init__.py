@@ -16,6 +16,16 @@ Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
 - :mod:`repro.obs.probe` — a live replica-recency probe sampling
   version lag through the cluster ``status`` plane (the wire analogue
   of :class:`repro.harness.probes.StalenessProbe`).
+- :mod:`repro.obs.exposition` — Prometheus text-format rendering of
+  registry snapshots, served over the ``metrics`` wire request and the
+  optional per-site HTTP scrape endpoint.
+- :mod:`repro.obs.monitor` — the online invariant watchdog behind
+  ``repro monitor``: live alert rules (lag SLO, stuck propagation,
+  saturation, WAL regression, divergence, site-down) with deduplicated
+  structured alerts and a JSONL sink.
+- :mod:`repro.obs.dashboard` — the ``repro top`` terminal dashboard
+  (per-site rates, lag, propagation percentiles, sparklines, active
+  alerts).
 """
 
 from repro.obs.registry import (  # noqa: F401
@@ -37,3 +47,13 @@ from repro.obs.reconstruct import (  # noqa: F401
     reconstruct,
 )
 from repro.obs.probe import LiveStalenessProbe  # noqa: F401
+from repro.obs.exposition import (  # noqa: F401
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.monitor import (  # noqa: F401
+    Alert,
+    MonitorConfig,
+    Watchdog,
+)
+from repro.obs.dashboard import Dashboard, sparkline  # noqa: F401

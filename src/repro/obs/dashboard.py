@@ -1,0 +1,275 @@
+"""Live terminal dashboard for a running cluster (``repro top``).
+
+Polls every site over the monitoring plane (``versions`` + ``stats`` +
+``trace`` via the failure-tolerant ``try_each`` fan-out) and renders a
+single-screen view: per-site commit/abort rates, apply-queue depth,
+replica version lag, WAL sync latency, end-to-end propagation-delay
+percentiles, rolling throughput sparklines, and the watchdog's active
+alerts.  A dead member stays on the board as ``DOWN`` — disappearing
+rows are how outages get missed.
+
+On a TTY the screen redraws in place each interval (ANSI home+clear);
+without one (CI logs, pipes) ``repro top`` degrades to a single-shot
+snapshot: two quick polls to derive rates, one plain-text render, exit
+zero.  All layout is pure string building over the sampled model, so
+tests can render deterministically without a terminal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import typing
+
+from repro.obs.monitor import MonitorConfig, Watchdog
+from repro.obs.reconstruct import propagation_summary, reconstruct
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    # Runtime import would be circular (cluster imports repro.obs).
+    from repro.cluster.client import ClusterClient
+    from repro.cluster.spec import ClusterSpec
+
+#: Eight-level bar glyphs, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: typing.Sequence[float], width: int = 30) -> str:
+    """Render the last ``width`` values as a unicode sparkline."""
+    tail = list(values)[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return SPARK_GLYPHS[0] * len(tail)
+    scale = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[min(scale, int(round(value / top * scale)))]
+        for value in tail)
+
+
+def _rate(delta: float, elapsed: float) -> float:
+    return delta / elapsed if elapsed > 0 else 0.0
+
+
+def _fmt_ms(seconds: typing.Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return "{:.1f}ms".format(seconds * 1000.0)
+
+
+class Dashboard:
+    """Samples one cluster into a render-ready model.
+
+    Separated into :meth:`sample` (pure data) and :meth:`render`
+    (pure string) so the refresh loop, the single-shot mode and the
+    tests all share the exact same pipeline.
+    """
+
+    def __init__(self, spec: "ClusterSpec", client: "ClusterClient",
+                 interval: float = 1.0, spark_width: int = 30,
+                 trace_limit: int = 5000,
+                 watchdog: typing.Optional[Watchdog] = None):
+        self.spec = spec
+        self.client = client
+        self.interval = interval
+        self.spark_width = spark_width
+        self.trace_limit = trace_limit
+        if watchdog is None:
+            config = MonitorConfig(interval=interval,
+                                   convergence_every=0,
+                                   trace_limit=0)
+            watchdog = Watchdog(spec, client, config=config)
+        self.watchdog = watchdog
+        placement = spec.build_placement()
+        self._pairs: typing.List[typing.Tuple[str, int, int]] = []
+        for item in placement.items:
+            primary = placement.primary_site(item)
+            for replica in placement.replica_sites(item):
+                self._pairs.append((item, primary, replica))
+        #: Previous poll's cumulative counters, for rate derivation.
+        self._prev: typing.Dict[int, typing.Dict[str, float]] = {}
+        self._prev_t: typing.Optional[float] = None
+        #: Rolling cluster-wide commit/s for the sparkline.
+        self.throughput_history: typing.List[float] = []
+        self._site_history: typing.Dict[int, typing.List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    async def sample(self) -> typing.Dict[str, typing.Any]:
+        """One poll of every site, folded into the display model."""
+        from repro.cluster.codec import decode_value
+
+        now = time.monotonic()
+        elapsed = (now - self._prev_t) if self._prev_t is not None \
+            else 0.0
+        self._prev_t = now
+
+        versions_resp, down = await self.client.try_each("versions")
+        stats_resp, _ = await self.client.try_each("stats")
+        await self.watchdog.poll_once()
+
+        versions = {site: decode_value(response["versions"])
+                    for site, response in versions_resp.items()}
+        lag_by_site: typing.Dict[int, int] = {}
+        for item, primary, replica in self._pairs:
+            primary_version = versions.get(primary, {}).get(item)
+            replica_version = versions.get(replica, {}).get(item)
+            if primary_version is None or replica_version is None:
+                continue
+            lag = max(0, primary_version - replica_version)
+            lag_by_site[replica] = max(lag_by_site.get(replica, 0), lag)
+
+        rows = []
+        total_commit_rate = 0.0
+        for site in sorted(self.spec.addresses()):
+            row: typing.Dict[str, typing.Any] = {
+                "site": site,
+                "up": site not in down,
+                "lag": lag_by_site.get(site, 0),
+            }
+            snapshot = (stats_resp.get(site) or {}).get("stats") or {}
+            counters = snapshot.get("counters", {})
+            gauges = snapshot.get("gauges", {})
+            histograms = snapshot.get("histograms", {})
+            committed = counters.get("txn.committed", 0)
+            aborted = counters.get("txn.aborted", 0)
+            row["obs"] = bool(snapshot.get("enabled"))
+            row["committed"] = committed
+            queue = gauges.get("server.apply_queue", {})
+            row["queue"] = int(queue.get("value", 0))
+            row["queue_hwm"] = int(queue.get("high_water", 0))
+            drive = histograms.get("server.drive_s") or {}
+            row["drive_p95_s"] = drive.get("p95") if drive.get("count") \
+                else None
+            wal = histograms.get("wal.sync_s") or {}
+            row["wal_p95_s"] = wal.get("p95") if wal.get("count") \
+                else None
+            previous = self._prev.get(site)
+            if previous is not None and elapsed > 0 and row["up"]:
+                row["commit_rate"] = _rate(
+                    committed - previous["committed"], elapsed)
+                row["abort_rate"] = _rate(
+                    aborted - previous["aborted"], elapsed)
+            else:
+                row["commit_rate"] = 0.0
+                row["abort_rate"] = 0.0
+            if row["up"]:
+                self._prev[site] = {"committed": committed,
+                                    "aborted": aborted}
+            total_commit_rate += row["commit_rate"]
+            history = self._site_history.setdefault(site, [])
+            history.append(row["commit_rate"])
+            del history[:-self.spark_width]
+            row["spark"] = sparkline(history, self.spark_width)
+            rows.append(row)
+
+        self.throughput_history.append(total_commit_rate)
+        del self.throughput_history[:-self.spark_width]
+
+        propagation = None
+        if self.trace_limit > 0:
+            trace_resp, _ = await self.client.try_each(
+                "trace", limit=self.trace_limit)
+            spans: typing.List[typing.Dict] = []
+            for response in trace_resp.values():
+                spans.extend(response.get("spans", ()))
+            if spans:
+                propagation = propagation_summary(reconstruct(spans))
+
+        return {
+            "t": time.time(),
+            "elapsed": elapsed,
+            "rows": rows,
+            "down": sorted(down),
+            "total_commit_rate": total_commit_rate,
+            "spark": sparkline(self.throughput_history,
+                               self.spark_width),
+            "propagation": propagation,
+            "alerts": [alert for alert
+                       in self.watchdog.active_alerts()],
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, model: typing.Mapping[str, typing.Any]) -> str:
+        spec = self.spec
+        lines = []
+        lines.append(
+            "repro top — {} sites  protocol {}  seed {}  "
+            "{}".format(spec.params.n_sites, spec.protocol, spec.seed,
+                        time.strftime("%H:%M:%S",
+                                      time.localtime(model["t"]))))
+        lines.append(
+            "cluster commit rate {:6.1f} txn/s  {}".format(
+                model["total_commit_rate"], model["spark"]))
+        propagation = model.get("propagation")
+        if propagation and propagation["complete"]:
+            lines.append(
+                "propagation delay: p50 {}  p95 {}  max {}  "
+                "[{} complete / {} propagating]".format(
+                    _fmt_ms(propagation["p50"]),
+                    _fmt_ms(propagation["p95"]),
+                    _fmt_ms(propagation["max"]),
+                    propagation["complete"],
+                    propagation["propagating"]))
+        lines.append("")
+        lines.append(
+            "site  state  commit/s  abort/s  applyq  lag  "
+            "drive p95  wal p95  trend")
+        for row in model["rows"]:
+            state = "up" if row["up"] else "DOWN"
+            lines.append(
+                "s{:<4} {:<5} {:>8.1f} {:>8.1f} {:>7} {:>4} "
+                "{:>9} {:>8}  {}".format(
+                    row["site"], state, row["commit_rate"],
+                    row["abort_rate"], row["queue"], row["lag"],
+                    _fmt_ms(row["drive_p95_s"]),
+                    _fmt_ms(row["wal_p95_s"]), row["spark"]))
+        alerts = model.get("alerts") or []
+        lines.append("")
+        if alerts:
+            lines.append("active alerts:")
+            for alert in alerts:
+                lines.append("  " + alert.format())
+        else:
+            lines.append("active alerts: none")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Drive modes
+    # ------------------------------------------------------------------
+
+    async def run(self, out: typing.TextIO,
+                  iterations: typing.Optional[int] = None,
+                  clear: bool = True) -> None:
+        """Refresh loop: sample, redraw, sleep; ``iterations=None``
+        runs until cancelled (Ctrl-C in the CLI)."""
+        count = 0
+        while iterations is None or count < iterations:
+            model = await self.sample()
+            frame = self.render(model)
+            if clear:
+                # Home + clear-below keeps the last frame on an
+                # interrupt, unlike a full screen wipe.
+                out.write("\x1b[H\x1b[J" + frame)
+            else:
+                out.write(frame)
+            out.flush()
+            count += 1
+            if iterations is not None and count >= iterations:
+                return
+            await asyncio.sleep(self.interval)
+
+    async def snapshot(self, out: typing.TextIO,
+                       warmup: float = 0.3) -> None:
+        """Non-TTY degradation: two polls (to derive rates), one
+        plain-text frame, no escape codes."""
+        await self.sample()
+        await asyncio.sleep(warmup)
+        model = await self.sample()
+        out.write(self.render(model))
+        out.flush()

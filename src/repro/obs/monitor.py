@@ -1,0 +1,548 @@
+"""Online invariant watchdog for a live cluster.
+
+The passive telemetry plane (``stats``/``versions``/``trace``) measures
+the paper's guarantees; this module *watches* them while the cluster is
+serving.  A :class:`Watchdog` polls every site on an interval and
+evaluates live rules derived from the offline oracles:
+
+``site-down``
+    A member stopped answering the lightweight ``versions`` request for
+    consecutive polls.  Critical — every other guarantee degrades from
+    here.
+``lag-slo``
+    A replica trails its primary by more committed versions than the
+    staleness SLO allows (Sec. 5.3.4's recency claim, enforced instead
+    of merely measured).  Unreachable replicas are judged from their
+    last known versions and flagged as such.
+``stuck-propagation``
+    A committed primary update did not reach an expected replica within
+    the deadline.  Localised via the propagation trees of
+    :mod:`repro.obs.reconstruct`: the evidence names the exact copy-
+    graph hop (origin → missing replica) and the stuck trace ids, so
+    the alert points at a channel, not just "something is slow".
+``apply-queue-saturation``
+    The inbound apply pipeline sat at (or above) its bound for
+    consecutive polls — the senders' backpressure windows are full and
+    propagation is throughput-limited at this member.
+``wal-sync-regression``
+    The windowed p95 WAL sync latency (delta of the ``wal.sync_s``
+    histogram between polls) regressed by more than a factor over the
+    run's baseline window — the group-commit amortisation stopped
+    holding, usually a disk or contention problem.
+``divergence``
+    Sampled convergence: two copies report the **same committed
+    version with different values**.  With the paper's writer-lineage
+    propagation that is impossible in a correct run, so any hit is
+    critical.
+
+Alerts are structured (rule, severity, site, message, evidence) and
+**deduplicated** by ``(rule, site)``: a persisting condition updates
+``last_seen``/``count`` instead of re-emitting, and each *first* firing
+(or severity escalation) is appended to a JSONL sink for CI artifacts.
+``repro monitor --check`` turns the critical count into an exit code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+import typing
+
+from repro.obs.reconstruct import reconstruct
+from repro.obs.registry import bucket_percentile
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    # Runtime import would be circular (cluster imports repro.obs);
+    # the watchdog only needs the client/spec duck types anyway.
+    from repro.cluster.client import ClusterClient
+    from repro.cluster.spec import ClusterSpec
+
+#: Severity order, mildest first.
+SEVERITIES = ("warning", "critical")
+
+
+@dataclasses.dataclass
+class MonitorConfig:
+    """Thresholds of the live rules (the alert rule catalogue's knobs —
+    see ``docs/OBSERVABILITY.md`` for what each alert means)."""
+
+    #: Poll period, seconds.
+    interval: float = 0.5
+    #: Replica version lag that degrades recency (warning).
+    lag_warn: int = 4
+    #: Replica version-lag SLO; beyond it the alert is critical.
+    lag_critical: int = 16
+    #: Seconds a committed update may remain un-applied at an expected
+    #: replica before its propagation counts as stuck.
+    stuck_deadline: float = 5.0
+    #: Apply-queue depth considered saturated (the server pipeline's
+    #: bound) and how many consecutive saturated polls fire the alert.
+    queue_saturation: int = 8
+    queue_polls: int = 3
+    #: Windowed p95 WAL sync regression: factor over the baseline
+    #: window, with a floor below which jitter never alerts.
+    wal_regression_factor: float = 4.0
+    wal_floor_s: float = 0.002
+    #: Run the sampled convergence check every N polls (0 disables).
+    convergence_every: int = 5
+    #: Consecutive unreachable polls before ``site-down`` fires.
+    down_polls: int = 2
+    #: Per-site span-fetch cap for stuck-propagation localisation
+    #: (0 disables the trace fetch and the rule with it).
+    trace_limit: int = 20000
+    #: Only judge propagation of updates committed after the watchdog
+    #: started.  Span rings are volatile: a replica that applied an
+    #: old update and then crashed (or restarted) can never re-show
+    #: the evidence, so pre-watch history would read as stuck forever.
+    stuck_ignore_history: bool = True
+    #: Most items/traces quoted in one alert's evidence.
+    max_evidence: int = 5
+
+
+@dataclasses.dataclass
+class Alert:
+    """One deduplicated finding of the watchdog."""
+
+    rule: str
+    severity: str
+    site: typing.Optional[int]
+    message: str
+    evidence: typing.Dict[str, typing.Any]
+    first_seen: float
+    last_seen: float
+    count: int = 1
+
+    def key(self) -> typing.Tuple[str, typing.Optional[int]]:
+        return (self.rule, self.site)
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "site": self.site,
+            "message": self.message,
+            "evidence": self.evidence,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "count": self.count,
+        }
+
+    def format(self) -> str:
+        where = "s{}".format(self.site) if self.site is not None \
+            else "cluster"
+        return "[{}] {} {}: {}".format(self.severity.upper(),
+                                       self.rule, where, self.message)
+
+
+class AlertSink:
+    """Append-only JSONL alert log (the CI artifact)."""
+
+    def __init__(self, path: typing.Optional[str]):
+        self.path = path
+        self._handle: typing.Optional[typing.TextIO] = None
+
+    def emit(self, alert: Alert) -> None:
+        if self.path is None:
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        record = dict(alert.to_json(), t=time.time())
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class Watchdog:
+    """Polls one live cluster and evaluates the online invariants.
+
+    Built on the client's failure-tolerant ``try_each`` fan-out: a
+    dead member is an *observation* (and usually the alert), never a
+    reason to lose the poll.
+    """
+
+    def __init__(self, spec: "ClusterSpec", client: "ClusterClient",
+                 config: typing.Optional[MonitorConfig] = None,
+                 sink_path: typing.Optional[str] = None,
+                 on_alert: typing.Optional[
+                     typing.Callable[[Alert], None]] = None):
+        self.spec = spec
+        self.client = client
+        self.config = config or MonitorConfig()
+        self.sink = AlertSink(sink_path)
+        self.on_alert = on_alert
+        self.polls = 0
+        #: Deduplicated alerts, insertion-ordered.
+        self.alerts: typing.Dict[typing.Tuple[str, typing.Optional[int]],
+                                 Alert] = {}
+        placement = spec.build_placement()
+        self._pairs: typing.List[typing.Tuple[str, int, int]] = []
+        for item in placement.items:
+            primary = placement.primary_site(item)
+            for replica in placement.replica_sites(item):
+                self._pairs.append((item, primary, replica))
+        #: Last known committed versions per site (kept across polls so
+        #: a dead replica is judged against what it had).
+        self._versions: typing.Dict[int, typing.Dict[str, int]] = {}
+        self._down_streak: typing.Dict[int, int] = {}
+        self._queue_streak: typing.Dict[int, int] = {}
+        #: Per-site cumulative wal.sync_s snapshot of the previous poll
+        #: and the baseline windowed p95.
+        self._wal_prev: typing.Dict[int, typing.Dict[str, typing.Any]] \
+            = {}
+        self._wal_baseline: typing.Dict[int, float] = {}
+        self._started = time.time()
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Alert bookkeeping
+    # ------------------------------------------------------------------
+
+    def _fire(self, fired: typing.List[Alert], rule: str, severity: str,
+              site: typing.Optional[int], message: str,
+              evidence: typing.Dict[str, typing.Any]) -> None:
+        now = time.time()
+        key = (rule, site)
+        existing = self.alerts.get(key)
+        if existing is None:
+            alert = Alert(rule=rule, severity=severity, site=site,
+                          message=message, evidence=evidence,
+                          first_seen=now, last_seen=now)
+            self.alerts[key] = alert
+            self.sink.emit(alert)
+            if self.on_alert is not None:
+                self.on_alert(alert)
+            fired.append(alert)
+            return
+        existing.last_seen = now
+        existing.count += 1
+        existing.message = message
+        existing.evidence = evidence
+        if SEVERITIES.index(severity) > \
+                SEVERITIES.index(existing.severity):
+            existing.severity = severity
+            self.sink.emit(existing)  # escalation is worth a record
+            if self.on_alert is not None:
+                self.on_alert(existing)
+            fired.append(existing)
+
+    @property
+    def critical_count(self) -> int:
+        return sum(1 for alert in self.alerts.values()
+                   if alert.severity == "critical")
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for alert in self.alerts.values()
+                   if alert.severity == "warning")
+
+    def active_alerts(self, within_s: typing.Optional[float] = None
+                      ) -> typing.List[Alert]:
+        """Alerts still firing (seen within ``within_s``; defaults to
+        three poll intervals)."""
+        if within_s is None:
+            within_s = 3 * self.config.interval
+        horizon = time.time() - within_s
+        return [alert for alert in self.alerts.values()
+                if alert.last_seen >= horizon]
+
+    def summary(self) -> typing.Dict[str, typing.Any]:
+        by_rule: typing.Dict[str, int] = {}
+        for alert in self.alerts.values():
+            by_rule[alert.rule] = by_rule.get(alert.rule, 0) + 1
+        return {
+            "polls": self.polls,
+            "critical": self.critical_count,
+            "warning": self.warning_count,
+            "by_rule": dict(sorted(by_rule.items())),
+            "alerts": [alert.to_json()
+                       for alert in self.alerts.values()],
+        }
+
+    def close(self) -> None:
+        self.sink.close()
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
+
+    async def poll_once(self) -> typing.List[Alert]:
+        """One evaluation round; returns alerts fired or escalated."""
+        from repro.cluster.codec import decode_value
+
+        config = self.config
+        fired: typing.List[Alert] = []
+        self.polls += 1
+
+        responses, unreachable = await self.client.try_each("versions")
+        for site, response in responses.items():
+            self._versions[site] = decode_value(response["versions"])
+            self._down_streak[site] = 0
+        for site in unreachable:
+            streak = self._down_streak.get(site, 0) + 1
+            self._down_streak[site] = streak
+            if streak >= config.down_polls:
+                self._fire(
+                    fired, "site-down", "critical", site,
+                    "site s{} unreachable for {} consecutive "
+                    "polls".format(site, streak),
+                    {"streak": streak})
+        self._check_lag(fired, set(unreachable))
+
+        stats, _ = await self.client.try_each("stats")
+        for site, response in stats.items():
+            snapshot = response.get("stats") or {}
+            if snapshot.get("enabled"):
+                self._check_queue(fired, site, snapshot)
+                self._check_wal(fired, site, snapshot)
+
+        if config.trace_limit > 0:
+            await self._check_stuck(fired)
+        if config.convergence_every > 0 and \
+                self.polls % config.convergence_every == 0:
+            await self._check_convergence(fired)
+        return fired
+
+    async def run(self, duration: typing.Optional[float] = None
+                  ) -> None:
+        """Poll on the configured interval until ``duration`` elapses
+        (``None``: until :meth:`request_stop`)."""
+        deadline = (time.monotonic() + duration
+                    if duration is not None else None)
+        while not self._stopping.is_set():
+            await self.poll_once()
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            try:
+                await asyncio.wait_for(self._stopping.wait(),
+                                       self.config.interval)
+            except asyncio.TimeoutError:
+                pass
+
+    def request_stop(self) -> None:
+        self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    def _check_lag(self, fired: typing.List[Alert],
+                   unreachable: typing.Set[int]) -> None:
+        """Replica version-lag SLO over the latest known versions."""
+        config = self.config
+        worst: typing.Dict[int, typing.List[typing.Tuple[int, str, int]]] \
+            = {}
+        for item, primary, replica in self._pairs:
+            primary_version = self._versions.get(primary, {}).get(item)
+            replica_version = self._versions.get(replica, {}).get(item)
+            if primary_version is None or replica_version is None:
+                continue
+            if primary in unreachable:
+                # A dead primary's last-known version cannot grow, so
+                # judging live replicas against it would only shrink
+                # lag — skip rather than understate.
+                continue
+            lag = primary_version - replica_version
+            if lag >= config.lag_warn:
+                worst.setdefault(replica, []).append(
+                    (lag, item, primary))
+        for replica, entries in sorted(worst.items()):
+            entries.sort(reverse=True)
+            max_lag = entries[0][0]
+            severity = ("critical" if max_lag >= config.lag_critical
+                        else "warning")
+            evidence = {
+                "max_lag": max_lag,
+                "slo": config.lag_critical,
+                "pairs": [{"item": item, "primary": primary,
+                           "lag": lag}
+                          for lag, item, primary
+                          in entries[:config.max_evidence]],
+                "unreachable": replica in unreachable,
+            }
+            self._fire(
+                fired, "lag-slo", severity, replica,
+                "replica s{} trails by up to {} committed versions "
+                "(SLO {}{})".format(
+                    replica, max_lag, config.lag_critical,
+                    "; site unreachable, judged from last known "
+                    "versions" if replica in unreachable else ""),
+                evidence)
+
+    def _check_queue(self, fired: typing.List[Alert], site: int,
+                     snapshot: typing.Mapping[str, typing.Any]) -> None:
+        config = self.config
+        gauge = snapshot.get("gauges", {}).get("server.apply_queue")
+        depth = gauge.get("value", 0) if isinstance(gauge, dict) else 0
+        if depth >= config.queue_saturation:
+            streak = self._queue_streak.get(site, 0) + 1
+        else:
+            streak = 0
+        self._queue_streak[site] = streak
+        if streak >= config.queue_polls:
+            self._fire(
+                fired, "apply-queue-saturation", "warning", site,
+                "apply queue at depth {} for {} consecutive polls "
+                "(pipeline bound {})".format(
+                    int(depth), streak, config.queue_saturation),
+                {"depth": depth, "streak": streak,
+                 "high_water": gauge.get("high_water")
+                 if isinstance(gauge, dict) else None})
+
+    def _check_wal(self, fired: typing.List[Alert], site: int,
+                   snapshot: typing.Mapping[str, typing.Any]) -> None:
+        """Windowed p95 of ``wal.sync_s`` vs the baseline window."""
+        config = self.config
+        hist = snapshot.get("histograms", {}).get("wal.sync_s")
+        if not isinstance(hist, dict) or not hist.get("count"):
+            return
+        previous = self._wal_prev.get(site)
+        self._wal_prev[site] = hist
+        if previous is None or \
+                previous.get("buckets") != hist.get("buckets"):
+            return
+        window = hist["count"] - previous["count"]
+        if window <= 0:
+            return
+        delta = [now - before for now, before
+                 in zip(hist["counts"], previous["counts"])]
+        p95 = bucket_percentile(hist["buckets"], delta, window,
+                                hist.get("max"), 95.0)
+        baseline = self._wal_baseline.get(site)
+        if baseline is None:
+            self._wal_baseline[site] = p95
+            return
+        if p95 > config.wal_floor_s and \
+                p95 > config.wal_regression_factor * max(
+                    baseline, 1e-9):
+            self._fire(
+                fired, "wal-sync-regression", "warning", site,
+                "WAL sync p95 {:.1f} ms over the last window vs "
+                "{:.1f} ms baseline (x{:.1f})".format(
+                    p95 * 1000.0, baseline * 1000.0,
+                    p95 / max(baseline, 1e-9)),
+                {"window_p95_s": p95, "baseline_p95_s": baseline,
+                 "window_syncs": window,
+                 "factor": config.wal_regression_factor})
+
+    async def _check_stuck(self, fired: typing.List[Alert]) -> None:
+        """Committed updates past the propagation deadline, localised
+        to the copy-graph hop via the reconstructed trace trees."""
+        from repro.cluster.client import ClusterError
+
+        config = self.config
+        try:
+            spans = await self._fetch_spans()
+        except (ClusterError, OSError, asyncio.TimeoutError):
+            return
+        if not spans:
+            return
+        now = time.time()
+        stuck: typing.Dict[int, typing.List[
+            typing.Tuple[float, str, typing.Optional[int]]]] = {}
+        for tid, tree in reconstruct(spans).items():
+            if tree.committed_t is None or not tree.expected or \
+                    tree.complete:
+                continue
+            if config.stuck_ignore_history and \
+                    tree.committed_t < self._started:
+                continue
+            age = now - tree.committed_t
+            if age <= config.stuck_deadline:
+                continue
+            for replica in tree.expected:
+                if replica not in tree.applied_sites:
+                    stuck.setdefault(replica, []).append(
+                        (age, tid, tree.origin))
+        for replica, entries in sorted(stuck.items()):
+            entries.sort(reverse=True)
+            oldest, _tid, _origin = entries[0]
+            hops = sorted({(origin, replica)
+                           for _age, _t, origin in entries
+                           if origin is not None})
+            self._fire(
+                fired, "stuck-propagation", "critical", replica,
+                "{} committed update(s) not applied at s{} within "
+                "{:.1f} s (oldest {:.1f} s; hop{} {})".format(
+                    len(entries), replica, config.stuck_deadline,
+                    oldest, "s" if len(hops) != 1 else "",
+                    ", ".join("s{}->s{}".format(origin, dst)
+                              for origin, dst in hops) or "unknown"),
+                {"stuck": len(entries),
+                 "oldest_age_s": oldest,
+                 "deadline_s": config.stuck_deadline,
+                 "hops": [[origin, dst] for origin, dst in hops],
+                 "traces": [tid for _age, tid, _origin
+                            in entries[:config.max_evidence]]})
+
+    async def _fetch_spans(self) -> typing.List[typing.Dict]:
+        responses, _ = await self.client.try_each(
+            "trace", limit=self.config.trace_limit)
+        spans: typing.List[typing.Dict] = []
+        for response in responses.values():
+            spans.extend(response.get("spans", ()))
+        return spans
+
+    async def _check_convergence(self, fired: typing.List[Alert]
+                                 ) -> None:
+        """Sampled convergence: same committed version must mean the
+        same value (writer lineage makes version numbers comparable)."""
+        from repro.cluster.codec import decode_value
+
+        responses, _ = await self.client.try_each("status")
+        state: typing.Dict[int, typing.Dict] = {}
+        for site, response in responses.items():
+            state[site] = decode_value(response["items"])
+        divergent: typing.Dict[int, typing.List[typing.Dict]] = {}
+        for item, primary, replica in self._pairs:
+            primary_item = state.get(primary, {}).get(item)
+            replica_item = state.get(replica, {}).get(item)
+            if not primary_item or not replica_item:
+                continue
+            if primary_item["version"] == replica_item["version"] and \
+                    primary_item["value"] != replica_item["value"]:
+                divergent.setdefault(replica, []).append({
+                    "item": item, "primary": primary,
+                    "version": primary_item["version"],
+                    "primary_value": primary_item["value"],
+                    "replica_value": replica_item["value"]})
+        for replica, entries in sorted(divergent.items()):
+            self._fire(
+                fired, "divergence", "critical", replica,
+                "{} item(s) at s{} hold a different value than their "
+                "primary at the same committed version".format(
+                    len(entries), replica),
+                {"items": entries[:self.config.max_evidence],
+                 "divergent": len(entries)})
+
+
+async def watch(spec: "ClusterSpec",
+                config: typing.Optional[MonitorConfig] = None,
+                duration: typing.Optional[float] = None,
+                sink_path: typing.Optional[str] = None,
+                on_alert: typing.Optional[
+                    typing.Callable[[Alert], None]] = None,
+                client: typing.Optional["ClusterClient"] = None
+                ) -> Watchdog:
+    """Run a watchdog against ``spec``'s cluster for ``duration``
+    seconds (the ``repro monitor`` entry point); returns it with its
+    alert state for the exit-code decision."""
+    from repro.cluster.client import ClusterClient
+
+    own_client = client is None
+    if client is None:
+        client = ClusterClient(spec, timeout=2.0, retries=1)
+    watchdog = Watchdog(spec, client, config=config,
+                        sink_path=sink_path, on_alert=on_alert)
+    try:
+        await watchdog.run(duration=duration)
+    finally:
+        watchdog.close()
+        if own_client:
+            await client.close()
+    return watchdog

@@ -42,8 +42,14 @@ class LiveStalenessProbe:
         self.period = period
         #: One entry per successful poll: per-replica version lags.
         self.samples: typing.List[typing.List[int]] = []
-        #: Polls that failed (site down / timed out) and were skipped.
+        #: Polls where *no* site answered and the sample was skipped.
         self.failed_polls = 0
+        #: Polls where at least one (but not every) site answered —
+        #: the sample was kept, restricted to the reachable pairs.
+        self.partial_polls = 0
+        #: Per-site count of failed version fetches (site down or
+        #: restarting mid-sample) — the "flag" half of skip-and-flag.
+        self.site_failures: typing.Dict[int, int] = {}
         self._task: typing.Optional[asyncio.Task] = None
         placement = spec.build_placement()
         self._pairs: typing.List[typing.Tuple[str, int, int]] = []
@@ -57,18 +63,38 @@ class LiveStalenessProbe:
     # ------------------------------------------------------------------
 
     async def sample_once(self) -> typing.Optional[typing.List[int]]:
-        """Take one sample; returns the lags, or ``None`` on a failed
-        poll (recorded in ``failed_polls``)."""
+        """Take one sample; returns the lags, or ``None`` when no site
+        answered (recorded in ``failed_polls``).
+
+        Each site is polled independently: a site dying or restarting
+        mid-sample is skipped and flagged in ``site_failures`` while
+        the reachable pairs still contribute — losing one replica must
+        not blind the probe to the rest of the cluster (that is exactly
+        when staleness is interesting).
+        """
         from repro.cluster.client import ClusterError
         from repro.cluster.codec import decode_value
-        try:
-            responses = await self.client.versions_all()
-        except (ClusterError, OSError, asyncio.TimeoutError):
+        sites = sorted(self.spec.addresses())
+        results = await asyncio.gather(
+            *(self.client.versions(site) for site in sites),
+            return_exceptions=True)
+        versions: typing.Dict[int, typing.Dict[str, int]] = {}
+        failed = 0
+        for site, result in zip(sites, results):
+            if isinstance(result, (ClusterError, OSError,
+                                   asyncio.TimeoutError)):
+                self.site_failures[site] = \
+                    self.site_failures.get(site, 0) + 1
+                failed += 1
+                continue
+            if isinstance(result, BaseException):
+                raise result
+            versions[site] = decode_value(result["versions"])
+        if not versions:
             self.failed_polls += 1
             return None
-        versions: typing.Dict[int, typing.Dict[str, int]] = {}
-        for site, response in responses.items():
-            versions[site] = decode_value(response["versions"])
+        if failed:
+            self.partial_polls += 1
         lags = []
         for item, primary, replica in self._pairs:
             primary_version = versions.get(primary, {}).get(item)
@@ -131,6 +157,10 @@ class LiveStalenessProbe:
             "samples": len(self.samples),
             "observations": len(values),
             "failed_polls": self.failed_polls,
+            "partial_polls": self.partial_polls,
+            "site_failures": {"s{}".format(site): count
+                              for site, count
+                              in sorted(self.site_failures.items())},
             "mean": self.mean_version_lag(),
             "p95": percentile(values, 95.0),
             "max": self.max_version_lag(),

@@ -199,25 +199,13 @@ class Histogram:
 
     def percentile(self, pct: float) -> float:
         """Upper-bound estimate of the ``pct``-th percentile."""
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError("percentile {} outside [0, 100]".format(pct))
         with self._lock:
-            total = self._count
-            if total == 0:
-                return 0.0
-            rank = max(1, -(-total * pct // 100))  # ceil
-            seen = 0
-            for index, bucket_count in enumerate(self._counts):
-                seen += bucket_count
-                if seen >= rank:
-                    if index < len(self.edges):
-                        return self.edges[index]
-                    return self._max if self._max is not None else 0.0
-            return self._max if self._max is not None else 0.0
+            return bucket_percentile(self.edges, self._counts,
+                                     self._count, self._max, pct)
 
     def snapshot(self) -> typing.Dict[str, typing.Any]:
         with self._lock:
-            return {
+            snap = {
                 "buckets": list(self.edges),
                 "counts": list(self._counts),
                 "count": self._count,
@@ -225,6 +213,17 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
             }
+            # Pre-derived quantiles (upper-bound estimates, like
+            # :meth:`percentile`): consumers — dashboard, loadgen
+            # report, alert rules — read these instead of re-deriving
+            # from the raw buckets, which stay in the schema for
+            # anything needing a different cut.
+            for pct, key in ((50.0, "p50"), (95.0, "p95"),
+                             (99.0, "p99")):
+                snap[key] = bucket_percentile(
+                    self.edges, self._counts, self._count, self._max,
+                    pct)
+            return snap
 
 
 class MetricsRegistry:
@@ -290,16 +289,19 @@ class MetricsRegistry:
                 "histograms": histograms}
 
 
-def snapshot_percentile(snapshot: typing.Mapping[str, typing.Any],
-                        pct: float) -> float:
-    """:meth:`Histogram.percentile`, computed from a histogram's
-    *snapshot* dict — for consumers (CLI, benchmarks) that only hold
-    the wire-shipped snapshot, not the live instrument."""
+def bucket_percentile(edges: typing.Sequence[float],
+                      counts: typing.Sequence[int], total: int,
+                      maximum: typing.Optional[float],
+                      pct: float) -> float:
+    """Upper-bound ``pct``-th percentile of a fixed-bucket histogram.
+
+    The single implementation behind :meth:`Histogram.percentile`,
+    snapshot pre-derivation, and :func:`snapshot_percentile`: the edge
+    of the bucket containing the requested rank, or the exact maximum
+    for the overflow bucket.
+    """
     if not 0.0 <= pct <= 100.0:
         raise ValueError("percentile {} outside [0, 100]".format(pct))
-    counts = snapshot["counts"]
-    buckets = snapshot["buckets"]
-    total = snapshot["count"]
     if total == 0:
         return 0.0
     rank = max(1, -(-total * pct // 100))  # ceil
@@ -307,11 +309,21 @@ def snapshot_percentile(snapshot: typing.Mapping[str, typing.Any],
     for index, bucket_count in enumerate(counts):
         seen += bucket_count
         if seen >= rank:
-            if index < len(buckets):
-                return float(buckets[index])
+            if index < len(edges):
+                return float(edges[index])
             break
-    maximum = snapshot.get("max")
     return float(maximum) if maximum is not None else 0.0
+
+
+def snapshot_percentile(snapshot: typing.Mapping[str, typing.Any],
+                        pct: float) -> float:
+    """:func:`bucket_percentile` over a histogram's *snapshot* dict —
+    for consumers (CLI, benchmarks) that only hold the wire-shipped
+    snapshot, not the live instrument, and need a cut the snapshot does
+    not pre-derive (it already carries ``p50``/``p95``/``p99``)."""
+    return bucket_percentile(snapshot["buckets"], snapshot["counts"],
+                             snapshot["count"], snapshot.get("max"),
+                             pct)
 
 
 def validate_snapshot(obj: typing.Any) -> None:
@@ -353,3 +365,10 @@ def validate_snapshot(obj: typing.Any) -> None:
                 name))
         if not isinstance(value.get("sum"), (int, float)):
             fail("histogram {!r} lacks a sum".format(name))
+        for key in ("p50", "p95", "p99"):
+            # Optional for hand-built fixtures, but when present (every
+            # registry-produced snapshot) they must be numbers.
+            if key in value and not isinstance(value[key],
+                                               (int, float)):
+                fail("histogram {!r} has non-numeric {}".format(
+                    name, key))

@@ -324,6 +324,126 @@ def test_serve_flushes_trace_sink_on_sigterm(tmp_path):
     assert any(span["event"] == "committed" for span in spans)
 
 
+def test_metrics_monitor_top_args_round_trip():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["metrics", "--site", "1", "--check", "--out", "m.prom",
+         "--base-port", "7750", "--metrics-base-port", "9750"])
+    assert args.command == "metrics"
+    assert args.site == 1
+    assert args.check
+    assert args.out == "m.prom"
+    assert args.metrics_base_port == 9750
+
+    args = parser.parse_args(
+        ["monitor", "--interval", "0.2", "--duration", "3",
+         "--alerts", "alerts.jsonl", "--check", "--lag-warn", "2",
+         "--lag-slo", "8", "--stuck-deadline", "1.5",
+         "--trace-limit", "500", "--no-convergence",
+         "--json", "summary.json"])
+    assert args.command == "monitor"
+    assert args.interval == 0.2
+    assert args.duration == 3.0
+    assert args.alerts == "alerts.jsonl"
+    assert args.check
+    assert args.lag_warn == 2
+    assert args.lag_slo == 8
+    assert args.stuck_deadline == 1.5
+    assert args.trace_limit == 500
+    assert args.no_convergence
+    assert args.json == "summary.json"
+
+    args = parser.parse_args(["top", "--once", "--interval", "0.4",
+                              "--iterations", "2"])
+    assert args.command == "top"
+    assert args.once
+    assert args.interval == 0.4
+    assert args.iterations == 2
+
+    args = parser.parse_args(["loadgen", "--monitor"])
+    assert args.monitor
+
+
+def test_monitoring_commands_against_live_cluster(tmp_path):
+    """The monitoring plane end to end over real server processes:
+    `metrics --check` validates every exposition, `monitor --check`
+    exits 0 while the cluster is healthy, `top --once` renders a
+    non-TTY snapshot — then one member is killed and `monitor --check`
+    flips to a non-zero exit with a critical alert naming the dead
+    site (the acceptance scenario)."""
+    import json
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    cluster = ["--seed", "3", "--base-port", "7750", "--sites", "3",
+               "--items", "12", "--replication", "0.8"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    procs = []
+    try:
+        for site in range(3):
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--site", str(site),
+                 "--wal", str(tmp_path / "s{}.wal".format(site))]
+                + cluster, env=env, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL))
+        deadline = time.time() + 10
+        code = None
+        while time.time() < deadline:
+            code, _ = run_cli("loadgen", "--threads", "1", "--txns",
+                              "2", *cluster)
+            if code == 0:
+                break
+            time.sleep(0.25)
+        assert code == 0
+
+        code, output = run_cli("metrics", "--check", *cluster)
+        assert code == 0, output
+        assert "all 3 exposition(s) format-valid" in output
+        assert "repro_obs_enabled" in output
+
+        alerts = tmp_path / "alerts.jsonl"
+        code, output = run_cli(
+            "monitor", "--duration", "1.5", "--interval", "0.3",
+            "--check", "--alerts", str(alerts), *cluster)
+        assert code == 0, output
+        assert "0 critical" in output
+
+        code, output = run_cli("top", "--once", *cluster)
+        assert code == 0, output
+        assert "commit/s" in output
+        assert "s0" in output and "up" in output
+
+        # Kill one member abruptly; the watchdog must name it.
+        procs[2].send_signal(signal.SIGKILL)
+        procs[2].wait(timeout=10)
+        code, output = run_cli(
+            "monitor", "--duration", "2.5", "--interval", "0.3",
+            "--check", "--alerts", str(alerts), *cluster)
+        assert code == 1, output
+        assert "FAIL" in output
+        assert "[CRITICAL]" in output and "s2" in output
+
+        records = [json.loads(line)
+                   for line in alerts.read_text().splitlines()]
+        assert any(record["severity"] == "critical" and
+                   record["site"] == 2 for record in records)
+
+        code, output = run_cli("top", "--once", *cluster)
+        assert code == 0, output
+        assert "DOWN" in output
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
 def test_loadgen_no_obs_disables_telemetry(tmp_path):
     code, output = run_cli(
         "loadgen", "--spawn", "--no-obs", "--seed", "3",

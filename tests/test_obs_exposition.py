@@ -1,0 +1,274 @@
+"""Prometheus exposition: golden format, grammar, and the wire/HTTP
+serving paths.
+
+The golden test pins the exact rendered text for a representative
+snapshot (counters with per-peer folding, gauge + high-water, an
+``le``-bucket histogram with overflow) — any byte-level drift in the
+exposition format is a contract change for scrapers and must show up
+as a diff against ``tests/data/exposition_golden.txt``.
+
+The live tests cover both serving paths of the same renderer: the
+``metrics`` wire request (including the empty-but-valid exposition of
+a ``--no-obs`` member) and the optional plain-HTTP scrape endpoint.
+"""
+
+import asyncio
+import pathlib
+
+import pytest
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.server import SiteServer
+from repro.cluster.spec import ClusterSpec
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.workload.params import WorkloadParams
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / \
+    "exposition_golden.txt"
+
+#: Hand-built snapshot exercising every rendering rule: counter
+#: ``_total`` naming, per-peer name folding, gauge + high-water pair,
+#: histogram ``_bucket``/``_sum``/``_count`` with ``+Inf``, and a
+#: non-trivial bucket order (16 < 1024 numerically but not
+#: lexicographically).
+SNAPSHOT = {
+    "enabled": True,
+    "counters": {
+        "net.resent.s1": 3,
+        "net.resent.s2": 5,
+        "txn.committed": 42,
+    },
+    "gauges": {
+        "server.apply_queue": {"value": 2, "high_water": 7},
+    },
+    "histograms": {
+        "net.batch_size": {
+            "buckets": [1.0, 16.0, 1024.0],
+            "counts": [5, 2, 1, 1],
+            "count": 9,
+            "sum": 1300.0,
+            "min": 1.0,
+            "max": 2000.0,
+            "p50": 1.0,
+            "p95": 2000.0,
+            "p99": 2000.0,
+        },
+    },
+}
+
+
+def test_exposition_matches_golden_file():
+    text = render_exposition(SNAPSHOT, labels={"site": "0"})
+    assert text == GOLDEN.read_text(encoding="utf-8")
+    validate_exposition(text)
+
+
+def test_exposition_is_deterministic():
+    first = render_exposition(SNAPSHOT, labels={"site": "0"})
+    second = render_exposition(SNAPSHOT, labels={"site": "0"})
+    assert first == second
+
+
+def test_histogram_buckets_stay_in_edge_order():
+    text = render_exposition(SNAPSHOT)
+    lines = text.splitlines()
+    bucket_lines = [line for line in lines
+                    if line.startswith("repro_net_batch_size_bucket")]
+    les = [line.split('le="')[1].split('"')[0]
+           for line in bucket_lines]
+    assert les == ["1", "16", "1024", "+Inf"]
+    # Cumulative counts are monotone and +Inf equals _count.
+    values = [float(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+    assert values == sorted(values)
+    assert values[-1] == 9
+
+
+def test_counters_gain_total_and_peer_labels_fold():
+    text = render_exposition(SNAPSHOT, labels={"site": "0"})
+    assert '# TYPE repro_txn_committed_total counter' in text
+    assert 'repro_txn_committed_total{site="0"} 42' in text
+    # net.resent.s1 / .s2 fold into ONE family with a peer label.
+    assert "repro_net_resent_s1" not in text
+    assert 'repro_net_resent_total{peer="1",site="0"} 3' in text
+    assert 'repro_net_resent_total{peer="2",site="0"} 5' in text
+
+
+def test_gauges_render_value_and_high_water_families():
+    text = render_exposition(SNAPSHOT)
+    assert "# TYPE repro_server_apply_queue gauge" in text
+    assert "repro_server_apply_queue 2" in text
+    assert "# TYPE repro_server_apply_queue_high_water gauge" in text
+    assert "repro_server_apply_queue_high_water 7" in text
+
+
+def test_disabled_registry_renders_empty_but_valid():
+    snapshot = MetricsRegistry(enabled=False).snapshot()
+    text = render_exposition(snapshot, labels={"site": "2"})
+    validate_exposition(text)
+    assert 'repro_obs_enabled{site="2"} 0' in text
+    # Nothing but the canary family.
+    samples = [line for line in text.splitlines()
+               if not line.startswith("#")]
+    assert samples == ['repro_obs_enabled{site="2"} 0']
+
+
+def test_label_values_are_escaped():
+    text = render_exposition(
+        {"enabled": True, "counters": {"c": 1}},
+        labels={"tag": 'a"b\\c\nd'})
+    assert 'tag="a\\"b\\\\c\\nd"' in text
+    validate_exposition(text)
+
+
+def test_live_registry_snapshot_round_trips():
+    registry = MetricsRegistry()
+    registry.counter("txn.committed").inc(7)
+    registry.gauge("server.apply_queue").set(3)
+    hist = registry.histogram("wal.sync_s")
+    for value in (0.0001, 0.002, 0.05):
+        hist.observe(value)
+    text = render_exposition(registry.snapshot(),
+                             labels={"site": "1"})
+    validate_exposition(text)
+    assert 'repro_txn_committed_total{site="1"} 7' in text
+    assert 'repro_wal_sync_s_count{site="1"} 3' in text
+
+
+def test_validate_rejects_malformed_expositions():
+    with pytest.raises(ValueError, match="newline"):
+        validate_exposition("repro_x 1")
+    with pytest.raises(ValueError, match="TYPE"):
+        validate_exposition("repro_x 1\n")
+    with pytest.raises(ValueError, match="malformed sample"):
+        validate_exposition("# TYPE repro_x gauge\n"
+                            "repro_x{bad-label=\"1\"} 1\n")
+    with pytest.raises(ValueError, match="non-numeric"):
+        validate_exposition("# TYPE repro_x gauge\nrepro_x one\n")
+    with pytest.raises(ValueError, match="blank"):
+        validate_exposition("# TYPE repro_x gauge\n\nrepro_x 1\n")
+    with pytest.raises(ValueError, match="\\+Inf"):
+        validate_exposition(
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 4\n")
+
+
+# ----------------------------------------------------------------------
+# Serving paths: metrics wire request + HTTP scrape endpoint
+# ----------------------------------------------------------------------
+
+PARAMS = WorkloadParams(n_sites=2, n_items=6,
+                        replication_probability=0.8,
+                        threads_per_site=1, transactions_per_thread=2,
+                        deadlock_timeout=0.05)
+
+
+def test_metrics_wire_request_and_no_obs_member():
+    """An instrumented member serves a full exposition over the wire;
+    a ``--no-obs`` member serves the empty-but-valid one."""
+    obs_spec = ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                           base_port=7720, obs=True)
+    plain_spec = ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                             base_port=7720, obs=False)
+
+    async def scenario():
+        # Mixed cluster: obs on site 0, off on site 1 (per-process
+        # knob; fingerprints agree).
+        servers = [SiteServer(obs_spec, 0), SiteServer(plain_spec, 1)]
+        for server in servers:
+            await server.start()
+        client = ClusterClient(obs_spec, timeout=5.0)
+        try:
+            await client.wait_ready()
+            return (await client.metrics(0), await client.metrics(1))
+        finally:
+            await client.close()
+            for server in servers:
+                await server.stop()
+
+    instrumented, plain = asyncio.run(scenario())
+    for response in (instrumented, plain):
+        assert response["ok"]
+        assert response["content_type"] == CONTENT_TYPE
+        validate_exposition(response["exposition"])
+    assert instrumented["obs"] is True
+    assert 'repro_obs_enabled{site="0"} 1' in \
+        instrumented["exposition"]
+    assert "repro_server_frames_decoded_total" in \
+        instrumented["exposition"]
+    assert plain["obs"] is False
+    assert 'repro_obs_enabled{site="1"} 0' in plain["exposition"]
+    assert "repro_server_frames_decoded_total" not in \
+        plain["exposition"]
+
+
+def test_http_scrape_endpoint():
+    spec = ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                       base_port=7725, metrics_base_port=9725)
+
+    async def http_get(port, target, method="GET"):
+        reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                       port)
+        writer.write("{} {} HTTP/1.0\r\nHost: x\r\n\r\n".format(
+            method, target).encode("ascii"))
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), 5.0)
+        writer.close()
+        head, _, body = raw.decode("utf-8").partition("\r\n\r\n")
+        status = int(head.splitlines()[0].split(" ")[1])
+        headers = {line.split(":", 1)[0].lower():
+                   line.split(":", 1)[1].strip()
+                   for line in head.splitlines()[1:] if ":" in line}
+        return status, headers, body
+
+    async def scenario():
+        servers = [SiteServer(spec, site)
+                   for site in range(PARAMS.n_sites)]
+        for server in servers:
+            await server.start()
+        try:
+            results = {}
+            results["metrics"] = await http_get(9725, "/metrics")
+            results["root"] = await http_get(9726, "/")
+            results["missing"] = await http_get(9725, "/nope")
+            results["post"] = await http_get(9725, "/metrics",
+                                             method="POST")
+            return results
+        finally:
+            for server in servers:
+                await server.stop()
+
+    results = asyncio.run(scenario())
+    status, headers, body = results["metrics"]
+    assert status == 200
+    assert headers["content-type"] == CONTENT_TYPE
+    validate_exposition(body)
+    assert 'repro_obs_enabled{site="0"} 1' in body
+    status, _, body = results["root"]
+    assert status == 200
+    assert 'repro_obs_enabled{site="1"} 1' in body
+    assert results["missing"][0] == 404
+    assert results["post"][0] == 405
+
+
+def test_no_scrape_listener_without_metrics_base_port():
+    spec = ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                       base_port=7730)
+    assert spec.metrics_address(0) is None
+
+    async def scenario():
+        server = SiteServer(spec, 0)
+        await server.start()
+        try:
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", 7730 + 2000)
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())

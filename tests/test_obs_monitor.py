@@ -1,0 +1,403 @@
+"""Online invariant watchdog: rule units over a stub wire, live
+alerting on a real degraded cluster.
+
+The rule tests drive :class:`~repro.obs.monitor.Watchdog` through a
+stub client returning fabricated ``versions``/``stats``/``trace``/
+``status`` responses, so each alert rule (lag SLO, saturation, WAL
+regression, divergence, site-down, dedup/escalation) is checked
+deterministically.  The live tests boot a real 3-site cluster, verify
+a healthy run stays alert-free, then kill one site and assert the
+watchdog both notices the death and **localises the stuck propagation
+to the dead replica** via the trace trees — the acceptance criterion
+of the monitoring plane.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.codec import encode_value
+from repro.cluster.loadgen import generate_load
+from repro.cluster.server import SiteServer
+from repro.cluster.spec import ClusterSpec
+from repro.obs.monitor import Alert, AlertSink, MonitorConfig, Watchdog
+from repro.types import GlobalTransactionId, Operation, OpType, \
+    TransactionSpec
+from repro.workload.params import WorkloadParams
+
+PARAMS = WorkloadParams(n_sites=3, n_items=12,
+                        replication_probability=0.8,
+                        threads_per_site=2, transactions_per_thread=6,
+                        read_txn_probability=0.3,
+                        deadlock_timeout=0.05)
+
+
+def make_spec(base_port):
+    return ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                       base_port=base_port)
+
+
+class StubClient:
+    """Canned ``try_each`` responses, keyed by op."""
+
+    def __init__(self):
+        self.responses = {}
+        self.unreachable = {}
+
+    def set(self, op, by_site, unreachable=()):
+        self.responses[op] = dict(by_site)
+        self.unreachable[op] = list(unreachable)
+
+    async def try_each(self, op, **_fields):
+        return (dict(self.responses.get(op, {})),
+                list(self.unreachable.get(op, [])))
+
+
+def stub_watchdog(config=None, base_port=7735):
+    spec = make_spec(base_port)
+    client = StubClient()
+    watchdog = Watchdog(spec, client, config=config)
+    return spec, client, watchdog
+
+
+def versions_frame(site, versions):
+    return {"ok": True, "site": site,
+            "versions": encode_value(versions)}
+
+
+def uniform_versions(spec, version):
+    """Every site reports ``version`` for every item it holds."""
+    placement = spec.build_placement()
+    frames = {}
+    for site in range(spec.params.n_sites):
+        held = {item: version for item in placement.items
+                if site in placement.sites_of(item)}
+        frames[site] = versions_frame(site, held)
+    return frames
+
+
+def lagged_pair(spec, lag):
+    """Versions where one replica trails its primary by ``lag``."""
+    placement = spec.build_placement()
+    item = next(it for it in placement.items
+                if placement.replica_sites(it))
+    primary = placement.primary_site(item)
+    replica = min(placement.replica_sites(item))
+    frames = uniform_versions(spec, 10 + lag)
+    held = {it: 10 + lag for it in placement.items
+            if replica in placement.sites_of(it)}
+    held[item] = 10
+    frames[replica] = versions_frame(replica, held)
+    return frames, primary, replica, item
+
+
+# ----------------------------------------------------------------------
+# Rule units over the stub wire
+# ----------------------------------------------------------------------
+
+def test_healthy_poll_fires_nothing():
+    spec, client, watchdog = stub_watchdog(MonitorConfig(
+        trace_limit=0, convergence_every=0))
+    client.set("versions", uniform_versions(spec, 5))
+    client.set("stats", {})
+    fired = asyncio.run(watchdog.poll_once())
+    assert fired == []
+    assert watchdog.critical_count == 0
+
+
+def test_lag_slo_warns_then_escalates():
+    config = MonitorConfig(lag_warn=4, lag_critical=16,
+                           trace_limit=0, convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    frames, primary, replica, item = lagged_pair(spec, lag=6)
+    client.set("versions", frames)
+    client.set("stats", {})
+    fired = asyncio.run(watchdog.poll_once())
+    assert [alert.rule for alert in fired] == ["lag-slo"]
+    alert = fired[0]
+    assert alert.severity == "warning"
+    assert alert.site == replica
+    assert alert.evidence["max_lag"] == 6
+    assert any(pair["item"] == item and pair["primary"] == primary
+               for pair in alert.evidence["pairs"])
+
+    # Same condition again: deduplicated, not re-fired.
+    assert asyncio.run(watchdog.poll_once()) == []
+    assert len(watchdog.alerts) == 1
+    assert watchdog.alerts[("lag-slo", replica)].count == 2
+
+    # Past the SLO: the SAME alert escalates to critical (and is
+    # re-surfaced once).
+    frames, _, _, _ = lagged_pair(spec, lag=20)
+    client.set("versions", frames)
+    fired = asyncio.run(watchdog.poll_once())
+    assert [alert.severity for alert in fired] == ["critical"]
+    assert len(watchdog.alerts) == 1
+    assert watchdog.critical_count == 1
+
+
+def test_lag_judged_from_last_known_versions_of_dead_replica():
+    """A replica that stops answering is still judged — from the last
+    versions it reported — and the alert says so."""
+    config = MonitorConfig(lag_warn=4, lag_critical=16, down_polls=99,
+                           trace_limit=0, convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    frames, _primary, replica, _item = lagged_pair(spec, lag=0)
+    client.set("versions", frames)
+    client.set("stats", {})
+    assert asyncio.run(watchdog.poll_once()) == []
+
+    # The replica dies; primaries advance 20 versions past its last
+    # known state.
+    advanced = uniform_versions(spec, 30)
+    del advanced[replica]
+    client.set("versions", advanced, unreachable=[replica])
+    fired = asyncio.run(watchdog.poll_once())
+    lag_alerts = [a for a in fired if a.rule == "lag-slo"
+                  and a.site == replica]
+    assert lag_alerts and lag_alerts[0].severity == "critical"
+    assert lag_alerts[0].evidence["unreachable"] is True
+
+
+def test_site_down_needs_consecutive_misses():
+    config = MonitorConfig(down_polls=2, trace_limit=0,
+                           convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    healthy = uniform_versions(spec, 5)
+    degraded = {site: frame for site, frame in healthy.items()
+                if site != 2}
+    client.set("stats", {})
+    client.set("versions", degraded, unreachable=[2])
+    assert asyncio.run(watchdog.poll_once()) == []  # one miss: not yet
+    fired = asyncio.run(watchdog.poll_once())
+    assert [(alert.rule, alert.site) for alert in fired] == \
+        [("site-down", 2)]
+    assert fired[0].severity == "critical"
+
+    # Recovery resets the streak: no re-fire after a single new miss.
+    client.set("versions", healthy)
+    asyncio.run(watchdog.poll_once())
+    client.set("versions", degraded, unreachable=[2])
+    before = watchdog.alerts[("site-down", 2)].count
+    asyncio.run(watchdog.poll_once())
+    assert watchdog.alerts[("site-down", 2)].count == before
+
+
+def stats_frame(site, gauges=None, histograms=None):
+    return {"ok": True, "site": site,
+            "stats": {"enabled": True, "counters": {},
+                      "gauges": gauges or {},
+                      "histograms": histograms or {}}}
+
+
+def test_apply_queue_saturation_needs_a_streak():
+    config = MonitorConfig(queue_saturation=8, queue_polls=3,
+                           trace_limit=0, convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    client.set("versions", uniform_versions(spec, 5))
+    saturated = {0: stats_frame(0, gauges={
+        "server.apply_queue": {"value": 9, "high_water": 12}})}
+    client.set("stats", saturated)
+    assert asyncio.run(watchdog.poll_once()) == []
+    assert asyncio.run(watchdog.poll_once()) == []
+    fired = asyncio.run(watchdog.poll_once())
+    assert [(alert.rule, alert.site, alert.severity)
+            for alert in fired] == \
+        [("apply-queue-saturation", 0, "warning")]
+    assert fired[0].evidence["streak"] == 3
+
+
+def wal_hist(counts, edges=(0.001, 0.004, 0.064)):
+    total = sum(counts)
+    return {"buckets": list(edges), "counts": list(counts),
+            "count": total, "sum": 0.0, "min": 0.0,
+            "max": edges[-1]}
+
+
+def test_wal_sync_regression_compares_windows():
+    config = MonitorConfig(wal_regression_factor=4.0,
+                           wal_floor_s=0.002, trace_limit=0,
+                           convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    client.set("versions", uniform_versions(spec, 5))
+
+    def poll_with(counts):
+        client.set("stats", {0: stats_frame(0, histograms={
+            "wal.sync_s": wal_hist(counts)})})
+        return asyncio.run(watchdog.poll_once())
+
+    # Baseline window: all syncs under 1 ms (p95 = 0.001).
+    assert poll_with([10, 0, 0, 0]) == []          # first sight
+    assert poll_with([30, 0, 0, 0]) == []          # baseline window
+    # Fast windows keep passing.
+    assert poll_with([60, 0, 0, 0]) == []
+    # A window whose p95 lands in the 64 ms bucket: 64x the baseline.
+    fired = poll_with([60, 0, 0, 20])
+    assert [(alert.rule, alert.site) for alert in fired] == \
+        [("wal-sync-regression", 0)]
+    assert fired[0].severity == "warning"
+    assert fired[0].evidence["window_p95_s"] == pytest.approx(0.064)
+
+
+def status_frame(site, items):
+    return {"ok": True, "site": site, "items": encode_value(items)}
+
+
+def test_divergence_same_version_different_value_is_critical():
+    config = MonitorConfig(trace_limit=0, convergence_every=1)
+    spec, client, watchdog = stub_watchdog(config)
+    placement = spec.build_placement()
+    item = next(it for it in placement.items
+                if placement.replica_sites(it))
+    primary = placement.primary_site(item)
+    replica = min(placement.replica_sites(item))
+    client.set("versions", uniform_versions(spec, 5))
+    client.set("stats", {})
+    statuses = {}
+    for site in range(spec.params.n_sites):
+        held = {it: {"version": 5, "value": "v5"}
+                for it in placement.items
+                if site in placement.sites_of(it)}
+        if site == replica:
+            held[item] = {"version": 5, "value": "DIVERGED"}
+        statuses[site] = status_frame(site, held)
+    client.set("status", statuses)
+    fired = asyncio.run(watchdog.poll_once())
+    divergence = [alert for alert in fired
+                  if alert.rule == "divergence"]
+    assert len(divergence) == 1
+    assert divergence[0].severity == "critical"
+    assert divergence[0].site == replica
+    assert divergence[0].evidence["items"][0]["item"] == item
+    assert divergence[0].evidence["items"][0]["primary"] == primary
+
+
+def test_alert_sink_writes_first_fire_and_escalation_only(tmp_path):
+    sink_path = tmp_path / "alerts.jsonl"
+    config = MonitorConfig(lag_warn=4, lag_critical=16,
+                           trace_limit=0, convergence_every=0)
+    spec = make_spec(7735)
+    client = StubClient()
+    watchdog = Watchdog(spec, client, config=config,
+                        sink_path=str(sink_path))
+    frames, _primary, replica, _item = lagged_pair(spec, lag=6)
+    client.set("versions", frames)
+    client.set("stats", {})
+    asyncio.run(watchdog.poll_once())   # fires (warning)
+    asyncio.run(watchdog.poll_once())   # dedup: no record
+    frames, _, _, _ = lagged_pair(spec, lag=20)
+    client.set("versions", frames)
+    asyncio.run(watchdog.poll_once())   # escalation: record
+    asyncio.run(watchdog.poll_once())   # dedup again
+    watchdog.close()
+    records = [json.loads(line)
+               for line in sink_path.read_text().splitlines()]
+    assert [record["severity"] for record in records] == \
+        ["warning", "critical"]
+    assert all(record["rule"] == "lag-slo" and
+               record["site"] == replica for record in records)
+    assert all("t" in record and "evidence" in record
+               for record in records)
+
+
+def test_alert_json_round_trip():
+    alert = Alert(rule="lag-slo", severity="critical", site=1,
+                  message="m", evidence={"max_lag": 20},
+                  first_seen=1.0, last_seen=2.0, count=3)
+    encoded = json.loads(json.dumps(alert.to_json()))
+    assert encoded["rule"] == "lag-slo"
+    assert encoded["count"] == 3
+    assert alert.format().startswith("[CRITICAL] lag-slo s1:")
+    assert AlertSink(None).emit(alert) is None  # no-op without a path
+
+
+# ----------------------------------------------------------------------
+# Live cluster: healthy run clean, killed site localised
+# ----------------------------------------------------------------------
+
+async def start_cluster(spec):
+    servers = {}
+    for site in range(spec.params.n_sites):
+        servers[site] = SiteServer(spec, site)
+        await servers[site].start()
+    client = ClusterClient(spec, timeout=2.0, retries=1)
+    await client.wait_ready()
+    return servers, client
+
+
+def test_live_healthy_run_is_alert_free():
+    spec = make_spec(7740)
+
+    async def scenario():
+        servers, client = await start_cluster(spec)
+        watchdog = Watchdog(spec, client, config=MonitorConfig(
+            interval=0.1, stuck_deadline=3.0))
+        try:
+            task = asyncio.get_running_loop().create_task(
+                watchdog.run())
+            report = await generate_load(spec, client, verify=True)
+            await asyncio.sleep(0.3)
+            watchdog.request_stop()
+            await task
+            return report, watchdog.summary()
+        finally:
+            watchdog.close()
+            await client.close()
+            for server in servers.values():
+                await server.stop()
+
+    report, summary = asyncio.run(scenario())
+    assert report.convergent and report.serializable
+    assert summary["polls"] > 0
+    assert summary["critical"] == 0, summary["by_rule"]
+
+
+def test_live_killed_site_localised_by_stuck_propagation():
+    """The acceptance scenario: one member dies, new updates commit at
+    the survivors, and the watchdog names the dead replica — both as
+    unreachable and as the missing hop of the stuck trace trees."""
+    spec = make_spec(7745)
+    placement = spec.build_placement()
+    victim = 2
+    item = next(it for it in placement.items
+                if placement.primary_site(it) == 0
+                and victim in placement.replica_sites(it))
+
+    async def scenario():
+        servers, client = await start_cluster(spec)
+        try:
+            servers[victim].kill()
+            watchdog = Watchdog(spec, client, config=MonitorConfig(
+                interval=0.1, stuck_deadline=0.8, down_polls=2))
+            # Commit a replicated write at a survivor AFTER the kill:
+            # its propagation to the victim can never complete.
+            outcome = await client.run_transaction(TransactionSpec(
+                gid=GlobalTransactionId(0, 9001), origin=0,
+                operations=(Operation(OpType.WRITE, item),)))
+            assert outcome["status"] == "committed"
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                await watchdog.poll_once()
+                if ("stuck-propagation", victim) in watchdog.alerts:
+                    break
+                await asyncio.sleep(0.1)
+            return watchdog
+        finally:
+            await client.close()
+            for site, server in servers.items():
+                if site != victim:
+                    await server.stop()
+
+    watchdog = asyncio.run(scenario())
+    assert ("site-down", victim) in watchdog.alerts
+    stuck = watchdog.alerts.get(("stuck-propagation", victim))
+    assert stuck is not None, watchdog.summary()["by_rule"]
+    assert stuck.severity == "critical"
+    assert "s{}".format(victim) in stuck.message
+    assert [0, victim] in stuck.evidence["hops"]
+    assert stuck.evidence["traces"]
+    assert stuck.evidence["oldest_age_s"] > 0.8
+    assert watchdog.critical_count >= 2

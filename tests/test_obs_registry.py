@@ -202,3 +202,54 @@ def test_null_instrument_is_inert_and_falsy():
     assert NULL.value == 0
     assert NULL.count == 0
     assert NULL.high_water == 0.0
+
+
+# ----------------------------------------------------------------------
+# Pre-derived percentiles
+# ----------------------------------------------------------------------
+
+def test_histogram_snapshot_pre_derives_percentiles():
+    """Snapshots ship p50/p95/p99 alongside the raw buckets, so wire
+    consumers (dashboard, watchdog, CLI) need no re-derivation — and
+    the pre-derived cuts must agree with recomputing from the raw
+    buckets that are still present."""
+    hist = Histogram("lat", buckets=(0.001, 0.004, 0.016, 0.064))
+    for value in [0.0005] * 50 + [0.002] * 45 + [0.05] * 4 + [0.25]:
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["p50"] == 0.001   # rank 50 closes the <=1 ms bucket
+    assert snap["p95"] == 0.004
+    assert snap["p99"] == 0.064
+    for pct, key in ((50.0, "p50"), (95.0, "p95"), (99.0, "p99")):
+        assert snapshot_percentile(snap, pct) == snap[key]
+    # Raw buckets are still the source of truth for windowed deltas.
+    assert snap["buckets"] == [0.001, 0.004, 0.016, 0.064]
+    assert sum(snap["counts"]) == snap["count"] == 100
+    validate_snapshot({"enabled": True, "counters": {}, "gauges": {},
+                       "histograms": {"lat": snap}})
+
+
+def test_empty_histogram_percentiles_are_zero():
+    snap = Histogram("lat").snapshot()
+    assert snap["p50"] == snap["p95"] == snap["p99"] == 0.0
+
+
+def test_overflow_bucket_percentile_reports_exact_maximum():
+    hist = Histogram("lat", buckets=(1.0,))
+    hist.observe(123.5)
+    snap = hist.snapshot()
+    assert snap["p95"] == 123.5   # overflow: the observed max, not inf
+    assert snapshot_percentile(snap, 100.0) == 123.5
+
+
+def test_bucket_percentile_edge_cases():
+    from repro.obs.registry import bucket_percentile
+
+    # Empty histogram and out-of-range pct.
+    assert bucket_percentile([1.0], [0, 0], 0, None, 95.0) == 0.0
+    with pytest.raises(ValueError):
+        bucket_percentile([1.0], [1, 0], 1, None, 101.0)
+    # pct=0 still needs rank >= 1 (the smallest observation's bucket).
+    assert bucket_percentile([1.0, 2.0], [0, 3, 0], 3, None, 0.0) == 2.0
+    # Overflow bucket without a recorded maximum degrades to 0.
+    assert bucket_percentile([1.0], [0, 5], 5, None, 99.0) == 0.0

@@ -1,0 +1,50 @@
+"""Chaos harness: seeded fault schedules against the live cluster.
+
+The simulator's explorer (:mod:`repro.explorer`) perturbs *virtual*
+schedules; this package perturbs the *real* asyncio/TCP cluster — link
+delay/jitter/drop at the transport seam, site kill/restart through the
+server lifecycle, WAL/journal corruption between restarts — from a
+seeded, serializable :class:`~repro.chaos.plan.FaultPlan`, then judges
+the run with the same offline oracles plus the live watchdog.  Failing
+scripts shrink to minimal replayable JSON artifacts with the explorer's
+``ddmin``; a Runner/Worker sweep fans a protocol × copy-graph × fault
+matrix out to parallel processes.  See ``docs/CHAOS.md``.
+"""
+
+from repro.chaos.controller import (
+    REGRESSIONS,
+    ChaosRunReport,
+    ChaosScenario,
+    run_chaos,
+)
+from repro.chaos.plan import (
+    PROFILES,
+    CorruptFault,
+    FaultPlan,
+    FaultVerdict,
+    KillFault,
+    LinkFault,
+    LinkFaultInjector,
+    profile_plan,
+)
+from repro.chaos.shrinker import shrink_scenario
+from repro.chaos.sweep import ChaosSweepReport, SweepCell, run_sweep
+
+__all__ = [
+    "ChaosRunReport",
+    "ChaosScenario",
+    "ChaosSweepReport",
+    "CorruptFault",
+    "FaultPlan",
+    "FaultVerdict",
+    "KillFault",
+    "LinkFault",
+    "LinkFaultInjector",
+    "PROFILES",
+    "REGRESSIONS",
+    "SweepCell",
+    "profile_plan",
+    "run_chaos",
+    "run_sweep",
+    "shrink_scenario",
+]

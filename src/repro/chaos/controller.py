@@ -1,0 +1,533 @@
+"""The chaos controller: script -> workload -> oracle verdict.
+
+One :func:`run_chaos` call boots the scenario's cluster in-process
+(every site a :class:`~repro.cluster.server.SiteServer` sharing one
+event loop, exactly the ``loadgen --spawn`` shape), arms the fault
+plan — a shared :class:`~repro.chaos.plan.LinkFaultInjector` on every
+transport, one asyncio task per ``kill`` event driving the crash /
+corrupt / restart lifecycle — and drives the spec's matched workload
+through a :class:`~repro.cluster.client.ClusterClient` while a light
+watchdog rides along.  After the schedule completes and the cluster
+quiesces, the verdict runs the offline oracles (replica convergence,
+DSG acyclicity) plus a fresh post-run watchdog whose polls must be
+critical-free.
+
+Tolerance policy: faults within the paper's model (delays, jitter,
+drops repaired by resend — everything the reliable-FIFO assumption of
+Sec. 1.1 absorbs) must leave the run clean *including* zero during-run
+monitor criticals.  Kill/corrupt events and injected regressions are
+out-of-model: their during-run alerts (site-down while a site is down)
+are reported, not charged, and the verdict rests on the oracles and
+the post-run polls.
+
+Protocol regressions (``REGRESSIONS``) are injected from the outside —
+the controller neuters one durability barrier on the target site, the
+server code itself stays honest:
+
+``forward-before-wal``
+    The target's WAL appender never reaches stable storage, so commit
+    responses and forwarded updates leave ahead of their commit
+    records — the exact promise :meth:`SiteServer._sync_wal` exists to
+    keep.  A kill then drops everything the site ever promised; its
+    replicas keep the forwarded updates, recovery cannot restore the
+    primaries, and the convergence oracle flags the divergence.
+    Catch-up cannot mask it (replicas pull *from* the primary).
+``ack-before-journal``
+    The target's inbox journal never reaches stable storage, so
+    inbound batches are acked — and retired by their senders — while
+    the journal holds the only durable copy.  The loss window is
+    updates acked but not yet applied+WAL-synced at the kill, so
+    detection wants ``catchup_on_start=False`` and anti-entropy off
+    (otherwise the pull plane repairs the gap, which is the point of
+    having it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import time
+import typing
+
+from repro.chaos.plan import FaultPlan, KillFault, LinkFaultInjector
+from repro.cluster.client import ClusterClient, ClusterError
+from repro.cluster.codec import decode_value
+from repro.cluster.loadgen import history_from_status, wait_quiescent
+from repro.cluster.server import SiteServer
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.wal import CorruptLogError
+from repro.harness.convergence import divergent_copies
+from repro.harness.serializability import (
+    build_serialization_graph,
+    find_dsg_cycle,
+)
+from repro.obs.monitor import MonitorConfig, Watchdog
+from repro.sim.rng import RngRegistry
+from repro.workload.generator import TransactionGenerator
+
+#: Protocol regressions the controller can inject (see module docs).
+REGRESSIONS = ("forward-before-wal", "ack-before-journal")
+
+
+@dataclasses.dataclass
+class ChaosScenario:
+    """Everything one chaos run needs: cluster + script + switches."""
+
+    spec: ClusterSpec
+    plan: FaultPlan = dataclasses.field(default_factory=FaultPlan)
+    #: Injected protocol regression (``None`` = honest servers).
+    regression: typing.Optional[str] = None
+    #: Which site the regression neuters (default: the first kill's
+    #: victim, else site 0).
+    regression_site: typing.Optional[int] = None
+    #: Start-time catch-up pull.  Off when studying regressions that
+    #: the anti-entropy plane would repair.
+    catchup_on_start: bool = True
+    #: Periodic anti-entropy interval, seconds (0 disables).
+    anti_entropy_interval: float = 0.5
+    name: str = ""
+
+    def validate(self) -> "ChaosScenario":
+        self.spec.validate()
+        self.plan.validate(self.spec.params.n_sites)
+        if self.regression is not None and \
+                self.regression not in REGRESSIONS:
+            raise ValueError(
+                "unknown regression {!r} (known: {})".format(
+                    self.regression, ", ".join(REGRESSIONS)))
+        return self
+
+    @property
+    def target_site(self) -> int:
+        """The regression's victim site."""
+        if self.regression_site is not None:
+            return self.regression_site
+        kills = self.plan.kill_events()
+        return kills[0].site if kills else 0
+
+    @property
+    def out_of_model(self) -> bool:
+        """True when the scenario exceeds the paper's fault tolerance
+        (crashes, corruption or an injected regression) — during-run
+        monitor criticals are then expected, not charged."""
+        return bool(self.plan.kill_events() or
+                    self.plan.corrupt_events() or
+                    self.regression is not None)
+
+    def replaced(self, **changes) -> "ChaosScenario":
+        return dataclasses.replace(self, **changes)
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "version": 1,
+            "name": self.name,
+            "spec": self.spec.to_json(),
+            "plan": self.plan.to_json(),
+            "regression": self.regression,
+            "regression_site": self.regression_site,
+            "catchup_on_start": self.catchup_on_start,
+            "anti_entropy_interval": self.anti_entropy_interval,
+        }
+
+    @classmethod
+    def from_json(cls, obj: typing.Mapping[str, typing.Any]
+                  ) -> "ChaosScenario":
+        return cls(
+            spec=ClusterSpec.from_json(obj["spec"]),
+            plan=FaultPlan.from_json(obj.get("plan", {})),
+            regression=obj.get("regression"),
+            regression_site=obj.get("regression_site"),
+            catchup_on_start=bool(obj.get("catchup_on_start", True)),
+            anti_entropy_interval=float(
+                obj.get("anti_entropy_interval", 0.5)),
+            name=obj.get("name", ""),
+        ).validate()
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ChaosScenario":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+
+@dataclasses.dataclass
+class ChaosRunReport:
+    """Verdict of one chaos run."""
+
+    scenario: typing.Dict[str, typing.Any]
+    ok: bool = True
+    #: Human-readable oracle/verdict violations (empty on a clean run).
+    violations: typing.List[str] = dataclasses.field(
+        default_factory=list)
+    duration: float = 0.0
+    committed: int = 0
+    aborted: int = 0
+    unknown: int = 0
+    convergent: bool = True
+    divergent: int = 0
+    serializable: bool = True
+    dsg_nodes: int = 0
+    #: Site kills executed: ``{"site", "at", "down_for"}`` each.
+    kills: typing.List[typing.Dict[str, typing.Any]] = \
+        dataclasses.field(default_factory=list)
+    #: Corruption events applied and how each was caught
+    #: (``via`` = ``"error"`` | ``"torn-repair"`` | ``"silent"``).
+    corruption: typing.List[typing.Dict[str, typing.Any]] = \
+        dataclasses.field(default_factory=list)
+    #: During-run watchdog summary (kills make these expected).
+    alerts_during: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+    #: Post-quiesce watchdog summary (criticals here always fail).
+    alerts_post: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+    #: The injector's canonical (sorted) injection log.
+    injections: typing.List[typing.Dict[str, typing.Any]] = \
+        dataclasses.field(default_factory=list)
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def format(self) -> str:
+        lines = [
+            "chaos run: {} ({:.2f} s) — {}".format(
+                self.scenario.get("name") or "unnamed", self.duration,
+                "OK" if self.ok else "FAIL"),
+            "workload: {} committed, {} aborted, {} unknown".format(
+                self.committed, self.aborted, self.unknown),
+            "oracles: convergent={} serializable={} ({} DSG "
+            "nodes)".format(
+                "yes" if self.convergent else
+                "NO ({} divergent)".format(self.divergent),
+                "yes" if self.serializable else "NO", self.dsg_nodes),
+            "faults: {} injection decision(s), {} kill(s), {} "
+            "corruption(s)".format(
+                len(self.injections), len(self.kills),
+                len(self.corruption)),
+        ]
+        if self.alerts_during:
+            lines.append("monitor during run: {} critical, {} warning "
+                         "over {} poll(s)".format(
+                             self.alerts_during.get("critical", 0),
+                             self.alerts_during.get("warning", 0),
+                             self.alerts_during.get("polls", 0)))
+        if self.alerts_post:
+            lines.append("monitor post-quiesce: {} critical, {} "
+                         "warning over {} poll(s)".format(
+                             self.alerts_post.get("critical", 0),
+                             self.alerts_post.get("warning", 0),
+                             self.alerts_post.get("polls", 0)))
+        for violation in self.violations:
+            lines.append("VIOLATION: " + violation)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Corruption plumbing
+# ----------------------------------------------------------------------
+
+def _corrupt_path(scenario: ChaosScenario, wal_dir: str,
+                  site: int, target: str) -> str:
+    base = os.path.join(wal_dir, "site{}.wal".format(site))
+    return base if target == "wal" else base + ".inbox"
+
+
+def _apply_corruption(event, path: str,
+                      pristine: typing.Dict[str, bytes]) -> bool:
+    """Damage ``path`` per ``event``; returns False when the file is
+    missing/empty (nothing to damage).  The pristine bytes are kept so
+    a detected bit flip can be healed and the run completed."""
+    if not os.path.exists(path):
+        return False
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data:
+        return False
+    pristine[path] = data
+    if event.mode == "bitflip":
+        offset = event.offset if event.offset >= 0 \
+            else len(data) + event.offset
+        offset = max(0, min(len(data) - 1, offset))
+        damaged = bytearray(data)
+        damaged[offset] ^= (1 << event.bit)
+        with open(path, "wb") as handle:
+            handle.write(bytes(damaged))
+        return True
+    # Torn tail: cut strictly inside the final record, simulating an
+    # OS crash that tore the last page mid-line.  Reload must repair
+    # to the last complete record boundary, never error.
+    boundary = data.rfind(b"\n", 0, len(data) - 1) + 1
+    cut = len(data) + event.offset if event.offset < 0 else event.offset
+    cut = max(boundary + 1, min(len(data) - 1, cut))
+    if cut >= len(data):
+        return False
+    os.truncate(path, cut)
+    return True
+
+
+def _inject_regression(server: SiteServer,
+                       regression: typing.Optional[str]) -> None:
+    """Neuter one durability barrier on ``server`` (the server code
+    itself stays honest — the regression lives in the harness)."""
+    if regression == "forward-before-wal" and server.wal is not None:
+        server.wal._out.sync = lambda: 0
+    elif regression == "ack-before-journal" and \
+            server.journal is not None:
+        server.journal._out.sync = lambda: 0
+
+
+# ----------------------------------------------------------------------
+# The controller
+# ----------------------------------------------------------------------
+
+async def _start_site(scenario: ChaosScenario, wal_dir: str, site: int,
+                      injector: LinkFaultInjector) -> SiteServer:
+    server = SiteServer(
+        scenario.spec, site,
+        wal_path=os.path.join(wal_dir, "site{}.wal".format(site)),
+        anti_entropy_interval=scenario.anti_entropy_interval,
+        faults=injector,
+        catchup_on_start=scenario.catchup_on_start)
+    try:
+        await server.start()
+    except BaseException:
+        server.kill()
+        raise
+    return server
+
+
+async def _site_schedule(scenario: ChaosScenario, wal_dir: str,
+                         kill: KillFault,
+                         servers: typing.Dict[int, SiteServer],
+                         injector: LinkFaultInjector,
+                         report: ChaosRunReport) -> None:
+    """One kill event's lifecycle: crash, corrupt, restart, verify the
+    corruption was not silently accepted."""
+    await asyncio.sleep(kill.at)
+    servers[kill.site].kill()
+    report.kills.append({"site": kill.site, "at": kill.at,
+                         "down_for": kill.down_for})
+    pristine: typing.Dict[str, bytes] = {}
+    applied = []
+    for event in scenario.plan.corrupt_events(kill.site):
+        path = _corrupt_path(scenario, wal_dir, kill.site, event.target)
+        if _apply_corruption(event, path, pristine):
+            applied.append((event, path))
+    await asyncio.sleep(kill.down_for)
+
+    detected_error: typing.Optional[str] = None
+    try:
+        replacement = await _start_site(scenario, wal_dir, kill.site,
+                                        injector)
+    except CorruptLogError as exc:
+        detected_error = str(exc)
+        # Heal the damage and restart for real so the run completes
+        # (the detection itself is the result being tested).
+        for path, data in pristine.items():
+            with open(path, "wb") as handle:
+                handle.write(data)
+        replacement = await _start_site(scenario, wal_dir, kill.site,
+                                        injector)
+    servers[kill.site] = replacement
+
+    for event, path in applied:
+        record = dict(event.to_json(), via="silent")
+        if event.mode == "bitflip":
+            if detected_error is not None:
+                record["via"] = "error"
+                record["detail"] = detected_error
+            else:
+                torn = (replacement.wal.torn_tail
+                        if event.target == "wal"
+                        else replacement.journal.torn_tail)
+                if torn:
+                    record["via"] = "torn-repair"
+                else:
+                    report.violations.append(
+                        "silent-corruption: s{} restarted over a "
+                        "flipped bit in its {} without error or "
+                        "repair".format(kill.site, event.target))
+        else:  # torn
+            if detected_error is not None:
+                report.violations.append(
+                    "unrepaired-torn-tail: s{} raised on a torn {} "
+                    "tail instead of repairing it: {}".format(
+                        kill.site, event.target, detected_error))
+                record["via"] = "error"
+            else:
+                record["via"] = "torn-repair"
+        report.corruption.append(record)
+
+
+async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
+                     quiesce_timeout: float, txn_timeout: float,
+                     monitor: bool,
+                     monitor_config: typing.Optional[MonitorConfig]
+                     ) -> ChaosRunReport:
+    spec = scenario.spec
+    injector = LinkFaultInjector(scenario.plan)
+    report = ChaosRunReport(scenario=scenario.to_json())
+    servers: typing.Dict[int, SiteServer] = {}
+    client: typing.Optional[ClusterClient] = None
+    watchdog: typing.Optional[Watchdog] = None
+    watchdog_task: typing.Optional[asyncio.Task] = None
+    started = time.monotonic()
+    try:
+        for site in range(spec.params.n_sites):
+            servers[site] = await _start_site(scenario, wal_dir, site,
+                                              injector)
+        if scenario.regression is not None:
+            _inject_regression(servers[scenario.target_site],
+                               scenario.regression)
+        client = ClusterClient(spec, timeout=txn_timeout)
+        await client.wait_ready()
+        if monitor and spec.obs:
+            config = monitor_config if monitor_config is not None \
+                else MonitorConfig(interval=0.25, convergence_every=0,
+                                   trace_limit=0)
+            watchdog = Watchdog(spec, client, config=config)
+            watchdog_task = asyncio.get_running_loop().create_task(
+                watchdog.run())
+
+        schedule = [
+            asyncio.get_running_loop().create_task(
+                _site_schedule(scenario, wal_dir, kill, servers,
+                               injector, report))
+            for kill in scenario.plan.kill_events()]
+
+        generator = TransactionGenerator(
+            spec.params, spec.build_placement(),
+            RngRegistry(spec.seed).stream("workload"))
+
+        async def worker(site: int, thread: int) -> None:
+            for txn_spec in generator.thread_stream(site, thread):
+                outcome = await client.run_transaction(txn_spec)
+                status = outcome["status"]
+                if status == "committed":
+                    report.committed += 1
+                elif status == "aborted":
+                    report.aborted += 1
+                else:
+                    report.unknown += 1
+
+        await asyncio.gather(*(
+            worker(site, thread)
+            for site in range(spec.params.n_sites)
+            for thread in range(spec.params.threads_per_site)))
+        for task in schedule:
+            await task
+
+        if watchdog is not None:
+            watchdog.request_stop()
+            await watchdog_task
+            watchdog_task = None
+            summary = watchdog.summary()
+            report.alerts_during = summary
+            if summary["critical"] and not scenario.out_of_model:
+                report.violations.append(
+                    "monitor-critical: {} critical alert(s) in a "
+                    "within-tolerance run ({})".format(
+                        summary["critical"],
+                        ", ".join(sorted(summary["by_rule"]))))
+
+        try:
+            statuses = await wait_quiescent(client,
+                                            timeout=quiesce_timeout)
+        except (TimeoutError, ClusterError, OSError) as exc:
+            report.violations.append(
+                "quiesce: cluster did not settle: {}".format(exc))
+            statuses = {}
+
+        if statuses:
+            state = {site: decode_value(status["items"])
+                     for site, status in statuses.items()}
+            problems = divergent_copies(spec.build_placement(), state)
+            report.convergent = not problems
+            report.divergent = len(problems)
+            if problems:
+                report.violations.append(
+                    "convergence: {} divergent cop{} (e.g. {})".format(
+                        len(problems),
+                        "y" if len(problems) == 1 else "ies",
+                        problems[0]))
+            histories = [history_from_status(status)
+                         for status in statuses.values()]
+            graph = build_serialization_graph(histories)
+            report.dsg_nodes = len(graph)
+            cycle = find_dsg_cycle(graph)
+            report.serializable = cycle is None
+            if cycle is not None:
+                report.violations.append(
+                    "serializability: DSG cycle {}".format(
+                        " -> ".join(str(gid) for gid in cycle)))
+
+        # Post-quiesce polls from a fresh watchdog: every site must be
+        # up and answering, replicas current, no divergence — even for
+        # crash scenarios, this is the "recovered" assertion.
+        if monitor and spec.obs and statuses:
+            post = Watchdog(spec, client, config=MonitorConfig(
+                interval=0.1, convergence_every=1, trace_limit=0,
+                down_polls=1))
+            for _ in range(2):
+                await post.poll_once()
+            post.close()
+            report.alerts_post = post.summary()
+            if report.alerts_post["critical"]:
+                report.violations.append(
+                    "post-monitor-critical: {} critical alert(s) "
+                    "after quiesce ({})".format(
+                        report.alerts_post["critical"],
+                        ", ".join(sorted(
+                            report.alerts_post["by_rule"]))))
+    finally:
+        if watchdog is not None:
+            watchdog.request_stop()
+            if watchdog_task is not None:
+                try:
+                    await watchdog_task
+                except Exception:
+                    pass
+            watchdog.close()
+        if client is not None:
+            await client.close()
+        for server in servers.values():
+            try:
+                await server.stop()
+            except Exception:
+                pass
+
+    report.duration = time.monotonic() - started
+    report.injections = injector.sorted_log()
+    report.ok = not report.violations
+    return report
+
+
+def run_chaos(scenario: ChaosScenario, wal_dir: str,
+              quiesce_timeout: float = 30.0, txn_timeout: float = 30.0,
+              monitor: bool = True,
+              monitor_config: typing.Optional[MonitorConfig] = None
+              ) -> ChaosRunReport:
+    """Execute one chaos scenario end to end (synchronous entry point).
+
+    ``wal_dir`` must be a fresh directory per run — the WALs are both
+    the crash-recovery substrate and the corruption target.
+    ``monitor_config`` overrides the during-run watchdog config (e.g.
+    to turn on stuck-propagation localisation via ``trace_limit``).
+    """
+    scenario.validate()
+    os.makedirs(wal_dir, exist_ok=True)
+    return asyncio.run(_run_chaos(scenario, wal_dir,
+                                  quiesce_timeout=quiesce_timeout,
+                                  txn_timeout=txn_timeout,
+                                  monitor=monitor,
+                                  monitor_config=monitor_config))

@@ -1,0 +1,241 @@
+"""Parallel chaos sweep: a protocol × seed × fault-profile matrix.
+
+The sweep is the chaos harness's breadth axis: where one
+:func:`~repro.chaos.controller.run_chaos` call answers "does *this*
+script break *this* cluster", the sweep answers "does any cell of the
+matrix" — every propagation protocol, over copy graphs drawn from
+different workload seeds (seeds select the placement, hence DAG vs
+back-edge shape), under every fault profile.
+
+Runner/Worker shape: the runner enumerates cells, gives each a
+disjoint TCP port range and WAL directory, and fans them out to
+``parallel`` worker *processes* (a live cluster is an asyncio loop +
+real sockets — processes, not threads, are the isolation unit).
+Workers post one JSON verdict each onto a shared queue; the runner
+aggregates them into a :class:`ChaosSweepReport`.  Workers are spawned
+(not forked) so each child owns a pristine interpreter with no
+inherited event-loop state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import typing
+
+from repro.chaos.controller import ChaosScenario, run_chaos
+from repro.chaos.plan import PROFILES, profile_plan
+from repro.cluster.spec import ClusterSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One matrix cell: a protocol on a seed under a fault profile."""
+
+    protocol: str
+    seed: int
+    profile: str
+
+    @property
+    def key(self) -> str:
+        return "{}/seed{}/{}".format(self.protocol, self.seed,
+                                     self.profile)
+
+
+def _cell_scenario(cell: SweepCell, template: ClusterSpec,
+                   base_port: int, port_stride: int, index: int,
+                   fault_seed: int) -> ChaosScenario:
+    spec = dataclasses.replace(
+        template, protocol=cell.protocol, seed=cell.seed,
+        base_port=base_port + index * port_stride)
+    plan = profile_plan(cell.profile, seed=fault_seed,
+                        n_sites=spec.params.n_sites)
+    return ChaosScenario(spec=spec, plan=plan, name=cell.key)
+
+
+def _worker_main(payload_json: str, results) -> None:
+    """Run one cell in its own process; post a single verdict."""
+    from repro.errors import ConfigurationError
+
+    payload = json.loads(payload_json)
+    key = payload["key"]
+    try:
+        scenario = ChaosScenario.from_json(payload["scenario"])
+        report = run_chaos(
+            scenario, payload["wal_dir"],
+            quiesce_timeout=payload["quiesce_timeout"],
+            txn_timeout=payload["txn_timeout"],
+            monitor=payload["monitor"])
+        results.put({"key": key, "report": report.to_json()})
+    except ConfigurationError as exc:
+        # A structurally impossible cell (e.g. DAG(WT) over a seed
+        # whose copy graph has back edges) is skipped, not failed —
+        # the matrix is allowed to be rectangular.
+        results.put({"key": key, "skipped": str(exc)})
+    except BaseException as exc:  # the verdict must always arrive
+        results.put({"key": key, "error": "{}: {}".format(
+            type(exc).__name__, exc)})
+
+
+@dataclasses.dataclass
+class ChaosSweepReport:
+    """Aggregated verdict of a sweep."""
+
+    #: ``key -> {"cell", "ok", "violations", ...}`` per matrix cell.
+    cells: typing.Dict[str, typing.Dict[str, typing.Any]] = \
+        dataclasses.field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        judged = [cell for cell in self.cells.values()
+                  if not cell.get("skipped")]
+        return bool(judged) and all(cell.get("ok") for cell in judged)
+
+    @property
+    def failed(self) -> typing.List[str]:
+        return sorted(key for key, cell in self.cells.items()
+                      if not cell.get("ok") and not cell.get("skipped"))
+
+    def to_json(self) -> typing.Dict[str, typing.Any]:
+        return {"version": 1, "ok": self.ok, "cells": self.cells}
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def format(self) -> str:
+        lines = ["chaos sweep: {}/{} cell(s) OK".format(
+            sum(1 for cell in self.cells.values() if cell.get("ok")),
+            len(self.cells))]
+        for key in sorted(self.cells):
+            cell = self.cells[key]
+            if cell.get("skipped"):
+                verdict = "skipped: {}".format(cell["skipped"])
+            elif cell.get("error"):
+                verdict = "ERROR: {}".format(cell["error"])
+            elif cell.get("ok"):
+                verdict = "ok ({} committed, {:.2f} s)".format(
+                    cell.get("committed", 0),
+                    cell.get("duration", 0.0))
+            else:
+                verdict = "FAIL: " + "; ".join(
+                    cell.get("violations", ["?"]))
+            lines.append("  {:<32} {}".format(key, verdict))
+        return "\n".join(lines)
+
+
+def run_sweep(template: ClusterSpec,
+              protocols: typing.Sequence[str],
+              seeds: typing.Sequence[int],
+              profiles: typing.Sequence[str],
+              wal_root: str,
+              parallel: int = 2,
+              base_port: typing.Optional[int] = None,
+              port_stride: typing.Optional[int] = None,
+              fault_seed: int = 0,
+              quiesce_timeout: float = 30.0,
+              txn_timeout: float = 30.0,
+              monitor: bool = True,
+              cell_timeout: float = 180.0,
+              log: typing.Optional[
+                  typing.Callable[[str], None]] = None
+              ) -> ChaosSweepReport:
+    """Fan the matrix out to ``parallel`` worker processes.
+
+    ``template`` supplies everything the matrix does not vary
+    (workload params, durability, batch, host).  Each cell gets
+    ``base_port + index * port_stride`` so concurrent clusters never
+    share a socket, and its own WAL directory under ``wal_root``.
+    """
+    for profile in profiles:
+        if profile not in PROFILES:
+            raise ValueError("unknown fault profile {!r} (known: {})"
+                             .format(profile,
+                                     ", ".join(sorted(PROFILES))))
+    cells = [SweepCell(protocol, seed, profile)
+             for protocol in protocols
+             for seed in seeds
+             for profile in profiles]
+    if not cells:
+        raise ValueError("empty sweep matrix")
+    if base_port is None:
+        base_port = template.base_port
+    if port_stride is None:
+        port_stride = template.params.n_sites + 2
+
+    os.makedirs(wal_root, exist_ok=True)
+    context = multiprocessing.get_context("spawn")
+    results: typing.Any = context.Queue()
+    report = ChaosSweepReport()
+    pending = list(enumerate(cells))
+    active: typing.Dict[str, typing.Any] = {}
+
+    def launch(index: int, cell: SweepCell) -> None:
+        scenario = _cell_scenario(cell, template, base_port,
+                                  port_stride, index, fault_seed)
+        payload = json.dumps({
+            "key": cell.key,
+            "scenario": scenario.to_json(),
+            "wal_dir": os.path.join(
+                wal_root, cell.key.replace("/", "_")),
+            "quiesce_timeout": quiesce_timeout,
+            "txn_timeout": txn_timeout,
+            "monitor": monitor,
+        })
+        process = context.Process(target=_worker_main,
+                                  args=(payload, results))
+        process.start()
+        active[cell.key] = process
+        if log is not None:
+            log("sweep: started {} (pid {})".format(
+                cell.key, process.pid))
+
+    while pending or active:
+        while pending and len(active) < max(1, parallel):
+            index, cell = pending.pop(0)
+            launch(index, cell)
+        try:
+            message = results.get(timeout=cell_timeout)
+        except queue_module.Empty:
+            for key, process in active.items():
+                process.terminate()
+                report.cells[key] = {
+                    "cell": key, "ok": False,
+                    "error": "timed out after {:.0f} s".format(
+                        cell_timeout)}
+            for process in active.values():
+                process.join()
+            active.clear()
+            continue
+        key = message["key"]
+        process = active.pop(key)
+        process.join()
+        if "skipped" in message:
+            report.cells[key] = {"cell": key, "ok": False,
+                                 "skipped": message["skipped"]}
+        elif "error" in message:
+            report.cells[key] = {"cell": key, "ok": False,
+                                 "error": message["error"]}
+        else:
+            body = message["report"]
+            report.cells[key] = {
+                "cell": key,
+                "ok": body["ok"],
+                "violations": body["violations"],
+                "committed": body["committed"],
+                "aborted": body["aborted"],
+                "unknown": body["unknown"],
+                "duration": body["duration"],
+                "kills": len(body["kills"]),
+                "injections": len(body["injections"]),
+            }
+        if log is not None:
+            cell = report.cells[key]
+            log("sweep: finished {} -> {}".format(
+                key, "skipped" if cell.get("skipped")
+                else "ok" if cell["ok"] else "FAIL"))
+    return report

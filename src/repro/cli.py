@@ -74,6 +74,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import typing
 
@@ -375,6 +376,123 @@ def build_parser() -> argparse.ArgumentParser:
                                  "propagation-delay panel (0 disables "
                                  "it)")
     _add_param_flags(top_parser)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos", help="run one seeded fault script against an "
+                      "in-process live cluster and judge it with the "
+                      "offline oracles (see docs/CHAOS.md)")
+    _add_cluster_flags(chaos_parser)
+    source = chaos_parser.add_mutually_exclusive_group()
+    source.add_argument("--fault-profile", default="jitter",
+                        metavar="NAME",
+                        help="named fault profile (calm, jitter, "
+                             "lossy, crash, torn-journal, bitflip-wal)")
+    source.add_argument("--script", metavar="PATH", default=None,
+                        help="load the fault plan from a JSON script")
+    source.add_argument("--scenario", metavar="PATH", default=None,
+                        help="load a complete scenario JSON (spec + "
+                             "plan + regression switches); other "
+                             "cluster flags are ignored")
+    chaos_parser.add_argument("--fault-seed", type=int, default=0,
+                              help="seed of the fault plan's "
+                                   "probability rolls")
+    chaos_parser.add_argument("--wal-dir", default=None, metavar="DIR",
+                              help="WAL directory (default: a fresh "
+                                   "temporary directory)")
+    chaos_parser.add_argument("--regression", default=None,
+                              choices=("forward-before-wal",
+                                       "ack-before-journal"),
+                              help="inject a protocol regression on "
+                                   "the target site (the oracles must "
+                                   "catch it)")
+    chaos_parser.add_argument("--regression-site", type=int,
+                              default=None, metavar="SITE",
+                              help="site the regression neuters "
+                                   "(default: the first kill's victim)")
+    chaos_parser.add_argument("--no-catchup", action="store_true",
+                              help="disable the start-time catch-up "
+                                   "pull")
+    chaos_parser.add_argument("--anti-entropy", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="periodic anti-entropy interval "
+                                   "(0 disables)")
+    chaos_parser.add_argument("--quiesce-timeout", type=float,
+                              default=30.0, metavar="SECONDS")
+    chaos_parser.add_argument("--no-monitor", action="store_true",
+                              help="skip the during-run and post-run "
+                                   "watchdog passes")
+    chaos_parser.add_argument("--shrink", action="store_true",
+                              help="on failure, ddmin the fault events "
+                                   "to a minimal still-failing script")
+    chaos_parser.add_argument("--max-shrunk-events", type=int,
+                              default=None, metavar="N",
+                              help="with --shrink: also fail unless "
+                                   "the minimal script has at most N "
+                                   "events")
+    chaos_parser.add_argument("--expect-fail", action="store_true",
+                              help="invert the exit code: succeed only "
+                                   "if the oracles flag the run (for "
+                                   "known-bad fixtures)")
+    chaos_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="write the run report as JSON")
+    chaos_parser.add_argument("--save-script", metavar="PATH",
+                              default=None,
+                              help="save the executed (or, after "
+                                   "--shrink, the minimal) scenario as "
+                                   "a replayable JSON artifact")
+    chaos_parser.add_argument("--injection-log", metavar="PATH",
+                              default=None,
+                              help="write the canonical injection log "
+                                   "as JSON (replay equality evidence)")
+    _add_param_flags(chaos_parser)
+
+    chaos_sweep_parser = subparsers.add_parser(
+        "chaos-sweep", help="fan a protocol x seed x fault-profile "
+                            "matrix out to parallel worker processes")
+    chaos_sweep_parser.add_argument("--protocols",
+                                    default="dag_wt,backedge",
+                                    help="comma-separated live "
+                                         "protocols")
+    chaos_sweep_parser.add_argument("--seeds", default="3,5",
+                                    help="comma-separated workload "
+                                         "seeds (each selects a copy "
+                                         "graph)")
+    chaos_sweep_parser.add_argument("--profiles", default="calm,jitter",
+                                    help="comma-separated fault "
+                                         "profiles")
+    chaos_sweep_parser.add_argument("--parallel", type=int, default=2,
+                                    help="concurrent worker processes")
+    chaos_sweep_parser.add_argument("--host", default="127.0.0.1")
+    chaos_sweep_parser.add_argument("--base-port", type=int,
+                                    default=7900,
+                                    help="cell i uses base-port + i * "
+                                         "port-stride")
+    chaos_sweep_parser.add_argument("--port-stride", type=int,
+                                    default=None,
+                                    help="ports reserved per cell "
+                                         "(default: n_sites + 2)")
+    chaos_sweep_parser.add_argument("--durability",
+                                    choices=("none", "flush", "fsync"),
+                                    default="flush")
+    chaos_sweep_parser.add_argument("--batch", type=int, default=1)
+    chaos_sweep_parser.add_argument("--fault-seed", type=int, default=0)
+    chaos_sweep_parser.add_argument("--wal-root", default=None,
+                                    metavar="DIR",
+                                    help="root directory for per-cell "
+                                         "WALs (default: a fresh "
+                                         "temporary directory)")
+    chaos_sweep_parser.add_argument("--quiesce-timeout", type=float,
+                                    default=30.0, metavar="SECONDS")
+    chaos_sweep_parser.add_argument("--cell-timeout", type=float,
+                                    default=180.0, metavar="SECONDS",
+                                    help="wall-clock budget per cell "
+                                         "before it is terminated")
+    chaos_sweep_parser.add_argument("--no-monitor", action="store_true")
+    chaos_sweep_parser.add_argument("--out", metavar="PATH",
+                                    default=None,
+                                    help="write the sweep report as "
+                                         "JSON")
+    _add_param_flags(chaos_sweep_parser)
 
     return parser
 
@@ -857,6 +975,109 @@ def _cmd_top(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import json
+    import tempfile
+
+    from repro.chaos import (ChaosScenario, FaultPlan, profile_plan,
+                             run_chaos, shrink_scenario)
+
+    if args.scenario is not None:
+        scenario = ChaosScenario.load(args.scenario)
+    else:
+        spec = _cluster_spec_from_args(args)
+        if args.script is not None:
+            plan = FaultPlan.load(args.script)
+        else:
+            plan = profile_plan(args.fault_profile, seed=args.fault_seed,
+                                n_sites=spec.params.n_sites)
+        scenario = ChaosScenario(
+            spec=spec, plan=plan, regression=args.regression,
+            regression_site=args.regression_site,
+            catchup_on_start=not args.no_catchup,
+            anti_entropy_interval=args.anti_entropy,
+            name=(args.fault_profile if args.script is None
+                  else args.script))
+    scenario.validate()
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        wal_dir = args.wal_dir or os.path.join(scratch, "wal")
+        report = run_chaos(scenario, wal_dir,
+                           quiesce_timeout=args.quiesce_timeout,
+                           monitor=not args.no_monitor)
+        out.write(report.format() + "\n")
+
+        final_scenario = scenario
+        if args.shrink and not report.ok:
+            out.write("shrinking {} fault event(s)...\n".format(
+                len(scenario.plan.events)))
+            final_scenario, report = shrink_scenario(
+                scenario, os.path.join(scratch, "shrink"),
+                quiesce_timeout=args.quiesce_timeout,
+                monitor=not args.no_monitor,
+                log=lambda line: out.write(line + "\n"))
+            out.write("minimal script: {} event(s)\n".format(
+                len(final_scenario.plan.events)))
+            for event in final_scenario.plan.events:
+                out.write("  {}\n".format(
+                    json.dumps(event.to_json(), sort_keys=True)))
+
+    if args.out:
+        report.save(args.out)
+    if args.save_script:
+        final_scenario.save(args.save_script)
+    if args.injection_log:
+        with open(args.injection_log, "w", encoding="utf-8") as handle:
+            json.dump(report.injections, handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+
+    if args.expect_fail:
+        if report.ok:
+            out.write("expected a failing run, but the oracles were "
+                      "green\n")
+            return 1
+        if args.shrink and args.max_shrunk_events is not None and \
+                len(final_scenario.plan.events) > args.max_shrunk_events:
+            out.write("minimal script has {} events "
+                      "(allowed: {})\n".format(
+                          len(final_scenario.plan.events),
+                          args.max_shrunk_events))
+            return 1
+        return 0
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace,
+                     out: typing.TextIO) -> int:
+    import tempfile
+
+    from repro.chaos import run_sweep
+    from repro.cluster.spec import ClusterSpec
+
+    template = ClusterSpec(params=_params_from_args(args),
+                           host=args.host, base_port=args.base_port,
+                           durability=args.durability, batch=args.batch)
+    protocols = [token for token in args.protocols.split(",") if token]
+    seeds = [int(token) for token in args.seeds.split(",") if token]
+    profiles = [token for token in args.profiles.split(",") if token]
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        report = run_sweep(
+            template, protocols, seeds, profiles,
+            wal_root=args.wal_root or os.path.join(scratch, "wal"),
+            parallel=args.parallel, base_port=args.base_port,
+            port_stride=args.port_stride, fault_seed=args.fault_seed,
+            quiesce_timeout=args.quiesce_timeout,
+            monitor=not args.no_monitor,
+            cell_timeout=args.cell_timeout,
+            log=lambda line: out.write(line + "\n"))
+    out.write(report.format() + "\n")
+    if args.out:
+        report.save(args.out)
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace, out: typing.TextIO) -> int:
     from repro.obs.reconstruct import (format_tree, propagation_summary,
                                        reconstruct)
@@ -948,6 +1169,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "metrics": _cmd_metrics,
         "monitor": _cmd_monitor,
         "top": _cmd_top,
+        "chaos": _cmd_chaos,
+        "chaos-sweep": _cmd_chaos_sweep,
     }
     return handlers[args.command](args, out)
 

@@ -30,10 +30,18 @@ The server, not the protocol, handles the cluster control plane:
   is stable), and the journal is synced before a batch's cumulative
   ack (journal-then-ack, per batch instead of per message);
 - ``CATCHUP_REQUEST``/``CATCHUP_REPLY`` — anti-entropy pulls: on start
-  after WAL recovery, and periodically, each site asks the primary site
-  of every item it replicates for the update tail it may have missed
-  (crash windows, messages lost with a dead process).  Applied tails
-  replay the primary's commit order, so serializability is preserved;
+  after WAL recovery, and periodically, each site asks for the update
+  tail of every item it replicates (crash windows, messages lost with a
+  dead process).  Requests go to the site's *propagation-tree parent*
+  whenever the parent holds a copy: the reply then travels the same
+  FIFO channel as regular secondaries and is a consistent cut of the
+  parent's commit order, so it can never deliver an update ahead of
+  tree order — pulling straight from an item's primary can (the reply
+  bypasses the intermediate sites' commit ordering, which is what makes
+  lazy tree propagation serializable; the chaos harness's jitter
+  profiles catch exactly that inversion).  Only items the parent does
+  not hold fall back to a direct primary pull, and each reply applies
+  all-or-nothing so a partially locked item never splits the cut;
 - delivery dedup — at-least-once transport resends and catch-up overlap
   are filtered via the transport sequence numbers and the writer-lineage
   check before a ``SECONDARY`` reaches the protocol queue;
@@ -78,6 +86,7 @@ from repro.sim.environment import Environment
 from repro.storage.log import LogRecordKind, recover
 from repro.types import (
     GlobalTransactionId,
+    ItemId,
     Operation,
     OpType,
     SiteId,
@@ -131,7 +140,9 @@ class SiteServer:
 
     def __init__(self, spec: ClusterSpec, site_id: SiteId,
                  wal_path: typing.Optional[str] = None,
-                 anti_entropy_interval: float = 2.0):
+                 anti_entropy_interval: float = 2.0,
+                 faults: typing.Optional[typing.Any] = None,
+                 catchup_on_start: bool = True):
         spec.validate()
         if spec.protocol not in LIVE_PROTOCOLS:
             raise ValueError(
@@ -142,6 +153,14 @@ class SiteServer:
         self.site_id = site_id
         self.wal_path = wal_path
         self.anti_entropy_interval = anti_entropy_interval
+        #: Per-process chaos fault injector, handed to the transport
+        #: (see :mod:`repro.cluster.transport`).  Like batching and
+        #: durability, deliberately outside the cluster fingerprint.
+        self.faults = faults
+        #: Whether to pull the catch-up tail at startup.  The chaos
+        #: harness turns this off to study protocol regressions that
+        #: anti-entropy would otherwise silently repair.
+        self.catchup_on_start = bool(catchup_on_start)
         self.placement = spec.build_placement()
         self.committed = 0
         self.aborted = 0
@@ -200,7 +219,8 @@ class SiteServer:
             max_batch=self.spec.batch,
             sync_hook=self._sync_wal,
             metrics=self.metrics if self.spec.obs else None,
-            trace_sink=self.trace)
+            trace_sink=self.trace,
+            faults=self.faults)
         self.system = ReplicatedSystem(
             self.env, self.placement, live_system_config(self.spec),
             transport=self.transport, local_sites=[self.site_id])
@@ -258,7 +278,8 @@ class SiteServer:
         if scrape is not None:
             self._http_server = await asyncio.start_server(
                 self._on_http_connection, scrape[0], scrape[1])
-        self._request_catchup()
+        if self.catchup_on_start:
+            self._request_catchup()
         if self.anti_entropy_interval > 0:
             self._anti_entropy_task = self._loop.create_task(
                 self._anti_entropy_loop())
@@ -573,17 +594,32 @@ class SiteServer:
     # Catch-up / anti-entropy
     # ------------------------------------------------------------------
 
+    def _catchup_source(self, item: ItemId) -> SiteId:
+        """Which site to pull ``item``'s tail from.
+
+        The tree parent when it holds a copy — its reply rides the same
+        FIFO channel as tree secondaries and reflects a prefix of the
+        stream we consume anyway, so applying it cannot reorder updates.
+        Only when the parent merely forwards the item (no local copy) do
+        we fall back to the primary."""
+        tree = getattr(self.system.protocol, "tree", None)
+        if tree is not None:
+            parent = tree.parent.get(self.site_id)
+            if parent is not None and \
+                    parent in self.placement.sites_of(item):
+                return parent
+        return self.placement.primary_site(item)
+
     def _request_catchup(self) -> None:
-        """Ask each primary for the update tail of our replica items."""
+        """Ask upstream for the update tail of our replica items."""
         engine = self.system.site_of(self.site_id).engine
-        by_primary: typing.Dict[SiteId, typing.Dict] = {}
+        by_source: typing.Dict[SiteId, typing.Dict] = {}
         for item in sorted(self.placement.replica_items_at(self.site_id)):
-            primary = self.placement.primary_site(item)
-            by_primary.setdefault(primary, {})[item] = \
+            by_source.setdefault(self._catchup_source(item), {})[item] = \
                 engine.item(item).committed_version
-        for primary, items in sorted(by_primary.items()):
+        for source, items in sorted(by_source.items()):
             self.transport.send(MessageType.CATCHUP_REQUEST,
-                                self.site_id, primary, items=items)
+                                self.site_id, source, items=items)
 
     async def _anti_entropy_loop(self) -> None:
         while not self._closed:
@@ -624,15 +660,20 @@ class SiteServer:
         engine = self.system.site_of(self.site_id).engine
         locks = engine.locks
         busy = {request.item for request in locks.waiting_requests()}
-        for item, entry in message.payload["items"].items():
-            if not engine.has_item(item):
-                continue
-            # Catch-up bypasses the lock manager, so it must not touch an
-            # item an in-flight subtransaction holds or awaits a lock on —
-            # that subtransaction (or the next anti-entropy round) covers
-            # the gap, and racing it could double-apply a version.
-            if item in busy or locks.holders(item):
-                continue
+        entries = {item: entry
+                   for item, entry in message.payload["items"].items()
+                   if engine.has_item(item)}
+        # Catch-up bypasses the lock manager, so it must not touch an
+        # item an in-flight subtransaction holds or awaits a lock on —
+        # that subtransaction (or the next anti-entropy round) covers
+        # the gap, and racing it could double-apply a version.  The
+        # check is all-or-nothing: the reply is a consistent cut of the
+        # sender's commit order, and applying only part of it would
+        # reorder its updates relative to each other.
+        if any(item in busy or locks.holders(item)
+               for item in entries):
+            return
+        for item, entry in entries.items():
             record = engine.item(item)
             if not self._catchup_tail_aligned(record, entry):
                 continue

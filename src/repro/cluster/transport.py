@@ -39,6 +39,20 @@ site that is down accumulates its updates at the senders (exactly the
 paper's lazy-propagation queueing assumption).  Client-side admission is
 bounded instead (:class:`~repro.cluster.client.ClusterClient`'s
 in-flight semaphore).
+
+Fault seam (``faults``, used by :mod:`repro.chaos`): an optional
+injector consulted once per outbound frame, *before* its bytes are
+written.  It may delay the frame (head-of-line in the single sender
+task, so within-channel FIFO is preserved by construction), drop it
+(the connection is severed before the write — the frame is "lost in
+transit" and the normal reconnect/resend machinery repairs the stream),
+or lose its ack (the connection is severed after the write — the
+receiver got the frame, the sender resends it, and the receiver-side
+dedup drops the duplicate).  The injector never touches frame contents,
+so an injector that decides "no fault" leaves the wire byte-identical
+to running without one.  The hook is per-process and deliberately
+outside the cluster fingerprint, like the batching and durability
+knobs.
 """
 
 from __future__ import annotations
@@ -143,6 +157,24 @@ class _Channel:
                 count = min(len(self.unsent),
                             max(1, self.transport.max_batch))
                 entries = list(itertools.islice(self.unsent, count))
+                # Chaos seam: one decision per frame attempt, keyed by
+                # the frame's first sequence number so a replay with
+                # the same seed injects the same faults.
+                faults = self.transport.faults
+                verdict = None
+                if faults is not None:
+                    verdict = faults.on_frame(self.transport.site_id,
+                                              self.dst, entries[0][0],
+                                              count)
+                if verdict is not None:
+                    if verdict.delay > 0.0:
+                        await asyncio.sleep(verdict.delay)
+                    if verdict.drop:
+                        # Lost in transit: sever before the write.  The
+                        # entries stay unsent; the reconnect path
+                        # resends them with the same sequence numbers.
+                        writer = await self._drop_connection(writer)
+                        continue
                 sync_hook = self.transport.sync_hook
                 if sync_hook is not None:
                     # Durability barrier: whatever these messages imply
@@ -177,6 +209,11 @@ class _Channel:
                 for _ in range(count):
                     self.unacked.append(self.unsent.popleft())
                 self.transport._note_frame(self.dst, entries)
+                if verdict is not None and verdict.ack_loss:
+                    # The frame arrived but its ack is "lost": sever
+                    # after the write.  The unacked tail is requeued
+                    # and resent; the receiver's dedup drops the copy.
+                    writer = await self._drop_connection(writer)
         finally:
             if writer is not None:
                 await self._drop_connection(writer)
@@ -253,7 +290,8 @@ class LiveTransport:
                  sync_hook: typing.Optional[
                      typing.Callable[[], typing.Any]] = None,
                  metrics: typing.Optional[MetricsRegistry] = None,
-                 trace_sink: typing.Optional[typing.Any] = None):
+                 trace_sink: typing.Optional[typing.Any] = None,
+                 faults: typing.Optional[typing.Any] = None):
         self.site_id = site_id
         self.peers = dict(peers)
         self.n_sites = max(peers, default=site_id) + 1
@@ -265,6 +303,11 @@ class LiveTransport:
         #: so no message can leave ahead of the commit record it
         #: advertises.
         self.sync_hook = sync_hook
+        #: Chaos fault injector (duck-typed, see the module docstring):
+        #: ``on_frame(src, dst, first_seq, count)`` returning ``None``
+        #: (no fault) or an object with ``delay``/``drop``/``ack_loss``.
+        #: ``None`` — the default — costs one attribute read per frame.
+        self.faults = faults
         #: Distinguishes this process from earlier incarnations of the
         #: same site, so receiver-side dedup tables reset correctly.
         self.incarnation = uuid.uuid4().hex

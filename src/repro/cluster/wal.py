@@ -42,6 +42,13 @@ unterminated tail is dropped and truncated away (it was never promised
 — the sync that wrote it did not complete, so no response or ack went
 out for it).  A malformed line *before* the tail cannot be produced by
 a torn write and raises :class:`CorruptLogError`.
+
+Every record carries a CRC32 (field ``"c"``) over its canonical JSON
+serialization, verified on reload.  A torn tail is in-model crash
+damage and repairs silently; a terminated line whose checksum is
+missing or wrong is out-of-model damage (bit rot, a corrupting
+middlebox, an operator accident) and raises :class:`CorruptLogError` —
+a flipped bit can never be silently accepted as a valid record.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ import json
 import os
 import time
 import typing
+import zlib
 
 from repro.cluster.codec import decode_value, encode_value
 from repro.storage.log import LogRecord, LogRecordKind, WriteAheadLog
@@ -62,6 +70,21 @@ DURABILITY_LEVELS = ("none", "flush", "fsync")
 
 class CorruptLogError(ValueError):
     """A malformed record somewhere other than a torn tail."""
+
+
+def record_checksum(obj: typing.Mapping[str, typing.Any]) -> int:
+    """CRC32 of a record's canonical serialization (sans ``"c"``)."""
+    material = json.dumps(
+        {key: value for key, value in obj.items() if key != "c"},
+        sort_keys=True)
+    return zlib.crc32(material.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _checksummed_line(obj: typing.Mapping[str, typing.Any]) -> str:
+    """One JSONL line carrying the record plus its CRC32."""
+    body = dict(obj)
+    body["c"] = record_checksum(obj)
+    return json.dumps(body, sort_keys=True) + "\n"
 
 
 def _load_jsonl(path: str) -> typing.Tuple[
@@ -96,6 +119,16 @@ def _load_jsonl(path: str) -> typing.Tuple[
                 raise CorruptLogError(
                     "{}: record at byte {} is not an object".format(
                         path, offset))
+            if "c" not in obj:
+                raise CorruptLogError(
+                    "{}: record at byte {} has no checksum".format(
+                        path, offset))
+            stored = obj.pop("c")
+            if stored != record_checksum(obj):
+                raise CorruptLogError(
+                    "{}: record at byte {} fails its checksum "
+                    "(stored {!r}, computed {})".format(
+                        path, offset, stored, record_checksum(obj)))
             objects.append(obj)
         offset = end + 1
     if torn:
@@ -300,8 +333,7 @@ class FileWal(WriteAheadLog):
 
     def append(self, kind: LogRecordKind, **fields) -> LogRecord:
         record = super().append(kind, **fields)
-        self._out.push(json.dumps(_record_to_json(record),
-                                  sort_keys=True) + "\n")
+        self._out.push(_checksummed_line(_record_to_json(record)))
         return record
 
     def sync(self) -> int:
@@ -380,7 +412,7 @@ class MessageJournal:
                msg: typing.Mapping[str, typing.Any]) -> None:
         entry = {"src": src, "inc": incarnation, "seq": seq,
                  "msg": dict(msg)}
-        self._out.push(json.dumps(entry, sort_keys=True) + "\n")
+        self._out.push(_checksummed_line(entry))
         self.entries.append(entry)
 
     def sync(self) -> int:

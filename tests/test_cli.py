@@ -454,3 +454,103 @@ def test_loadgen_no_obs_disables_telemetry(tmp_path):
     assert "propagation:" not in output
     assert "replica lag:" not in output
     assert list(tmp_path.glob("*.trace")) == []
+
+
+def test_chaos_args_round_trip():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["chaos", "--protocol", "dag_wt", "--seed", "3",
+         "--base-port", "7700", "--fault-profile", "crash",
+         "--fault-seed", "9", "--regression", "forward-before-wal",
+         "--regression-site", "1", "--anti-entropy", "0.2",
+         "--quiesce-timeout", "12", "--shrink",
+         "--max-shrunk-events", "3", "--expect-fail",
+         "--out", "report.json", "--save-script", "script.json",
+         "--injection-log", "inj.json", "--sites", "3"])
+    assert args.command == "chaos"
+    assert args.fault_profile == "crash"
+    assert args.fault_seed == 9
+    assert args.regression == "forward-before-wal"
+    assert args.regression_site == 1
+    assert args.anti_entropy == 0.2
+    assert args.quiesce_timeout == 12.0
+    assert args.shrink and args.expect_fail
+    assert args.max_shrunk_events == 3
+    assert args.out == "report.json"
+    assert args.save_script == "script.json"
+    assert args.injection_log == "inj.json"
+
+    args = parser.parse_args(
+        ["chaos", "--scenario", "bad.json", "--no-monitor",
+         "--no-catchup"])
+    assert args.scenario == "bad.json"
+    assert args.no_monitor and args.no_catchup
+
+    # A profile and a scenario file are mutually exclusive sources.
+    # (argparse only flags the conflict for non-default values.)
+    with pytest.raises(SystemExit):
+        parser.parse_args(["chaos", "--fault-profile", "crash",
+                           "--scenario", "bad.json"])
+
+
+def test_chaos_sweep_args_round_trip():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["chaos-sweep", "--protocols", "dag_wt,backedge",
+         "--seeds", "3,5", "--profiles", "calm,jitter",
+         "--parallel", "4", "--base-port", "7900",
+         "--port-stride", "8", "--fault-seed", "2",
+         "--cell-timeout", "90", "--out", "sweep.json"])
+    assert args.command == "chaos-sweep"
+    assert args.protocols == "dag_wt,backedge"
+    assert args.seeds == "3,5"
+    assert args.profiles == "calm,jitter"
+    assert args.parallel == 4
+    assert args.port_stride == 8
+    assert args.fault_seed == 2
+    assert args.cell_timeout == 90.0
+    assert args.out == "sweep.json"
+
+
+def test_chaos_cli_jitter_run_green(tmp_path):
+    """A healthy seeded jitter run through the CLI: exit 0, green
+    report artifact, replayable script, canonical injection log."""
+    import json
+
+    report_path = tmp_path / "report.json"
+    script_path = tmp_path / "script.json"
+    log_path = tmp_path / "injections.json"
+    code, output = run_cli(
+        "chaos", "--protocol", "dag_wt", "--seed", "3",
+        "--base-port", "7700", "--fault-profile", "jitter",
+        "--wal-dir", str(tmp_path / "wal"),
+        "--sites", "3", "--items", "12", "--replication", "0.8",
+        "--threads", "2", "--txns", "6", "--read-txn", "0.3",
+        "--out", str(report_path), "--save-script", str(script_path),
+        "--injection-log", str(log_path))
+    assert code == 0, output
+    assert "OK" in output or "ok" in output
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is True
+    assert report["committed"] > 0
+    assert json.loads(log_path.read_text())  # jitter hit the wire
+
+    from repro.chaos.controller import ChaosScenario
+    saved = ChaosScenario.load(str(script_path))
+    assert saved.spec.protocol == "dag_wt"
+    assert saved.plan.link_events()
+
+
+def test_chaos_cli_known_bad_fixture_expect_fail(tmp_path):
+    """The committed known-bad fixture must trip the oracles, which
+    with --expect-fail is the *passing* outcome (exit 0)."""
+    code, output = run_cli(
+        "chaos", "--scenario", "tests/data/chaos_known_bad.json",
+        "--wal-dir", str(tmp_path / "wal"),
+        "--out", str(tmp_path / "report.json"))
+    assert code == 1, output  # straight run: the regression is caught
+
+    code, output = run_cli(
+        "chaos", "--scenario", "tests/data/chaos_known_bad.json",
+        "--wal-dir", str(tmp_path / "wal2"), "--expect-fail")
+    assert code == 0, output

@@ -287,3 +287,124 @@ def test_wal_sync_coalesces_interleaved_transactions(tmp_path):
                      LogRecordKind.WRITE, LogRecordKind.COMMIT,
                      LogRecordKind.WRITE, LogRecordKind.COMMIT]
     assert json.loads(path.read_text().splitlines()[0])  # real JSONL
+
+
+# ----------------------------------------------------------------------
+# Corruption matrix: flipped bits must never be silently accepted
+# ----------------------------------------------------------------------
+
+def _reload_verdict(path):
+    """Reload a damaged WAL; returns ``("error", exc)`` or
+    ``("loaded", wal)``."""
+    try:
+        return "loaded", FileWal(path)
+    except CorruptLogError as exc:
+        return "error", exc
+
+
+def test_bit_flip_at_every_byte_of_final_record_is_never_silent(
+        tmp_path):
+    """Flip single bits at every byte of the final record: reload must
+    either raise :class:`CorruptLogError` (the checksum catches it) or
+    repair a torn tail (the flip destroyed the line framing) — it must
+    never hand back the full record count with a silently altered
+    record."""
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    append_n(wal, 6)
+    wal.close()
+    data = path.read_bytes()
+    last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+
+    for offset in range(last_start, len(data)):
+        for bit in (0, 3, 7):
+            damaged = bytearray(data)
+            damaged[offset] ^= 1 << bit
+            victim = tmp_path / "flip.wal"
+            victim.write_bytes(bytes(damaged))
+            verdict, result = _reload_verdict(victim)
+            if verdict == "loaded":
+                # Only acceptable if the reader treated the flipped
+                # tail as torn: final record dropped and repaired,
+                # never parsed as valid.
+                assert result.torn_tail, \
+                    "flip at byte {} bit {} was silently " \
+                    "accepted".format(offset, bit)
+                assert result.recovered_records == 5
+                result.close()
+            victim.unlink()
+
+
+def test_bit_flip_in_interior_record_raises(tmp_path):
+    """A flip in a fully-terminated interior record can never look like
+    a torn tail — it must raise."""
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    append_n(wal, 6)
+    wal.close()
+    data = path.read_bytes()
+    second_record_at = data.index(b"\n") + 1
+
+    for bit in (0, 4):
+        damaged = bytearray(data)
+        # Flip inside the stored checksum value of record 2 ("c" sorts
+        # first in the canonical encoding, so byte +6 is inside it).
+        damaged[second_record_at + 6] ^= 1 << bit
+        victim = tmp_path / "flip.wal"
+        victim.write_bytes(bytes(damaged))
+        with pytest.raises(CorruptLogError):
+            FileWal(victim)
+        victim.unlink()
+
+
+def test_journal_bit_flip_at_every_byte_of_final_entry(tmp_path):
+    """Same contract for the inbox journal."""
+    path = tmp_path / "site0.inbox"
+    journal = MessageJournal(path, group_commit=True)
+    for seq in range(1, 5):
+        journal.append(1, "inc-a", seq, encode_message(
+            Message(MessageType.SECONDARY, src=1, dst=0,
+                    payload={"gid": "T1.%d" % seq})))
+    journal.sync()
+    journal.close()
+    data = path.read_bytes()
+    last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+
+    for offset in range(last_start, len(data)):
+        damaged = bytearray(data)
+        damaged[offset] ^= 1 << 2
+        victim = tmp_path / "flip.inbox"
+        victim.write_bytes(bytes(damaged))
+        try:
+            reloaded = MessageJournal(victim)
+        except CorruptLogError:
+            pass
+        else:
+            assert reloaded.torn_tail, \
+                "journal flip at byte {} silently accepted".format(
+                    offset)
+            assert len(reloaded.entries) == 3
+        victim.unlink()
+
+
+def test_checksummed_lines_round_trip_and_detect_missing_field(
+        tmp_path):
+    """Every line carries ``"c"``; a record without one (hand-edited or
+    pre-checksum file) is corruption, not a quiet default."""
+    from repro.cluster.wal import record_checksum
+
+    path = tmp_path / "site0.wal"
+    wal = FileWal(path, group_commit=True)
+    append_n(wal, 2)
+    wal.close()
+    lines = path.read_text().splitlines()
+    for line in lines:
+        obj = json.loads(line)
+        stored = obj.pop("c")
+        assert stored == record_checksum(obj)
+
+    stripped = json.loads(lines[0])
+    del stripped["c"]
+    path.write_bytes(json.dumps(stripped).encode() + b"\n")
+    with pytest.raises(CorruptLogError):
+        FileWal(path)

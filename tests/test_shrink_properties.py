@@ -1,0 +1,105 @@
+"""Property tests for the ddmin shrinker.
+
+``ddmin`` is the engine behind both the explorer's schedule shrinking
+and the chaos harness's fault-script shrinking, so its contract gets
+checked directly: the result is 1-minimal, the search is deterministic
+for a fixed failing predicate, and the empty candidate — the cheapest
+probe and the easiest to accidentally re-test on every granularity
+round — is tried at most once.
+"""
+
+from __future__ import annotations
+
+import hypothesis
+import hypothesis.strategies as st
+
+from repro.explorer.shrink import ddmin
+
+
+class CountingTest:
+    """Wrap a predicate, recording every candidate it is asked about."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+        self.calls = []
+
+    def __call__(self, candidate):
+        self.calls.append(tuple(candidate))
+        return self.predicate(candidate)
+
+
+def required_subset_test(required):
+    """The canonical shrink target: fails iff all of ``required``
+    survive in the candidate."""
+    required = set(required)
+    return lambda candidate: required.issubset(set(candidate))
+
+
+@hypothesis.given(
+    n=st.integers(min_value=1, max_value=24),
+    data=st.data(),
+)
+@hypothesis.settings(deadline=None, max_examples=80)
+def test_ddmin_finds_exactly_the_required_subset(n, data):
+    items = list(range(n))
+    required = data.draw(st.sets(st.sampled_from(items), min_size=1))
+    result = ddmin(items, required_subset_test(required))
+    assert set(result) == required
+    # ddmin preserves the original relative order of survivors.
+    assert result == [item for item in items if item in required]
+
+
+@hypothesis.given(
+    n=st.integers(min_value=1, max_value=24),
+    data=st.data(),
+)
+@hypothesis.settings(deadline=None, max_examples=80)
+def test_ddmin_result_is_1_minimal(n, data):
+    items = list(range(n))
+    required = data.draw(st.sets(st.sampled_from(items), min_size=1))
+    test = required_subset_test(required)
+    result = ddmin(items, test)
+    assert test(result)
+    for index in range(len(result)):
+        smaller = result[:index] + result[index + 1:]
+        assert not test(smaller), \
+            "dropping {} still fails: not 1-minimal".format(
+                result[index])
+
+
+@hypothesis.given(
+    n=st.integers(min_value=0, max_value=30),
+    data=st.data(),
+)
+@hypothesis.settings(deadline=None, max_examples=80)
+def test_ddmin_is_deterministic(n, data):
+    items = list(range(n))
+    required = data.draw(st.sets(st.sampled_from(items))
+                         if items else st.just(set()))
+    first = ddmin(items, required_subset_test(required))
+    second = ddmin(items, required_subset_test(required))
+    assert first == second
+
+
+@hypothesis.given(
+    n=st.integers(min_value=0, max_value=30),
+    data=st.data(),
+)
+@hypothesis.settings(deadline=None, max_examples=80)
+def test_ddmin_probes_the_empty_candidate_at_most_once(n, data):
+    items = list(range(n))
+    required = data.draw(st.sets(st.sampled_from(items))
+                         if items else st.just(set()))
+    counting = CountingTest(required_subset_test(required))
+    ddmin(items, counting)
+    assert counting.calls.count(()) <= 1
+
+
+def test_ddmin_probe_count_stays_reasonable():
+    # Worst case of complement ddmin is O(n^2) probes; a required
+    # singleton in 64 items must stay well below that bound and, more
+    # importantly, must never loop forever.
+    counting = CountingTest(required_subset_test({17}))
+    result = ddmin(list(range(64)), counting)
+    assert result == [17]
+    assert len(counting.calls) < 64 * 64

@@ -63,7 +63,10 @@ from repro.harness.serializability import (
     build_serialization_graph,
     find_dsg_cycle,
 )
+from repro.graph.placement import DataPlacement
 from repro.obs.monitor import MonitorConfig, Watchdog
+from repro.reconfig import (PlacementChange, ReconfigCoordinator,
+                            ReconfigError)
 from repro.sim.rng import RngRegistry
 from repro.workload.generator import TransactionGenerator
 
@@ -87,6 +90,13 @@ class ChaosScenario:
     catchup_on_start: bool = True
     #: Periodic anti-entropy interval, seconds (0 disables).
     anti_entropy_interval: float = 0.5
+    #: Timed epoch transitions driven during the run: each entry is
+    #: ``{"at": seconds, "change": PlacementChange JSON}``.  A kill
+    #: scheduled inside a transition window is the reconfiguration
+    #: crash test — the driver retries until the change lands, and the
+    #: verdict checks the epoch-recovery invariant (every member in
+    #: the same final epoch) plus the oracles on the *final* placement.
+    reconfig: typing.Tuple[typing.Dict[str, typing.Any], ...] = ()
     name: str = ""
 
     def validate(self) -> "ChaosScenario":
@@ -97,6 +107,10 @@ class ChaosScenario:
             raise ValueError(
                 "unknown regression {!r} (known: {})".format(
                     self.regression, ", ".join(REGRESSIONS)))
+        for entry in self.reconfig:
+            if float(entry.get("at", -1)) < 0:
+                raise ValueError("reconfig entry needs 'at' >= 0")
+            PlacementChange.from_json(entry["change"])
         return self
 
     @property
@@ -129,6 +143,7 @@ class ChaosScenario:
             "regression_site": self.regression_site,
             "catchup_on_start": self.catchup_on_start,
             "anti_entropy_interval": self.anti_entropy_interval,
+            "reconfig": list(self.reconfig),
         }
 
     @classmethod
@@ -142,6 +157,7 @@ class ChaosScenario:
             catchup_on_start=bool(obj.get("catchup_on_start", True)),
             anti_entropy_interval=float(
                 obj.get("anti_entropy_interval", 0.5)),
+            reconfig=tuple(obj.get("reconfig", ())),
             name=obj.get("name", ""),
         ).validate()
 
@@ -186,6 +202,11 @@ class ChaosRunReport:
     #: Post-quiesce watchdog summary (criticals here always fail).
     alerts_post: typing.Dict[str, typing.Any] = dataclasses.field(
         default_factory=dict)
+    #: Epoch transitions completed: ``{"change", "epoch", "attempts"}``.
+    reconfigs: typing.List[typing.Dict[str, typing.Any]] = \
+        dataclasses.field(default_factory=list)
+    #: Final configuration epoch (0 when the run never reconfigured).
+    final_epoch: int = 0
     #: The injector's canonical (sorted) injection log.
     injections: typing.List[typing.Dict[str, typing.Any]] = \
         dataclasses.field(default_factory=list)
@@ -215,6 +236,10 @@ class ChaosRunReport:
                 len(self.injections), len(self.kills),
                 len(self.corruption)),
         ]
+        if self.reconfigs or self.final_epoch:
+            lines.append(
+                "reconfig: {} transition(s), final epoch {}".format(
+                    len(self.reconfigs), self.final_epoch))
         if self.alerts_during:
             lines.append("monitor during run: {} critical, {} warning "
                          "over {} poll(s)".format(
@@ -284,6 +309,68 @@ def _inject_regression(server: SiteServer,
     elif regression == "ack-before-journal" and \
             server.journal is not None:
         server.journal._out.sync = lambda: 0
+
+
+def _change_applied(change: PlacementChange,
+                    placement: DataPlacement) -> bool:
+    """Whether ``placement`` already reflects ``change`` — a retried
+    transition may find its work done (committed just before a crash,
+    then healed by gossip)."""
+    try:
+        if change.kind == "add-replica":
+            return change.site in placement.sites_of(change.item)
+        if change.kind == "drop-replica":
+            return change.site not in placement.sites_of(change.item)
+        if change.kind == "migrate-primary":
+            return placement.primary_site(change.item) == change.site
+        return not placement.items_at(change.site)  # remove-site
+    except Exception:  # noqa: BLE001 - unknown item etc.
+        return False
+
+
+async def _drive_reconfigs(scenario: ChaosScenario, client,
+                           report: ChaosRunReport,
+                           deadline_s: float) -> None:
+    """Run the scenario's timed epoch transitions, retrying each across
+    member crashes until it lands (or the deadline charges a
+    violation)."""
+    coordinator = ReconfigCoordinator(client, timeout=10.0)
+    started = time.monotonic()
+    for entry in scenario.reconfig:
+        delay = float(entry["at"]) - (time.monotonic() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        change = PlacementChange.from_json(entry["change"])
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                done = await coordinator.execute(change)
+                report.reconfigs.append({
+                    "change": change.to_json(), "epoch": done.epoch,
+                    "attempts": attempts})
+                break
+            except (ReconfigError, ClusterError, OSError) as exc:
+                # A member died mid-transition (the scenario's kill):
+                # the transition aborted cleanly.  Wait for the
+                # restart, then retry — unless a prior attempt's
+                # commit actually landed and was healed outward.
+                if time.monotonic() - started > deadline_s:
+                    report.violations.append(
+                        "reconfig: {} never committed: {}".format(
+                            change.describe(), exc))
+                    return
+                await asyncio.sleep(0.5)
+                try:
+                    epoch, placement = \
+                        await coordinator.current_placement()
+                except (ReconfigError, ClusterError, OSError):
+                    continue
+                if _change_applied(change, placement):
+                    report.reconfigs.append({
+                        "change": change.to_json(), "epoch": epoch,
+                        "attempts": attempts})
+                    break
 
 
 # ----------------------------------------------------------------------
@@ -404,6 +491,11 @@ async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
                 _site_schedule(scenario, wal_dir, kill, servers,
                                injector, report))
             for kill in scenario.plan.kill_events()]
+        reconfig_task: typing.Optional[asyncio.Task] = None
+        if scenario.reconfig:
+            reconfig_task = asyncio.get_running_loop().create_task(
+                _drive_reconfigs(scenario, client, report,
+                                 deadline_s=quiesce_timeout))
 
         generator = TransactionGenerator(
             spec.params, spec.build_placement(),
@@ -426,6 +518,8 @@ async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
             for thread in range(spec.params.threads_per_site)))
         for task in schedule:
             await task
+        if reconfig_task is not None:
+            await reconfig_task
 
         if watchdog is not None:
             watchdog.request_stop()
@@ -448,10 +542,34 @@ async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
                 "quiesce: cluster did not settle: {}".format(exc))
             statuses = {}
 
+        final_placement = spec.build_placement()
+        if statuses:
+            report.final_epoch = max(
+                int(status.get("epoch", 0))
+                for status in statuses.values())
+            if scenario.reconfig:
+                # The epoch-recovery invariant: every member (including
+                # any that crashed and recovered from its WAL) must end
+                # the run in one agreed epoch, and the oracles below
+                # judge against that epoch's placement, not genesis.
+                epochs = {site: int(status.get("epoch", 0))
+                          for site, status in statuses.items()}
+                if len(set(epochs.values())) > 1:
+                    report.violations.append(
+                        "epoch-divergence: members ended in different "
+                        "epochs {}".format(epochs))
+                if report.final_epoch > 0:
+                    try:
+                        _, final_placement = await ReconfigCoordinator(
+                            client).current_placement()
+                    except (ReconfigError, ClusterError, OSError) as exc:
+                        report.violations.append(
+                            "reconfig: cannot read the final placement: "
+                            "{}".format(exc))
         if statuses:
             state = {site: decode_value(status["items"])
                      for site, status in statuses.items()}
-            problems = divergent_copies(spec.build_placement(), state)
+            problems = divergent_copies(final_placement, state)
             report.convergent = not problems
             report.divergent = len(problems)
             if problems:

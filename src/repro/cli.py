@@ -53,6 +53,11 @@ Commands
     version lag, propagation-delay percentiles, sparklines and active
     alerts, refreshed in place on a TTY; degrades to a single-shot
     snapshot when stdout is not a terminal (or with ``--once``).
+``reconfig``
+    Drive one online placement change (add-replica, drop-replica,
+    migrate-primary, remove-site) through an epoch transition against
+    a live cluster — fence, transfer, quiesce, commit — or survey the
+    members' epochs with ``status``.  See docs/RECONFIGURATION.md.
 
 Examples::
 
@@ -69,6 +74,10 @@ Examples::
     python -m repro metrics --sites 3 --seed 3 --check
     python -m repro monitor --sites 3 --seed 3 --duration 10 --check
     python -m repro top --sites 3 --seed 3 --once
+    python -m repro reconfig add-replica --item 4 --target-site 2 \\
+        --sites 6 --placement-scheme sharded-hash --replication-factor 2
+    python -m repro reconfig status --sites 6 \\
+        --placement-scheme sharded-hash --replication-factor 2
 """
 
 from __future__ import annotations
@@ -98,6 +107,8 @@ _PARAM_FLAGS: typing.Dict[str, typing.Tuple[str, type]] = {
     "read-txn": ("read_txn_probability", float),
     "latency": ("network_latency", float),
     "timeout": ("deadlock_timeout", float),
+    "placement-scheme": ("placement_scheme", str),
+    "replication-factor": ("replication_factor", int),
 }
 
 #: figure name -> (parameter, values, base-parameter overrides).
@@ -493,6 +504,41 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="write the sweep report as "
                                          "JSON")
     _add_param_flags(chaos_sweep_parser)
+
+    reconfig_parser = subparsers.add_parser(
+        "reconfig", help="drive one online placement change (epoch "
+                         "transition) against a live cluster, or show "
+                         "the cluster's epoch state (see "
+                         "docs/RECONFIGURATION.md)")
+    reconfig_parser.add_argument(
+        "action", choices=("add-replica", "drop-replica",
+                           "migrate-primary", "remove-site", "status"),
+        help="placement change to drive, or 'status' to survey the "
+             "members' epochs without changing anything")
+    _add_cluster_flags(reconfig_parser)
+    reconfig_parser.add_argument("--item", type=int, default=None,
+                                 help="item the change targets "
+                                      "(required for all changes but "
+                                      "remove-site)")
+    reconfig_parser.add_argument("--target-site", type=int, default=None,
+                                 help="site the change targets: the "
+                                      "new replica holder, the replica "
+                                      "being dropped, the new primary, "
+                                      "or the site being removed")
+    reconfig_parser.add_argument("--txn-timeout", type=float,
+                                 default=30.0,
+                                 help="per-transition ceiling in "
+                                      "seconds; on expiry the change "
+                                      "is aborted everywhere")
+    reconfig_parser.add_argument("--poll-interval", type=float,
+                                 default=0.1,
+                                 help="quiesce-loop version sampling "
+                                      "period in seconds")
+    reconfig_parser.add_argument("--allow-empty-primaries",
+                                 action="store_true",
+                                 help="permit a change that leaves a "
+                                      "site with no primary items")
+    _add_param_flags(reconfig_parser)
 
     return parser
 
@@ -1078,6 +1124,74 @@ def _cmd_chaos_sweep(args: argparse.Namespace,
     return 0 if report.ok else 1
 
 
+def _cmd_reconfig(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import asyncio
+
+    from repro.cluster.client import ClusterClient, ClusterError
+    from repro.reconfig import (PlacementChange, ReconfigCoordinator,
+                                ReconfigError)
+
+    spec = _cluster_spec_from_args(args)
+
+    async def status() -> int:
+        client = ClusterClient(spec, timeout=5.0, retries=1)
+        coordinator = ReconfigCoordinator(client)
+        try:
+            statuses = await coordinator.survey()
+            epoch, placement = await coordinator.current_placement()
+        finally:
+            await client.close()
+        out.write("cluster epoch {} ({} members)\n".format(
+            epoch, len(statuses)))
+        for site, state in sorted(statuses.items()):
+            pending = state.get("pending_epoch")
+            out.write("  s{}: epoch {}{}{}\n".format(
+                site, state["epoch"],
+                ", pending {}".format(pending)
+                if pending is not None else "",
+                ", fenced {}".format(state["fenced"])
+                if state.get("fenced") else ""))
+        for site in range(placement.n_sites):
+            items = placement.items_at(site)
+            if not items:
+                out.write("  s{}: no copies (outside the replication "
+                          "plane)\n".format(site))
+                continue
+            primaries = placement.primary_items_at(site)
+            out.write("  s{}: {} copies, {} primaries\n".format(
+                site, len(items), len(primaries)))
+        epochs = {state["epoch"] for state in statuses.values()}
+        return 0 if len(epochs) == 1 else 1
+
+    async def drive(change: PlacementChange) -> int:
+        client = ClusterClient(spec, timeout=args.txn_timeout)
+        coordinator = ReconfigCoordinator(
+            client, poll_interval=args.poll_interval,
+            timeout=args.txn_timeout,
+            allow_empty_primaries=args.allow_empty_primaries)
+        try:
+            report = await coordinator.execute(change)
+        finally:
+            await client.close()
+        out.write(report.format() + "\n")
+        return 0
+
+    try:
+        if args.action == "status":
+            return asyncio.run(status())
+        if args.target_site is None:
+            out.write("--target-site is required for {}\n".format(
+                args.action))
+            return 2
+        change = PlacementChange(kind=args.action,
+                                 site=args.target_site,
+                                 item=args.item).validate()
+        return asyncio.run(drive(change))
+    except (ReconfigError, ClusterError, OSError) as exc:
+        out.write("reconfig failed: {}\n".format(exc))
+        return 1
+
+
 def _cmd_trace(args: argparse.Namespace, out: typing.TextIO) -> int:
     from repro.obs.reconstruct import (format_tree, propagation_summary,
                                        reconstruct)
@@ -1171,6 +1285,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "top": _cmd_top,
         "chaos": _cmd_chaos,
         "chaos-sweep": _cmd_chaos_sweep,
+        "reconfig": _cmd_reconfig,
     }
     return handlers[args.command](args, out)
 

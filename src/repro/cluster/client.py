@@ -16,6 +16,7 @@ than resubmitted, mirroring what a real client library must do.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import itertools
 import typing
 
@@ -27,6 +28,18 @@ from repro.types import SiteId, TransactionSpec
 
 class ClusterError(Exception):
     """A request could not be completed (after retries)."""
+
+
+class WrongEpochError(ClusterError):
+    """The server rejected our fingerprint but hinted its epoch.
+
+    The cluster has reconfigured past the epoch this client's spec
+    carries; :class:`ClusterClient` adopts the hinted epoch, recomputes
+    the fingerprint and retries transparently."""
+
+    def __init__(self, message: str, epoch: int):
+        super().__init__(message)
+        self.epoch = epoch
 
 
 class _Connection:
@@ -69,6 +82,10 @@ class _Connection:
                 if frame is None:
                     break
                 if frame.get("kind") == "error":
+                    if frame.get("epoch") is not None:
+                        raise WrongEpochError(
+                            frame.get("error", "wrong epoch"),
+                            epoch=int(frame["epoch"]))
                     raise ClusterError(frame.get("error", "server error"))
                 if frame.get("kind") != "resp":
                     continue
@@ -158,23 +175,51 @@ class ClusterClient:
         timeout = self.timeout if timeout is None else timeout
         attempts = 1 + (self.retries if idempotent else 0)
         last_error: typing.Optional[Exception] = None
-        for attempt in range(attempts):
+        epoch_adoptions = 0
+        attempt = 0
+        while attempt < attempts:
             conn = self._connection(site)
             try:
                 response = await asyncio.wait_for(
                     conn.request(frame, next(self._rids)), timeout)
+            except WrongEpochError as exc:
+                # The server moved to a newer epoch and rejected our
+                # hello — nothing was executed, so retrying is safe even
+                # for non-idempotent requests.  Adopt the hinted epoch
+                # (the fingerprint depends on it) and reconnect.
+                await conn.close()
+                self._connections.pop(site, None)
+                if exc.epoch > self.spec.epoch and epoch_adoptions < 3:
+                    epoch_adoptions += 1
+                    await self.adopt_epoch(exc.epoch)
+                    continue  # does not consume a retry attempt
+                last_error = exc
+                attempt += 1
+                continue
             except (ConnectionError, OSError, ClusterError,
                     asyncio.TimeoutError) as exc:
                 last_error = exc
                 await conn.close()
                 self._connections.pop(site, None)
-                if attempt + 1 < attempts:
-                    await asyncio.sleep(0.05 * (attempt + 1))
+                attempt += 1
+                if attempt < attempts:
+                    await asyncio.sleep(0.05 * attempt)
                 continue
             if not response.get("ok", False):
                 raise ClusterError(response.get("error", "request failed"))
             return response
         raise ClusterError("site s{}: {!r}".format(site, last_error))
+
+    async def adopt_epoch(self, epoch: int) -> None:
+        """Move this client's spec to ``epoch`` and drop every cached
+        connection (their hello fingerprints are now stale)."""
+        if epoch <= self.spec.epoch:
+            return
+        self.spec = dataclasses.replace(self.spec, epoch=epoch)
+        connections = list(self._connections.values())
+        self._connections.clear()
+        for conn in connections:
+            await conn.close()
 
     # ------------------------------------------------------------------
     # Operations
@@ -243,6 +288,61 @@ class ClusterClient:
         """One site's Prometheus text exposition (wire ``metrics``)."""
         return await self._request(site, {"op": "metrics"},
                                    idempotent=True)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration plane
+    # ------------------------------------------------------------------
+
+    async def placement(self, site: SiteId
+                        ) -> typing.Dict[str, typing.Any]:
+        """One site's current epoch + placement (``repro.reconfig``)."""
+        return await self._request(site, {"op": "placement"},
+                                   idempotent=True)
+
+    async def reconfig_prepare(self, site: SiteId, epoch: int,
+                               change: typing.Dict[str, typing.Any]
+                               ) -> typing.Dict[str, typing.Any]:
+        """Phase 1: journal the proposed epoch, fence writes on the
+        affected items, start state transfer of gained copies."""
+        return await self._request(
+            site, {"op": "reconfig_prepare", "epoch": epoch,
+                   "change": change}, idempotent=True)
+
+    async def reconfig_commit(self, site: SiteId, epoch: int,
+                              change: typing.Dict[str, typing.Any]
+                              ) -> typing.Dict[str, typing.Any]:
+        """Phase 2: journal the epoch commit and atomically swap the
+        site's placement and propagation tree.  Idempotent — a site
+        already at (or past) ``epoch`` acknowledges without re-applying;
+        carrying the change lets a site that lost its prepare (crash)
+        still commit."""
+        return await self._request(
+            site, {"op": "reconfig_commit", "epoch": epoch,
+                   "change": change}, idempotent=True)
+
+    async def reconfig_abort(self, site: SiteId, epoch: int
+                             ) -> typing.Dict[str, typing.Any]:
+        """Drop a pending (prepared, uncommitted) epoch and its fence."""
+        return await self._request(
+            site, {"op": "reconfig_abort", "epoch": epoch},
+            idempotent=True)
+
+    async def reconfig_status(self, site: SiteId
+                              ) -> typing.Dict[str, typing.Any]:
+        """Epoch, pending-epoch and fence state of one site."""
+        return await self._request(site, {"op": "reconfig_status"},
+                                   idempotent=True)
+
+    async def reconfig_pull(self, site: SiteId,
+                            items: typing.Optional[
+                                typing.Sequence[int]] = None
+                            ) -> typing.Dict[str, typing.Any]:
+        """Ask a site to (re-)pull specific items over the catch-up
+        channel from their current primaries (state-transfer retry)."""
+        frame: typing.Dict[str, typing.Any] = {"op": "reconfig_pull"}
+        if items is not None:
+            frame["items"] = list(items)
+        return await self._request(site, frame, idempotent=True)
 
     async def try_each(self, op: str, **fields
                        ) -> typing.Tuple[typing.Dict[SiteId,

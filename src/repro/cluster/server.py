@@ -58,6 +58,7 @@ The server, not the protocol, handles the cluster control plane:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import sys
 import time
 import typing
@@ -73,7 +74,7 @@ from repro.cluster.spec import ClusterSpec
 from repro.cluster.transport import LiveTransport
 from repro.cluster.wal import FileWal, MessageJournal
 from repro.core.base import ReplicatedSystem, SystemConfig, make_protocol
-from repro.errors import TransactionAborted
+from repro.errors import PlacementError, TransactionAborted
 from repro.network.message import Message, MessageType
 from repro.obs.exposition import CONTENT_TYPE, render_exposition
 from repro.obs.registry import (
@@ -82,6 +83,14 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.trace import TraceSink, message_trace_ids, traces_of_obj
+# Imported from the change module directly (not repro.reconfig) to keep
+# the import graph acyclic: repro.reconfig -> coordinator -> client ->
+# this module.
+from repro.reconfig.change import (
+    PlacementChange,
+    ReconfigError,
+    replay_epochs,
+)
 from repro.sim.environment import Environment
 from repro.storage.log import LogRecordKind, recover
 from repro.types import (
@@ -165,6 +174,19 @@ class SiteServer:
         self.committed = 0
         self.aborted = 0
         self.recovered = False
+        # Reconfiguration plane (repro.reconfig).  ``epoch`` is the
+        # committed configuration epoch (recovered from the WAL's
+        # epoch-commit records on restart); ``pending_*`` track a
+        # prepared-but-uncommitted transition and die with the process —
+        # a coordinator re-prepares when reconfig_status shows no
+        # pending epoch.  Note: distinct from ``_epoch`` below, the
+        # wall-clock anchor of the event loop.
+        self.epoch = spec.epoch
+        self.last_change: typing.Optional[typing.Dict] = None
+        self.pending_epoch: typing.Optional[int] = None
+        self.pending_change: typing.Optional[typing.Dict] = None
+        self._fenced_items: typing.Set[ItemId] = set()
+        self._pending_since: typing.Optional[float] = None
         # Observability plane (docs/OBSERVABILITY.md).  A disabled
         # registry hands out no-op instruments and the sink stays None,
         # so an obs-off member records nothing and stamps nothing.
@@ -190,6 +212,12 @@ class SiteServer:
         self._m_catchup_replies = self.metrics.counter("catchup.replies")
         self._h_catchup_lag = self.metrics.histogram(
             "catchup.lag_versions", LAG_BUCKETS)
+        self._g_epoch = self.metrics.gauge("reconfig.epoch")
+        self._h_reconfig = self.metrics.histogram("reconfig.transition_s")
+        self._m_fence_refusals = self.metrics.counter(
+            "reconfig.fence_refusals")
+        self._m_placement_refusals = self.metrics.counter(
+            "reconfig.placement_refusals")
         self._closed = False
         self._loop: typing.Optional[asyncio.AbstractEventLoop] = None
         self._epoch = 0.0
@@ -213,9 +241,12 @@ class SiteServer:
         self._loop = asyncio.get_running_loop()
         self._epoch = self._loop.time()
         self.env = Environment()
+        # Peer channels always present the genesis fingerprint: every
+        # member accepts it regardless of its current epoch, so peer
+        # connections survive (and span) epoch transitions.
         self.transport = LiveTransport(
             self.site_id, self.spec.addresses(),
-            fingerprint=self.spec.fingerprint(),
+            fingerprint=self.spec.genesis_fingerprint(),
             max_batch=self.spec.batch,
             sync_hook=self._sync_wal,
             metrics=self.metrics if self.spec.obs else None,
@@ -260,6 +291,25 @@ class SiteServer:
                         value=site.engine.item(item_id).value,
                         time=self.env.now)
                 self.wal.sync()
+        self.system.epoch = self.epoch
+        if self.recovered:
+            # Epoch recovery: the genesis placement plus the ordered
+            # epoch-commit records IS the current configuration.
+            # Prepares without a commit are dropped — the fence was
+            # volatile, and the coordinator re-prepares any site whose
+            # reconfig_status shows no pending epoch.
+            commits = [(record.item, record.value)
+                       for record in self.wal
+                       if record.kind is LogRecordKind.EPOCH_COMMIT]
+            if commits:
+                epoch, placement = replay_epochs(
+                    self.spec.build_placement(), commits,
+                    start_epoch=self.spec.epoch)
+                self.epoch = epoch
+                self.placement = placement
+                self.last_change = commits[-1][1]
+                self.system.swap_placement(placement, epoch)
+        self._g_epoch.set(self.epoch)
         protocol = make_protocol(self.spec.protocol, self.system,
                                  **self.spec.protocol_options)
         self.system.use_protocol(protocol)
@@ -485,6 +535,8 @@ class SiteServer:
                     peer=message.src, type=message.msg_type.value)
         if message.msg_type is MessageType.WOUND:
             self._on_wound(message)
+        elif message.msg_type is MessageType.RECONFIG:
+            self._on_reconfig(message)
         elif message.msg_type is MessageType.CATCHUP_REQUEST:
             self._on_catchup_request(message)
         elif message.msg_type is MessageType.CATCHUP_REPLY:
@@ -726,10 +778,16 @@ class SiteServer:
                 return
             fingerprint = hello.get("fingerprint", "")
             if fingerprint and \
-                    fingerprint != self.spec.fingerprint():
+                    fingerprint not in self._accepted_fingerprints():
+                # The epoch hint lets a client whose spec merely lags
+                # the cluster re-sync and retry; a genuinely mismatched
+                # cluster config still presents neither accepted
+                # fingerprint after adopting the epoch.
                 await write_frame(writer, {
                     "kind": "error",
-                    "error": "cluster fingerprint mismatch"})
+                    "error": "cluster fingerprint mismatch "
+                             "(server epoch {})".format(self.epoch),
+                    "epoch": self.epoch})
                 return
             if hello.get("role") == "peer":
                 await self._peer_loop(reader, writer)
@@ -862,6 +920,7 @@ class SiteServer:
         if op == "ping":
             return {"ok": True, "site": self.site_id,
                     "protocol": self.spec.protocol,
+                    "epoch": self.epoch,
                     "recovered": self.recovered}
         if op == "txn":
             spec = decode_spec(frame["spec"])
@@ -869,6 +928,16 @@ class SiteServer:
                 return {"ok": False,
                         "error": "transaction for s{} sent to s{}".format(
                             spec.origin, self.site_id)}
+            refusal = self._txn_refusal(spec)
+            if refusal is not None:
+                # Refused before touching the engine: an "aborted"
+                # outcome, not an error — the client's workload loop
+                # counts it and moves on, exactly as for a lock-timeout
+                # abort.
+                self.aborted += 1
+                self._m_aborted.inc()
+                return {"ok": True, "status": "aborted",
+                        "reason": refusal, "elapsed": None}
             status, reason, elapsed = await self.submit_transaction(spec)
             return {"ok": True, "status": status, "reason": reason,
                     "elapsed": elapsed}
@@ -880,6 +949,7 @@ class SiteServer:
             # probe to poll mid-workload without perturbing the run.
             engine = self.system.site_of(self.site_id).engine
             return {"ok": True, "site": self.site_id,
+                    "epoch": self.epoch,
                     "versions": encode_value(
                         {item: engine.item(item).committed_version
                          for item in engine.item_ids()})}
@@ -908,11 +978,227 @@ class SiteServer:
                     "obs": self.spec.obs, "spans": spans,
                     "dropped": (self.trace.dropped
                                 if self.trace is not None else 0)}
+        if op == "placement":
+            return {"ok": True, "site": self.site_id,
+                    "epoch": self.epoch,
+                    "pending_epoch": self.pending_epoch,
+                    "placement": self.placement.to_json()}
+        if op == "reconfig_status":
+            return {"ok": True, "site": self.site_id,
+                    "epoch": self.epoch,
+                    "pending_epoch": self.pending_epoch,
+                    "fenced": sorted(self._fenced_items),
+                    "last_change": self.last_change}
+        if op == "reconfig_prepare":
+            return self._reconfig_prepare(int(frame["epoch"]),
+                                          dict(frame["change"]))
+        if op == "reconfig_commit":
+            return self._reconfig_commit(int(frame["epoch"]),
+                                         dict(frame["change"]))
+        if op == "reconfig_abort":
+            return self._reconfig_abort(int(frame["epoch"]))
+        if op == "reconfig_pull":
+            items = frame.get("items")
+            if items is None:
+                items = sorted(
+                    self.placement.replica_items_at(self.site_id))
+            items = [int(item) for item in items]
+            self._reconfig_pull_items(items)
+            self._drive()
+            return {"ok": True, "site": self.site_id,
+                    "requested": items}
         if op == "crash":
             return {"ok": True, "_crash": True}
         if op == "shutdown":
             return {"ok": True, "_shutdown": True}
         return {"ok": False, "error": "unknown op {!r}".format(op)}
+
+    # ------------------------------------------------------------------
+    # Reconfiguration plane (repro.reconfig)
+    # ------------------------------------------------------------------
+
+    def _accepted_fingerprints(self) -> typing.Set[str]:
+        """Hello fingerprints this member accepts: genesis (so fresh
+        clients and peer channels always join) plus the current epoch's.
+        """
+        return {self.spec.genesis_fingerprint(),
+                dataclasses.replace(self.spec,
+                                    epoch=self.epoch).fingerprint()}
+
+    def _txn_refusal(self, spec: TransactionSpec
+                     ) -> typing.Optional[str]:
+        """Placement legality of a client transaction at this site
+        (``None`` when legal).
+
+        Under partial replication a client working from a stale epoch
+        may target a site that no longer holds a copy (reads) or is no
+        longer the primary (writes); executing against the frozen local
+        record would hand out stale data and break serializability.
+        Writes on fenced items are refused while their epoch transition
+        quiesces."""
+        for operation in spec.operations:
+            item = operation.item
+            try:
+                if operation.is_read:
+                    if self.site_id not in self.placement.sites_of(item):
+                        self._m_placement_refusals.inc()
+                        return ("no copy of item {} at s{} in epoch {}"
+                                .format(item, self.site_id, self.epoch))
+                else:
+                    if self.placement.primary_site(item) != self.site_id:
+                        self._m_placement_refusals.inc()
+                        return ("s{} is not the primary of item {} in "
+                                "epoch {}".format(self.site_id, item,
+                                                  self.epoch))
+                    if item in self._fenced_items:
+                        self._m_fence_refusals.inc()
+                        return ("item {} is fenced for the epoch {} "
+                                "transition".format(
+                                    item, self.pending_epoch))
+            except PlacementError as exc:
+                self._m_placement_refusals.inc()
+                return str(exc)
+        return None
+
+    def _reconfig_prepare(self, epoch: int,
+                          change_json: typing.Dict
+                          ) -> typing.Dict[str, typing.Any]:
+        """Phase 1 of an epoch transition at this member: journal the
+        proposal, fence writes on the affected items, create gained
+        copies and start pulling their state from the current primaries.
+        Idempotent for re-prepares of the same (epoch, change)."""
+        if epoch <= self.epoch:
+            return {"ok": True, "site": self.site_id,
+                    "epoch": self.epoch, "already_committed": True}
+        if epoch != self.epoch + 1:
+            return {"ok": False,
+                    "error": "cannot prepare epoch {} from epoch {}"
+                             .format(epoch, self.epoch)}
+        try:
+            change = PlacementChange.from_json(change_json)
+            change.apply(self.placement)  # structural validation
+        except ReconfigError as exc:
+            return {"ok": False, "error": str(exc)}
+        if self.pending_epoch is not None and \
+                self.pending_change != change.to_json():
+            return {"ok": False,
+                    "error": "epoch {} already pending with a different "
+                             "change".format(self.pending_epoch)}
+        first = self.pending_epoch is None
+        if first:
+            if self.wal is not None:
+                # Durability of the prepare is best-effort on purpose:
+                # a crash drops the volatile fence anyway, and the
+                # coordinator re-prepares on seeing no pending epoch.
+                self.wal.append(LogRecordKind.EPOCH_PREPARE, item=epoch,
+                                value=change.to_json(),
+                                time=self.env.now)
+            self._pending_since = self._loop.time()
+        self.pending_epoch = epoch
+        self.pending_change = change.to_json()
+        self._fenced_items = set(change.affected_items(self.placement))
+        gained = sorted(change.gained_items(self.placement,
+                                            self.site_id))
+        engine = self.system.site_of(self.site_id).engine
+        for item in gained:
+            if not engine.has_item(item):
+                engine.create_item(item)
+        self._reconfig_pull_items(gained)
+        self._drive()
+        return {"ok": True, "site": self.site_id, "epoch": self.epoch,
+                "pending_epoch": epoch,
+                "fenced": sorted(self._fenced_items),
+                "gained": gained}
+
+    def _reconfig_commit(self, epoch: int,
+                         change_json: typing.Dict
+                         ) -> typing.Dict[str, typing.Any]:
+        """Phase 2: journal the epoch commit (synced — the swap must
+        survive a crash) and atomically adopt the new placement and
+        propagation tree.  Carries the full change so a member that
+        lost its prepare (crash) can still commit; idempotent for
+        members already at or past ``epoch``."""
+        if epoch <= self.epoch:
+            return {"ok": True, "site": self.site_id,
+                    "epoch": self.epoch, "already_committed": True}
+        if epoch != self.epoch + 1:
+            return {"ok": False,
+                    "error": "cannot commit epoch {} from epoch {}"
+                             .format(epoch, self.epoch)}
+        try:
+            change = PlacementChange.from_json(change_json)
+            new_placement = change.apply(self.placement)
+        except ReconfigError as exc:
+            return {"ok": False, "error": str(exc)}
+        if self.wal is not None:
+            self.wal.append(LogRecordKind.EPOCH_COMMIT, item=epoch,
+                            value=change.to_json(), time=self.env.now)
+            self.wal.sync()
+        self.placement = new_placement
+        self.system.swap_placement(new_placement, epoch)
+        self.epoch = epoch
+        self.last_change = change.to_json()
+        self.pending_epoch = None
+        self.pending_change = None
+        self._fenced_items = set()
+        self._g_epoch.set(epoch)
+        if self._pending_since is not None:
+            self._h_reconfig.observe(
+                self._loop.time() - self._pending_since)
+            self._pending_since = None
+        # Close any transfer gap from the new placement's perspective
+        # (e.g. a gained copy whose prepare-time pull raced the swap).
+        self._request_catchup()
+        self._drive()
+        self._gossip_reconfig(epoch, change.to_json())
+        return {"ok": True, "site": self.site_id, "epoch": self.epoch}
+
+    def _reconfig_abort(self, epoch: int
+                        ) -> typing.Dict[str, typing.Any]:
+        if self.pending_epoch == epoch:
+            self.pending_epoch = None
+            self.pending_change = None
+            self._fenced_items = set()
+            self._pending_since = None
+        return {"ok": True, "site": self.site_id, "epoch": self.epoch}
+
+    def _reconfig_pull_items(self,
+                             items: typing.Iterable[ItemId]) -> None:
+        """One-shot catch-up pull of ``items`` from their *current*
+        primaries (state transfer for copies gained in a pending
+        transition; also the re-pull path for transfer laggards)."""
+        engine = self.system.site_of(self.site_id).engine
+        by_source: typing.Dict[SiteId, typing.Dict] = {}
+        for item in items:
+            if not engine.has_item(item):
+                continue
+            try:
+                source = self.placement.primary_site(item)
+            except PlacementError:
+                continue
+            if source == self.site_id:
+                continue
+            by_source.setdefault(source, {})[item] = \
+                engine.item(item).committed_version
+        for source, versions in sorted(by_source.items()):
+            self.transport.send(MessageType.CATCHUP_REQUEST,
+                                self.site_id, source, items=versions)
+
+    def _gossip_reconfig(self, epoch: int,
+                         change_json: typing.Dict) -> None:
+        """Tell every peer about a committed epoch.  Closes the window
+        where a coordinator dies between per-site commits: any one
+        committed member brings the rest forward."""
+        for peer in range(self.placement.n_sites):
+            if peer != self.site_id:
+                self.transport.send(MessageType.RECONFIG, self.site_id,
+                                    peer, epoch=epoch,
+                                    change=dict(change_json))
+
+    def _on_reconfig(self, message: Message) -> None:
+        epoch = int(message.payload["epoch"])
+        if epoch == self.epoch + 1:
+            self._reconfig_commit(epoch, dict(message.payload["change"]))
 
     def render_exposition(self) -> str:
         """This site's metrics snapshot as Prometheus text."""
@@ -1012,6 +1298,9 @@ class SiteServer:
             "wal": wal_stats,
             "journal": journal_stats,
             "apply_queue_hwm": self.apply_queue_hwm,
+            "epoch": self.epoch,
+            "pending_epoch": self.pending_epoch,
+            "epoch_skew": getattr(self.system.protocol, "epoch_skew", 0),
             "wal_records": wal_stats["records"],
             "wal_syncs": wal_stats["syncs"],
             "journal_records": journal_stats["records"],

@@ -57,9 +57,19 @@ class ClusterSpec:
     #: (scraping is read-only and changes nothing members must agree
     #: on), ``None`` (default) disables the listener entirely.
     metrics_base_port: typing.Optional[int] = None
+    #: Configuration epoch (``repro.reconfig``).  Epoch 0 is *genesis*:
+    #: the placement is exactly :meth:`build_placement`.  Each committed
+    #: reconfiguration increments it; the epoch enters the fingerprint,
+    #: so a client whose spec lags the cluster is refused with an epoch
+    #: hint and re-syncs (servers additionally accept the genesis
+    #: fingerprint — a fresh client can always join and learn).
+    epoch: int = 0
 
     def validate(self) -> "ClusterSpec":
         self.params.validate()
+        if self.epoch < 0:
+            raise ValueError("epoch must be >= 0, got {}".format(
+                self.epoch))
         if not 1 <= self.base_port <= 65535 - self.params.n_sites:
             raise ValueError(
                 "base_port {} leaves no room for {} sites".format(
@@ -128,10 +138,20 @@ class ClusterSpec:
               "replication_probability": params.replication_probability,
               "backedge_probability": params.backedge_probability,
               "site_probability": params.site_probability,
-              "deadlock_timeout": params.deadlock_timeout},
-             self.protocol, self.protocol_options, self.seed],
+              "deadlock_timeout": params.deadlock_timeout,
+              "placement_scheme": params.placement_scheme,
+              "replication_factor": params.replication_factor},
+             self.protocol, self.protocol_options, self.seed,
+             {"epoch": self.epoch}],
             sort_keys=True, default=str)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def genesis_fingerprint(self) -> str:
+        """The epoch-0 fingerprint — what a spec-built-from-flags client
+        presents before it has learned the cluster's current epoch."""
+        if self.epoch == 0:
+            return self.fingerprint()
+        return dataclasses.replace(self, epoch=0).fingerprint()
 
     # ------------------------------------------------------------------
     # Serialisation (CLI flags and subprocess handoff)
@@ -149,6 +169,7 @@ class ClusterSpec:
             "batch": self.batch,
             "obs": self.obs,
             "metrics_base_port": self.metrics_base_port,
+            "epoch": self.epoch,
         }
 
     @classmethod
@@ -167,4 +188,5 @@ class ClusterSpec:
             metrics_base_port=(
                 int(obj["metrics_base_port"])
                 if obj.get("metrics_base_port") is not None else None),
+            epoch=int(obj.get("epoch", 0)),
         ).validate()

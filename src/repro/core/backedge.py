@@ -121,6 +121,35 @@ class BackEdgeProtocol(DagWtProtocol):
         #: Globally-aborted gids per site (drop late messages).
         self._aborted: typing.List[set] = [set() for _ in range(n)]
 
+    def on_placement_change(self) -> None:
+        """Re-derive site order, backedge set and tree for the new
+        epoch's copy graph (the ``__init__`` derivation, minus the
+        explicit-order overrides — those cannot survive a placement
+        change)."""
+        from repro.core.base import ReplicationProtocol
+        # Skip DagWt's rebuild: its default tree construction assumes a
+        # DAG copy graph, which BackEdge does not require.
+        ReplicationProtocol.on_placement_change(self)
+        graph = self.system.copy_graph
+        if graph.is_dag():
+            site_order = graph.topological_order()
+        else:
+            site_order = list(range(graph.n_sites))
+        backedges = backedges_of_order(graph, site_order)
+        if self.variant == "chain":
+            tree = chain_tree(site_order)
+        else:
+            backedges = make_minimal(graph, backedges)
+            tree = build_propagation_tree(graph.without_edges(backedges))
+        for src, dst in backedges:
+            if not tree.is_ancestor(dst, src):
+                raise GraphError(
+                    "backedge s{}->s{}: target is not a tree ancestor"
+                    .format(src, dst))
+        self.site_order = list(site_order)
+        self.backedges = backedges
+        self.tree = tree
+
     # ------------------------------------------------------------------
     # Message routing
     # ------------------------------------------------------------------

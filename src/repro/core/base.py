@@ -148,6 +148,9 @@ class ReplicatedSystem:
             else None
             for site_id in range(placement.n_sites)]
         self.protocol: typing.Optional["ReplicationProtocol"] = None
+        #: Configuration epoch (:mod:`repro.reconfig`): bumped by
+        #: :meth:`swap_placement` at each committed reconfiguration.
+        self.epoch: int = 0
         #: Registry of in-flight primary subtransactions by global id —
         #: lets a remote site's victim policy wound the owning primary
         #: (physically this is a tiny control message; the simulation
@@ -184,6 +187,32 @@ class ReplicatedSystem:
         """Install the protocol and run its setup (handlers, processes)."""
         self.protocol = protocol
         protocol.setup()
+
+    def swap_placement(self, placement: DataPlacement,
+                       epoch: int) -> None:
+        """Atomically adopt a new placement at an epoch boundary
+        (:mod:`repro.reconfig`).
+
+        Runs between drive steps of the live runtime (never mid-
+        subtransaction): replaces the placement and copy graph,
+        materialises engine records for copies this process *gains*
+        (their values arrive via catch-up), and lets the protocol
+        re-derive its routing state.  Copies this process *loses* stay
+        in the engine — frozen, unreferenced by the new placement, and
+        refused to clients by the server's placement legality check —
+        because deleting history that committed transactions read would
+        blind the serializability oracle.
+        """
+        self.placement = placement
+        self.copy_graph = CopyGraph.from_placement(placement)
+        self.epoch = epoch
+        for site_id in self.local_site_ids:
+            engine = self.site_of(site_id).engine
+            for item in sorted(placement.items_at(site_id)):
+                if not engine.has_item(item):
+                    engine.create_item(item)
+        if self.protocol is not None:
+            self.protocol.on_placement_change()
 
     # ------------------------------------------------------------------
     # Observer plumbing (metrics)
@@ -234,6 +263,14 @@ class ReplicationProtocol:
 
     def setup(self) -> None:
         """Install message handlers / background processes."""
+
+    def on_placement_change(self) -> None:
+        """The system swapped its placement (epoch transition).
+
+        Subclasses re-derive whatever routing state they cache
+        (propagation tree, site order, backedge set).  The base hook
+        refreshes the placement snapshot reference."""
+        self.placement = self.system.placement
 
     def run_transaction(self, site_id: SiteId, spec: TransactionSpec,
                         process) -> typing.Generator:

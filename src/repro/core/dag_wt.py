@@ -48,9 +48,14 @@ class DagWtProtocol(ReplicationProtocol):
                  tree: typing.Optional[PropagationTree] = None,
                  prefer_chain: bool = False):
         super().__init__(system)
+        self._prefer_chain = prefer_chain
         if tree is None:
             tree = self._default_tree(prefer_chain)
         self.tree = tree
+        #: Secondaries whose origin epoch differed from ours at apply
+        #: time (diagnostic — correctness rests on the current-placement
+        #: relevance filter, not on the stamp).
+        self.epoch_skew = 0
         #: One incoming queue per site (each site has at most one tree
         #: parent, so a single FIFO mailbox suffices).
         self._queues: typing.Dict[SiteId, Mailbox] = {
@@ -61,6 +66,13 @@ class DagWtProtocol(ReplicationProtocol):
     def _default_tree(self, prefer_chain: bool) -> PropagationTree:
         return build_propagation_tree(self.system.copy_graph,
                                       prefer_chain=prefer_chain)
+
+    def on_placement_change(self) -> None:
+        """Re-derive the propagation tree for the new epoch's copy
+        graph.  An explicitly injected tree cannot survive a placement
+        change, so the default construction takes over."""
+        super().on_placement_change()
+        self.tree = self._default_tree(self._prefer_chain)
 
     # ------------------------------------------------------------------
     # Setup
@@ -129,7 +141,8 @@ class DagWtProtocol(ReplicationProtocol):
         for child in self.tree.children(from_site):
             if self._child_is_relevant(child, writes):
                 self.network.send(MessageType.SECONDARY, from_site, child,
-                                  gid=gid, writes=dict(writes))
+                                  gid=gid, writes=dict(writes),
+                                  epoch=self.system.epoch)
 
     def _child_is_relevant(self, child: SiteId,
                            writes: typing.Mapping[ItemId, typing.Any]
@@ -166,6 +179,9 @@ class DagWtProtocol(ReplicationProtocol):
     def _apply_secondary(self, site: Site, message: Message):
         gid = message.payload["gid"]
         writes = message.payload["writes"]
+        origin_epoch = message.payload.get("epoch")
+        if origin_epoch is not None and origin_epoch != self.system.epoch:
+            self.epoch_skew += 1
         # The has_applied filter makes application idempotent: the live
         # runtime's transport is at-least-once and its catch-up replies
         # can land while the same update sits in this queue.  Under the

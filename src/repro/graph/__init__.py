@@ -16,15 +16,21 @@ from repro.graph.backedges import (
     minimum_backedges,
 )
 from repro.graph.copygraph import CopyGraph
-from repro.graph.placement import DataPlacement
-from repro.graph.tree import PropagationTree, build_propagation_tree
+from repro.graph.placement import DataPlacement, PlacementView
+from repro.graph.tree import (
+    PropagationTree,
+    build_propagation_tree,
+    build_shard_trees,
+)
 
 __all__ = [
     "CopyGraph",
     "DataPlacement",
+    "PlacementView",
     "PropagationTree",
     "backedges_of_order",
     "build_propagation_tree",
+    "build_shard_trees",
     "dfs_backedges",
     "greedy_fas_order",
     "is_feedback_arc_set",

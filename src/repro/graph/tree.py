@@ -185,3 +185,25 @@ def build_propagation_tree(graph: CopyGraph,
     if not tree.satisfies_property_for(graph):  # pragma: no cover - safety
         return chain_tree(order)
     return tree
+
+
+def build_shard_trees(placement) -> typing.Dict[
+        typing.Tuple[SiteId, typing.Tuple[SiteId, ...]],
+        PropagationTree]:
+    """One propagation chain per shard of a partial-replication placement.
+
+    A *shard* is an equivalence class of items sharing one
+    ``(primary, replicas)`` signature
+    (:meth:`~repro.graph.placement.DataPlacement.shards`).  Its tree is
+    the chain ``primary -> replicas in site order``, spanning **exactly**
+    the replicating sites — within a shard every copy-graph edge runs
+    primary -> replica, so any chain starting at the primary satisfies
+    the Sec. 2 property restricted to the shard.  The catch-up plane and
+    the placement analytics (per-site footprint, forwarding fan-out)
+    consume these; live forwarding stays on the epoch's global tree,
+    whose subtree-relevance pruning already stops messages at the last
+    replicating site of each chain.
+    """
+    return {key: chain_tree([primary] + list(replicas))
+            for key, _items in placement.shards().items()
+            for primary, replicas in [key]}

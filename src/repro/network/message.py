@@ -72,6 +72,11 @@ class MessageType(enum.Enum):
       ``version``, and ``writers`` (the gid lineage of the missed
       versions, oldest first).  Payload: ``items``
       (item -> {value, version, writers}).
+    - ``RECONFIG`` — epoch-commit gossip (:mod:`repro.reconfig`): a
+      peer that committed epoch ``epoch`` tells the others, closing the
+      window where a coordinator dies between commits.  Payload:
+      ``epoch``, ``change`` (:class:`repro.reconfig.PlacementChange`
+      JSON).  Idempotent at the receiver.
     """
 
     SECONDARY = "secondary"
@@ -91,6 +96,7 @@ class MessageType(enum.Enum):
     WOUND = "wound"
     CATCHUP_REQUEST = "catchup-request"
     CATCHUP_REPLY = "catchup-reply"
+    RECONFIG = "reconfig"
 
 
 @dataclasses.dataclass

@@ -180,12 +180,15 @@ class Watchdog:
         #: Deduplicated alerts, insertion-ordered.
         self.alerts: typing.Dict[typing.Tuple[str, typing.Optional[int]],
                                  Alert] = {}
-        placement = spec.build_placement()
-        self._pairs: typing.List[typing.Tuple[str, int, int]] = []
-        for item in placement.items:
-            primary = placement.primary_site(item)
-            for replica in placement.replica_sites(item):
-                self._pairs.append((item, primary, replica))
+        #: Membership and (item, primary, replica) pairs of the *current
+        #: epoch*, not the boot-time spec: an epoch transition
+        #: (repro.reconfig) re-fetches the placement from the cluster,
+        #: so lag is judged against live replica sets and a removed
+        #: member stops paging site-down.
+        self._epoch = spec.epoch
+        self._pairs: typing.List[typing.Tuple[int, int, int]] = []
+        self._members: typing.Set[int] = set()
+        self._rebuild_pairs(spec.build_placement())
         #: Last known committed versions per site (kept across polls so
         #: a dead replica is judged against what it had).
         self._versions: typing.Dict[int, typing.Dict[str, int]] = {}
@@ -257,6 +260,7 @@ class Watchdog:
             by_rule[alert.rule] = by_rule.get(alert.rule, 0) + 1
         return {
             "polls": self.polls,
+            "epoch": self._epoch,
             "critical": self.critical_count,
             "warning": self.warning_count,
             "by_rule": dict(sorted(by_rule.items())),
@@ -280,18 +284,26 @@ class Watchdog:
         self.polls += 1
 
         responses, unreachable = await self.client.try_each("versions")
+        top_epoch = self._epoch
         for site, response in responses.items():
             self._versions[site] = decode_value(response["versions"])
             self._down_streak[site] = 0
+            top_epoch = max(top_epoch, int(response.get("epoch", 0)))
+        if top_epoch != self._epoch:
+            await self._refresh_placement()
         for site in unreachable:
             streak = self._down_streak.get(site, 0) + 1
             self._down_streak[site] = streak
+            if site not in self._members:
+                # Removed from the replication plane in the current
+                # epoch: its absence is expected, not an incident.
+                continue
             if streak >= config.down_polls:
                 self._fire(
                     fired, "site-down", "critical", site,
                     "site s{} unreachable for {} consecutive "
                     "polls".format(site, streak),
-                    {"streak": streak})
+                    {"streak": streak, "epoch": self._epoch})
         self._check_lag(fired, set(unreachable))
 
         stats, _ = await self.client.try_each("stats")
@@ -326,6 +338,39 @@ class Watchdog:
 
     def request_stop(self) -> None:
         self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # Epoch-aware membership
+    # ------------------------------------------------------------------
+
+    def _rebuild_pairs(self, placement) -> None:
+        """Derive the judged (item, primary, replica) pairs and the
+        member set from a placement.  A member is any site holding at
+        least one copy — a fully drained site (``remove-site``) is no
+        longer part of the replication plane."""
+        self._pairs = []
+        for item in placement.items:
+            primary = placement.primary_site(item)
+            for replica in placement.replica_sites(item):
+                self._pairs.append((item, primary, replica))
+        self._members = {site for site in range(placement.n_sites)
+                         if placement.items_at(site)}
+
+    async def _refresh_placement(self) -> None:
+        """A member reported a newer epoch: adopt the maximal-epoch
+        placement the cluster serves and re-derive pairs/membership."""
+        from repro.graph.placement import DataPlacement
+
+        responses, _ = await self.client.try_each("placement")
+        if not responses:
+            return
+        best = max(responses.values(),
+                   key=lambda response: int(response.get("epoch", 0)))
+        epoch = int(best.get("epoch", 0))
+        if epoch <= self._epoch:
+            return
+        self._epoch = epoch
+        self._rebuild_pairs(DataPlacement.from_json(best["placement"]))
 
     # ------------------------------------------------------------------
     # Rules

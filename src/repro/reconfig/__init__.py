@@ -1,0 +1,22 @@
+"""Online placement reconfiguration (`repro.reconfig`).
+
+An epoch-based membership/placement plane for the live cluster: a
+:class:`~repro.reconfig.coordinator.ReconfigCoordinator` drives one
+placement change (add-replica, drop-replica, migrate-primary,
+remove-site) per epoch transition over the cluster's client plane —
+propose → epoch fence (writes on affected items are refused while their
+in-flight propagation quiesces) → state transfer of gained copies over
+the existing catch-up channel → commit, at which point every site
+journals the epoch to its WAL and atomically swaps its placement and
+propagation tree.  See docs/RECONFIGURATION.md for the protocol.
+"""
+
+from repro.reconfig.change import PlacementChange, ReconfigError
+from repro.reconfig.coordinator import ReconfigCoordinator, ReconfigReport
+
+__all__ = [
+    "PlacementChange",
+    "ReconfigCoordinator",
+    "ReconfigError",
+    "ReconfigReport",
+]

@@ -33,6 +33,12 @@ class LogRecordKind(enum.Enum):
     WRITE = "write"
     COMMIT = "commit"
     ABORT = "abort"
+    # Reconfiguration plane (repro.reconfig): the epoch number rides the
+    # ``item`` field and the PlacementChange JSON rides ``value``.
+    # Transaction recovery ignores both kinds; epoch recovery scans for
+    # the committed ones (see repro.reconfig.change.replay_epochs).
+    EPOCH_PREPARE = "epoch-prepare"
+    EPOCH_COMMIT = "epoch-commit"
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,9 +1,10 @@
-"""The paper's data-distribution scheme (Sec. 5.2).
+"""Data-distribution schemes.
 
-Primary copies are assigned uniformly across the ``m`` sites (round-robin,
-matching the paper's "each site is the primary site for approximately
-``n/m`` items").  A fraction ``r`` of each site's primaries is replicated.
-For a replicated item with primary at ``si``:
+``"paper"`` is Sec. 5.2's probabilistic generator.  Primary copies are
+assigned uniformly across the ``m`` sites (round-robin, matching the
+paper's "each site is the primary site for approximately ``n/m``
+items").  A fraction ``r`` of each site's primaries is replicated.  For
+a replicated item with primary at ``si``:
 
 - with probability ``b`` *all* other sites are candidates for replicas
   (edges to earlier sites become backedges),
@@ -11,6 +12,23 @@ For a replicated item with primary at ``si``:
   total site order are candidates;
 
 each candidate then receives a replica with probability ``s``.
+
+The *sharded* schemes are the partial-replication extension (Sutra &
+Shapiro's setting, PAPERS.md): each item lives in a shard of
+``replication_factor`` **consecutive** sites, primary first —
+
+- ``"sharded-hash"``: primary = ``item % m`` (item space striped across
+  sites),
+- ``"sharded-range"``: primary = ``item * m // n`` (contiguous key
+  ranges per site);
+
+replicas are the next ``k - 1`` sites in site order, truncated at the
+last site so the induced copy graph stays a forward-edge DAG (sites
+near the end of the order hold proportionally fewer replica copies).
+``replication_factor = 0`` means *full*: every site after the primary
+replicates.  Both schemes are fully deterministic — the ``rng`` is
+accepted for signature parity and never consulted — so every member of
+a cluster derives the identical placement from the spec.
 """
 
 from __future__ import annotations
@@ -24,8 +42,16 @@ from repro.workload.params import WorkloadParams
 
 def generate_placement(params: WorkloadParams,
                        rng: random.Random) -> DataPlacement:
-    """Generate a :class:`DataPlacement` per Sec. 5.2."""
+    """Generate a :class:`DataPlacement` per ``params.placement_scheme``."""
     params.validate()
+    if params.placement_scheme == "paper":
+        return _generate_paper(params, rng)
+    return generate_sharded_placement(params)
+
+
+def _generate_paper(params: WorkloadParams,
+                    rng: random.Random) -> DataPlacement:
+    """The Sec. 5.2 probabilistic placement."""
     m = params.n_sites
     placement = DataPlacement(m)
     for item in range(params.n_items):
@@ -38,6 +64,22 @@ def generate_placement(params: WorkloadParams,
                 candidates = list(range(primary + 1, m))
             replicas = [site for site in candidates
                         if rng.random() < params.site_probability]
+        placement.add_item(item, primary, replicas)
+    return placement
+
+
+def generate_sharded_placement(params: WorkloadParams) -> DataPlacement:
+    """Deterministic sharded placement (hash or range, factor ``k``)."""
+    m = params.n_sites
+    n = params.n_items
+    k = params.replication_factor or m  # 0 = full replication
+    placement = DataPlacement(m)
+    for item in range(n):
+        if params.placement_scheme == "sharded-range":
+            primary = item * m // n
+        else:
+            primary = item % m
+        replicas = list(range(primary + 1, min(primary + k, m)))
         placement.add_item(item, primary, replicas)
     return placement
 

@@ -11,6 +11,9 @@ import typing
 
 from repro.errors import ConfigurationError
 
+#: Valid placement schemes (see :mod:`repro.workload.distribution`).
+PLACEMENT_SCHEMES = ("paper", "sharded-hash", "sharded-range")
+
 
 @dataclasses.dataclass
 class WorkloadParams:
@@ -53,11 +56,27 @@ class WorkloadParams:
     hotspot_access_probability: float = 0.0
     #: Fraction of each site's eligible items forming the hot subset.
     hotspot_item_fraction: float = 0.1
+    #: Placement scheme (partial-replication extension): ``"paper"`` is
+    #: Sec. 5.2's probabilistic generator; ``"sharded-hash"`` and
+    #: ``"sharded-range"`` place each item in a shard of
+    #: ``replication_factor`` consecutive sites (primary first), so each
+    #: site holds only a slice of the item space.
+    placement_scheme: str = "paper"
+    #: Sharded schemes only: total copies per item (primary included).
+    #: 0 means "full" — every site from the primary onward replicates.
+    replication_factor: int = 2
 
     def validate(self) -> "WorkloadParams":
         """Raise :class:`ConfigurationError` on out-of-range settings."""
         if self.n_sites < 1:
             raise ConfigurationError("n_sites must be >= 1")
+        if self.placement_scheme not in PLACEMENT_SCHEMES:
+            raise ConfigurationError(
+                "unknown placement_scheme {!r} (expected one of {})"
+                .format(self.placement_scheme,
+                        ", ".join(PLACEMENT_SCHEMES)))
+        if self.replication_factor < 0:
+            raise ConfigurationError("replication_factor must be >= 0")
         if self.n_items < self.n_sites:
             raise ConfigurationError(
                 "need at least one item per site "

@@ -106,6 +106,11 @@ PAYLOADS = {
         "items": _catchup_items(rng)},
     MessageType.CATCHUP_REPLY: lambda rng: {
         "items": _catchup_reply_items(rng)},
+    MessageType.RECONFIG: lambda rng: {
+        "epoch": rng.randrange(1, 10),
+        "change": {"kind": rng.choice(
+            ["add-replica", "drop-replica", "migrate-primary"]),
+            "site": rng.randrange(8), "item": rng.randrange(40)}},
 }
 
 

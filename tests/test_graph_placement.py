@@ -1,9 +1,13 @@
-"""Tests for data placement and copy-graph construction."""
+"""Tests for data placement and copy-graph construction, the placement
+mutation APIs behind the reconfiguration plane, and the sharded
+partial-replication generators."""
 
 import pytest
 
 from repro.errors import GraphError, PlacementError
-from repro.graph import CopyGraph, DataPlacement
+from repro.graph import CopyGraph, DataPlacement, build_shard_trees
+from repro.workload.distribution import generate_placement
+from repro.workload.params import WorkloadParams
 
 
 @pytest.fixture
@@ -116,3 +120,158 @@ def test_edge_weight_counts_items():
     graph.add_edge(0, 1, "a")
     graph.add_edge(0, 1, "b")
     assert graph.edge_weight(0, 1) == 2
+
+
+# ----------------------------------------------------------------------
+# Mutation APIs (the reconfiguration plane edits placements between
+# epochs)
+# ----------------------------------------------------------------------
+
+def test_add_and_drop_replica(paper_placement):
+    paper_placement.add_replica("b", 0)
+    assert paper_placement.sites_of("b") == {0, 1, 2}
+    paper_placement.drop_replica("b", 0)
+    assert paper_placement.sites_of("b") == {1, 2}
+    with pytest.raises(PlacementError):
+        paper_placement.add_replica("a", 0)   # already the primary
+    with pytest.raises(PlacementError):
+        paper_placement.add_replica("a", 1)   # already a replica
+    with pytest.raises(PlacementError):
+        paper_placement.drop_replica("b", 0)  # holds no replica
+    with pytest.raises(PlacementError):
+        paper_placement.add_replica("zzz", 0)
+
+
+def test_migrate_primary_promotes_and_demotes(paper_placement):
+    paper_placement.migrate_primary("a", 2)
+    assert paper_placement.primary_site("a") == 2
+    # The old primary keeps its copy, demoted to a replica.
+    assert paper_placement.replica_sites("a") == {0, 1}
+    with pytest.raises(PlacementError):
+        paper_placement.migrate_primary("a", 2)  # already the primary
+    with pytest.raises(PlacementError):
+        paper_placement.migrate_primary("b", 0)  # holds no replica
+
+
+def test_clone_is_independent(paper_placement):
+    other = paper_placement.clone()
+    other.add_replica("b", 0)
+    other.migrate_primary("a", 1)
+    assert paper_placement.sites_of("b") == {1, 2}
+    assert paper_placement.primary_site("a") == 0
+    assert other.primary_site("a") == 1
+
+
+def test_placement_view_slices_one_site(paper_placement):
+    view = paper_placement.view(2)
+    assert view.primary_items == frozenset()
+    assert view.replica_items == {"a", "b"}
+    assert view.items == {"a", "b"}
+    assert view.holds("a") and not view.holds("zzz")
+    assert view.is_member()
+    empty = DataPlacement(2)
+    empty.add_item("x", primary=0)
+    assert not empty.view(1).is_member()
+
+
+def test_shards_group_by_signature():
+    placement = DataPlacement(3)
+    placement.add_item(0, primary=0, replicas=[1])
+    placement.add_item(3, primary=0, replicas=[1])
+    placement.add_item(1, primary=1, replicas=[2])
+    shards = placement.shards()
+    assert shards[(0, (1,))] == {0, 3}
+    assert shards[(1, (2,))] == {1}
+    assert placement.shard_key(3) == (0, (1,))
+
+
+def test_placement_json_round_trip(paper_placement):
+    placement = DataPlacement(4)
+    placement.add_item(0, primary=0, replicas=[1, 3])
+    placement.add_item(7, primary=2)
+    back = DataPlacement.from_json(placement.to_json())
+    assert back.n_sites == 4
+    assert back.sites_of(0) == {0, 1, 3}
+    assert back.primary_site(7) == 2
+    # Through real JSON text: int item keys stringify and must coerce
+    # back (the wire's ``placement`` op does exactly this round trip).
+    import json
+    again = DataPlacement.from_json(
+        json.loads(json.dumps(placement.to_json())))
+    assert again.sites_of(0) == {0, 1, 3}
+
+
+# ----------------------------------------------------------------------
+# Sharded partial-replication generators
+# ----------------------------------------------------------------------
+
+def _sharded(scheme, m=12, n=48, k=2):
+    import random
+    params = WorkloadParams(n_sites=m, n_items=n,
+                            placement_scheme=scheme,
+                            replication_factor=k)
+    # The sharded schemes are deterministic; the rng is never consulted.
+    return generate_placement(params, random.Random(0))
+
+
+@pytest.mark.parametrize("scheme", ["sharded-hash", "sharded-range"])
+@pytest.mark.parametrize("m,n,k", [(12, 48, 2), (12, 48, 3),
+                                   (6, 24, 2), (4, 7, 3)])
+def test_sharded_placement_has_one_primary_and_honors_k(scheme, m, n, k):
+    placement = _sharded(scheme, m, n, k)
+    assert len(placement) == n
+    for item in range(n):
+        primary = placement.primary_site(item)
+        assert 0 <= primary < m
+        copies = placement.sites_of(item)
+        assert primary in copies
+        # k copies wherever the site space allows; truncated (never
+        # wrapped — wrap-around would make the copy graph cyclic) at
+        # the last site.
+        assert len(copies) == min(k, m - primary)
+    # Every site originates writes somewhere (no stranded generator).
+    for site in range(min(m, n)):
+        assert placement.primary_items_at(site)
+
+
+@pytest.mark.parametrize("scheme", ["sharded-hash", "sharded-range"])
+def test_sharded_placement_is_deterministic_and_a_dag(scheme):
+    first = _sharded(scheme)
+    second = _sharded(scheme)
+    assert first.to_json() == second.to_json()
+    assert CopyGraph.from_placement(first).is_dag()
+
+
+def test_replication_factor_zero_means_replicate_to_every_later_site():
+    placement = _sharded("sharded-hash", m=4, n=8, k=0)
+    for item in range(8):
+        primary = placement.primary_site(item)
+        assert placement.sites_of(item) == set(range(primary, 4))
+
+
+def test_range_scheme_keeps_items_contiguous():
+    placement = _sharded("sharded-range", m=4, n=16, k=2)
+    for site in range(4):
+        primaries = sorted(placement.primary_items_at(site))
+        assert primaries == list(range(primaries[0],
+                                       primaries[-1] + 1))
+
+
+def test_paper_scheme_is_still_the_default():
+    assert WorkloadParams(n_sites=3, n_items=12).placement_scheme \
+        == "paper"
+
+
+def test_shard_trees_span_exactly_the_replicating_sites():
+    placement = _sharded("sharded-hash", m=6, n=24, k=3)
+    trees = build_shard_trees(placement)
+    assert set(trees) == set(placement.shards())
+    for (primary, replicas), tree in trees.items():
+        span = {primary} | set(replicas)
+        assert set(tree.sites) == span
+        assert tree.roots() == [primary]
+        # A chain: each replica's parent is its predecessor, so
+        # forwarding never visits a non-replicating site.
+        order = [primary] + list(replicas)
+        for parent, child in zip(order, order[1:]):
+            assert tree.parent[child] == parent

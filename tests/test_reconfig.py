@@ -1,0 +1,479 @@
+"""The reconfiguration plane: placement changes, epoch replay, spec
+fingerprints, and live epoch transitions on real clusters.
+
+The live tests boot partial-replication clusters (sharded placement,
+replication factor 2) on localhost TCP and drive epoch transitions
+through :class:`repro.reconfig.ReconfigCoordinator` while the paper's
+closed-loop workload keeps running — the acceptance scenario of the
+reconfiguration plane.  Offline tests cover the change vocabulary and
+the WAL epoch-replay rule.
+
+Port plan: this file owns 8100-8199 so it never collides with the
+other live-cluster suites (7450-7900) or the CI fixtures.
+"""
+
+import asyncio
+import dataclasses
+import os
+import random
+
+import pytest
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.codec import decode_value
+from repro.cluster.loadgen import history_from_status, wait_quiescent
+from repro.cluster.server import SiteServer
+from repro.cluster.spec import ClusterSpec
+from repro.graph import CopyGraph, DataPlacement
+from repro.harness.convergence import divergent_copies
+from repro.harness.serializability import (
+    build_serialization_graph,
+    find_dsg_cycle,
+)
+from repro.obs.monitor import MonitorConfig, Watchdog
+from repro.reconfig import (
+    PlacementChange,
+    ReconfigCoordinator,
+    ReconfigError,
+)
+from repro.reconfig.change import replay_epochs
+from repro.sim.rng import RngRegistry
+from repro.workload.distribution import generate_placement
+from repro.workload.generator import TransactionGenerator
+from repro.workload.params import WorkloadParams
+
+
+# ----------------------------------------------------------------------
+# PlacementChange (pure data)
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def chain6():
+    """6-site sharded-hash placement, k=2 (each item at its primary and
+    the next site; items at s5 stay unreplicated)."""
+    params = WorkloadParams(n_sites=6, n_items=12,
+                            placement_scheme="sharded-hash",
+                            replication_factor=2)
+    return generate_placement(params, random.Random(0))
+
+
+def test_change_validation():
+    with pytest.raises(ReconfigError):
+        PlacementChange(kind="shuffle", site=0).validate()
+    with pytest.raises(ReconfigError):
+        PlacementChange(kind="add-replica", site=0).validate()
+    PlacementChange(kind="remove-site", site=0).validate()
+
+
+def test_change_apply_each_kind(chain6):
+    added = PlacementChange(kind="add-replica", site=4,
+                            item=1).apply(chain6)
+    assert added.sites_of(1) == {1, 2, 4}
+    assert chain6.sites_of(1) == {1, 2}  # input untouched
+
+    dropped = PlacementChange(kind="drop-replica", site=2,
+                              item=1).apply(chain6)
+    assert dropped.sites_of(1) == {1}
+
+    migrated = PlacementChange(kind="migrate-primary", site=2,
+                               item=1).apply(chain6)
+    assert migrated.primary_site(1) == 2
+    assert migrated.replica_sites(1) == {1}
+
+    with pytest.raises(ReconfigError):
+        PlacementChange(kind="add-replica", site=2, item=1).apply(chain6)
+    with pytest.raises(ReconfigError):
+        # s0 still holds primaries.
+        PlacementChange(kind="remove-site", site=0).apply(chain6)
+
+
+def test_remove_site_drops_every_replica(chain6):
+    # s1 holds replicas of items 0 and 6 plus primaries 1, 7: migrating
+    # the primaries away first makes the removal legal.
+    working = chain6.clone()
+    working.migrate_primary(1, 2)
+    working.migrate_primary(7, 2)
+    removed = PlacementChange(kind="remove-site", site=1).apply(working)
+    assert not removed.items_at(1)
+    assert not removed.view(1).is_member()
+
+
+def test_affected_and_gained_items(chain6):
+    change = PlacementChange(kind="add-replica", site=4, item=1)
+    assert change.affected_items(chain6) == {1}
+    assert change.gained_items(chain6, 4) == {1}
+    assert change.gained_items(chain6, 2) == frozenset()
+    removal = PlacementChange(kind="remove-site", site=5)
+    assert removal.affected_items(chain6) == \
+        chain6.replica_items_at(5)
+
+
+def test_check_against_rejects_cycles_for_tree_protocols(chain6):
+    backward = PlacementChange(kind="add-replica", site=1, item=4)
+    with pytest.raises(ReconfigError):
+        backward.check_against(chain6, protocol="dag_wt")
+    # BackEdge tolerates cyclic copy graphs (eager backedge 2PC).
+    result = backward.check_against(chain6, protocol="backedge")
+    assert not CopyGraph.from_placement(result).is_dag()
+
+
+def test_check_against_protects_the_last_primary():
+    placement = DataPlacement(2)
+    placement.add_item(0, primary=0, replicas=[1])
+    placement.add_item(1, primary=1)
+    placement.add_item(2, primary=0)  # s0 keeps a primary afterwards
+    change = PlacementChange(kind="migrate-primary", site=1, item=0)
+    ok = change.check_against(placement, protocol="dag_wt")
+    assert ok.primary_site(0) == 1
+    # Now move s0's only primary away: refused unless explicitly allowed.
+    lonely = DataPlacement(2)
+    lonely.add_item(0, primary=0, replicas=[1])
+    with pytest.raises(ReconfigError):
+        change.check_against(lonely, protocol="dag_wt")
+    allowed = change.check_against(lonely, protocol="dag_wt",
+                                   allow_empty_primaries=True)
+    assert not allowed.primary_items_at(0)
+
+
+def test_change_json_round_trip():
+    for change in (PlacementChange(kind="add-replica", site=3, item=7),
+                   PlacementChange(kind="remove-site", site=2)):
+        assert PlacementChange.from_json(change.to_json()) == change
+
+
+def test_replay_epochs_applies_in_order_and_skips_duplicates(chain6):
+    add = PlacementChange(kind="add-replica", site=4, item=1)
+    migrate = PlacementChange(kind="migrate-primary", site=4, item=1)
+    commits = [(1, add.to_json()),
+               (1, add.to_json()),       # duplicate commit record
+               (2, migrate.to_json()),
+               (2, migrate.to_json())]
+    epoch, placement = replay_epochs(chain6, commits)
+    assert epoch == 2
+    assert placement.primary_site(1) == 4
+    assert placement.sites_of(1) == {1, 2, 4}
+    # Starting past the records is a no-op.
+    epoch, placement = replay_epochs(chain6, commits, start_epoch=2)
+    assert epoch == 2
+    assert placement.primary_site(1) == 1
+
+
+# ----------------------------------------------------------------------
+# ClusterSpec epochs
+# ----------------------------------------------------------------------
+
+def test_spec_epoch_changes_fingerprint_but_not_genesis():
+    params = WorkloadParams(n_sites=4, n_items=8,
+                            placement_scheme="sharded-hash",
+                            replication_factor=2)
+    spec = ClusterSpec(params=params, protocol="dag_wt", seed=3,
+                       base_port=8190)
+    later = dataclasses.replace(spec, epoch=2)
+    assert spec.epoch == 0
+    assert later.fingerprint() != spec.fingerprint()
+    assert later.genesis_fingerprint() == spec.fingerprint()
+    round_tripped = ClusterSpec.from_json(later.to_json())
+    assert round_tripped.epoch == 2
+    assert round_tripped.fingerprint() == later.fingerprint()
+
+
+def test_spec_fingerprint_covers_placement_scheme():
+    params = WorkloadParams(n_sites=4, n_items=8,
+                            placement_scheme="sharded-hash",
+                            replication_factor=2)
+    spec = ClusterSpec(params=params, protocol="dag_wt", seed=3,
+                       base_port=8190)
+    other = dataclasses.replace(
+        spec, params=params.replaced(replication_factor=3))
+    assert other.fingerprint() != spec.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# Live epoch transitions
+# ----------------------------------------------------------------------
+
+def _spec(base_port, n_sites=6, n_items=12, txns=8):
+    params = WorkloadParams(n_sites=n_sites, n_items=n_items,
+                            placement_scheme="sharded-hash",
+                            replication_factor=2,
+                            threads_per_site=1,
+                            transactions_per_thread=txns,
+                            read_txn_probability=0.2,
+                            deadlock_timeout=0.05)
+    return ClusterSpec(params=params, protocol="dag_wt", seed=3,
+                       base_port=base_port)
+
+
+async def _boot(spec, wal_dir, anti_entropy_interval=0.3):
+    servers = {}
+    for site in range(spec.params.n_sites):
+        servers[site] = SiteServer(
+            spec, site,
+            wal_path=os.path.join(wal_dir, "s{}.wal".format(site)),
+            anti_entropy_interval=anti_entropy_interval)
+        await servers[site].start()
+    client = ClusterClient(spec, timeout=5.0)
+    await client.wait_ready()
+    return servers, client
+
+
+async def _shutdown(servers, client):
+    await client.close()
+    for server in servers.values():
+        await server.stop()
+
+
+def test_live_transitions_under_load_with_watchdog(tmp_path):
+    """The acceptance scenario: a 12-site partial-replication cluster
+    completes add-replica, remove-secondary (drop-replica) and
+    migrate-primary transitions without stopping traffic — zero
+    watchdog criticals across the transitions, and the convergence +
+    serializability oracles green against the *final* placement."""
+    spec = _spec(8100, n_sites=12, n_items=24)
+    placement = spec.build_placement()
+
+    async def scenario():
+        servers, client = await _boot(spec, str(tmp_path))
+        watchdog = Watchdog(spec, ClusterClient(spec, timeout=2.0,
+                                                retries=1),
+                            config=MonitorConfig(interval=0.25,
+                                                 convergence_every=5,
+                                                 trace_limit=0))
+        watchdog_task = asyncio.get_running_loop().create_task(
+            watchdog.run())
+        generator = TransactionGenerator(
+            spec.params, placement,
+            RngRegistry(spec.seed).stream("workload"))
+        outcomes = {"committed": 0, "aborted": 0, "unknown": 0}
+
+        async def worker(site, thread):
+            for txn_spec in generator.thread_stream(site, thread):
+                outcome = await client.run_transaction(txn_spec)
+                outcomes[outcome["status"]] += 1
+                await asyncio.sleep(0.01)
+
+        coordinator = ReconfigCoordinator(client, timeout=20.0)
+        reports = []
+
+        async def reconfigure():
+            await asyncio.sleep(0.15)
+            # Epoch 1: a new downstream replica (forward edge).
+            reports.append(await coordinator.execute(PlacementChange(
+                kind="add-replica", site=5, item=1)))
+            # Epoch 2: remove-secondary — item 16 shares s4's shard
+            # with item 4; dropping its s5 replica leaves item 4 the
+            # only witness of the s4 -> s5 copy edge...
+            reports.append(await coordinator.execute(PlacementChange(
+                kind="drop-replica", site=5, item=16)))
+            # Epoch 3: ...so promoting s5 to item 4's primary keeps
+            # the copy graph a DAG (the old edge flips with it).
+            reports.append(await coordinator.execute(PlacementChange(
+                kind="migrate-primary", site=5, item=4)))
+
+        await asyncio.gather(
+            reconfigure(),
+            *(worker(site, thread)
+              for site in range(spec.params.n_sites)
+              for thread in range(spec.params.threads_per_site)))
+        statuses = await wait_quiescent(client, timeout=20.0,
+                                        settle_polls=3)
+        epoch, final_placement = await coordinator.current_placement()
+        watchdog.request_stop()
+        await watchdog_task
+        summary = watchdog.summary()
+        watchdog.close()
+        await watchdog.client.close()
+        try:
+            return (outcomes, reports, statuses, epoch,
+                    final_placement, summary)
+        finally:
+            await _shutdown(servers, client)
+
+    outcomes, reports, statuses, epoch, final_placement, summary = \
+        asyncio.run(scenario())
+
+    assert epoch == 3
+    assert [r.epoch for r in reports] == [1, 2, 3]
+    assert all(r.total_s < 20.0 for r in reports)
+    assert outcomes["unknown"] == 0
+    assert outcomes["committed"] > 0
+    # Traffic never stopped and nothing paged: zero criticals across
+    # all three transitions (site-down, lag-SLO, divergence rules all
+    # armed and epoch-aware).
+    assert summary["critical"] == 0, summary
+    assert summary["epoch"] == 3
+
+    assert final_placement.sites_of(1) >= {1, 5}
+    assert final_placement.sites_of(16) == {4}
+    assert final_placement.primary_site(4) == 5
+    state = {site: decode_value(status["items"])
+             for site, status in statuses.items()}
+    assert divergent_copies(final_placement, state) == []
+    histories = [history_from_status(status)
+                 for status in statuses.values()]
+    assert find_dsg_cycle(build_serialization_graph(histories)) is None
+    # Every member agrees on the epoch.
+    assert {int(status["epoch"]) for status in statuses.values()} == {3}
+
+
+def test_stale_epoch_client_adopts_forward(tmp_path):
+    """A client whose spec sits at a historical (non-genesis) epoch is
+    rejected with an epoch hint and transparently re-fingerprints."""
+    spec = _spec(8120)
+
+    async def scenario():
+        servers, client = await _boot(spec, str(tmp_path))
+        coordinator = ReconfigCoordinator(client, timeout=20.0)
+        await coordinator.execute(PlacementChange(
+            kind="add-replica", site=4, item=1))
+        await coordinator.execute(PlacementChange(
+            kind="add-replica", site=5, item=2))
+        stale = ClusterClient(dataclasses.replace(spec, epoch=1),
+                              timeout=5.0)
+        try:
+            status = await stale.reconfig_status(0)
+            return status, stale.spec.epoch
+        finally:
+            await stale.close()
+            await _shutdown(servers, client)
+
+    status, adopted = asyncio.run(scenario())
+    assert status["epoch"] == 2
+    assert adopted == 2
+
+
+def test_crashed_member_recovers_into_the_committed_epoch(tmp_path):
+    """Epoch durability: a member killed after a transition restarts
+    from its WAL directly into the committed epoch — including the
+    copy it *gained* in that epoch (created at prepare, journaled, and
+    refilled over catch-up)."""
+    spec = _spec(8130)
+    victim = 4
+
+    async def scenario():
+        servers, client = await _boot(spec, str(tmp_path))
+        coordinator = ReconfigCoordinator(client, timeout=20.0)
+        await coordinator.execute(PlacementChange(
+            kind="add-replica", site=victim, item=1))
+        # Write through item 1's primary so the new replica has real
+        # traffic to hold, then crash the gaining member.
+        from repro.types import (GlobalTransactionId, Operation, OpType,
+                                 TransactionSpec)
+        outcome = await client.run_transaction(TransactionSpec(
+            GlobalTransactionId(1, 9000), 1,
+            (Operation(OpType.WRITE, 1),)))
+        assert outcome["status"] == "committed"
+        await wait_quiescent(client, timeout=20.0, settle_polls=2)
+        servers[victim].kill()
+        await asyncio.sleep(0.2)
+        servers[victim] = SiteServer(
+            spec, victim,
+            wal_path=os.path.join(str(tmp_path),
+                                  "s{}.wal".format(victim)),
+            anti_entropy_interval=0.3)
+        await servers[victim].start()
+        status = await client.reconfig_status(victim)
+        statuses = await wait_quiescent(client, timeout=20.0,
+                                        settle_polls=3)
+        placement_resp = await client.placement(victim)
+        try:
+            return status, statuses, placement_resp
+        finally:
+            await _shutdown(servers, client)
+
+    status, statuses, placement_resp = asyncio.run(scenario())
+    assert status["epoch"] == 1
+    assert status["pending_epoch"] is None
+    recovered = DataPlacement.from_json(placement_resp["placement"])
+    assert victim in recovered.sites_of(1)
+    state = {site: decode_value(s["items"])
+             for site, s in statuses.items()}
+    assert divergent_copies(recovered, state) == []
+
+
+def test_torn_commit_is_healed(tmp_path):
+    """A coordinator that dies between per-site commits leaves epochs
+    torn; a later coordinator's heal pass re-drives the recorded change
+    to the laggard before doing anything else."""
+    spec = _spec(8140)
+    change = PlacementChange(kind="add-replica", site=3, item=1)
+
+    async def scenario():
+        servers, client = await _boot(spec, str(tmp_path))
+        target = 1
+        for site in range(spec.params.n_sites):
+            await client.reconfig_prepare(site, target,
+                                          change.to_json())
+        # The torn schedule: s5 crashes, then the coordinator commits
+        # everyone it can reach and dies before s5 returns.  The
+        # commit-time gossip to s5 dies with the sockets when the
+        # committed members are bounced, so nothing heals s5 by
+        # accident.
+        servers[5].kill()
+        for site in range(5):
+            await client.reconfig_commit(site, target,
+                                         change.to_json())
+        for site in range(5):
+            servers[site].kill()
+        await client.close()
+        for site in range(spec.params.n_sites):
+            servers[site] = SiteServer(
+                spec, site,
+                wal_path=os.path.join(str(tmp_path),
+                                      "s{}.wal".format(site)),
+                anti_entropy_interval=0.3)
+            await servers[site].start()
+        client = ClusterClient(spec, timeout=5.0)
+        await client.wait_ready()
+        before = {site: (await client.reconfig_status(site))["epoch"]
+                  for site in range(spec.params.n_sites)}
+        coordinator = ReconfigCoordinator(client, timeout=20.0)
+        healed = await coordinator.heal()
+        after = {site: (await client.reconfig_status(site))["epoch"]
+                 for site in range(spec.params.n_sites)}
+        try:
+            return before, healed, after
+        finally:
+            await _shutdown(servers, client)
+
+    before, healed, after = asyncio.run(scenario())
+    assert {before[site] for site in range(5)} == {1}
+    assert before[5] == 0
+    assert healed == [5]
+    assert set(after.values()) == {1}
+
+
+def test_writes_on_fenced_items_are_refused_not_lost(tmp_path):
+    """While an item's transition is pending its writes abort cleanly
+    (status aborted with a reason) instead of committing into a
+    placement about to be swapped; after the commit they flow again."""
+    spec = _spec(8160)
+
+    async def scenario():
+        servers, client = await _boot(spec, str(tmp_path))
+        from repro.types import (GlobalTransactionId, Operation, OpType,
+                                 TransactionSpec)
+
+        def write(seq):
+            return TransactionSpec(GlobalTransactionId(1, seq), 1,
+                                   (Operation(OpType.WRITE, 1),))
+
+        target = 1
+        change = PlacementChange(kind="add-replica", site=4, item=1)
+        for site in range(spec.params.n_sites):
+            await client.reconfig_prepare(site, target,
+                                          change.to_json())
+        fenced = await client.run_transaction(write(9100))
+        for site in range(spec.params.n_sites):
+            await client.reconfig_commit(site, target,
+                                         change.to_json())
+        unfenced = await client.run_transaction(write(9101))
+        try:
+            return fenced, unfenced
+        finally:
+            await _shutdown(servers, client)
+
+    fenced, unfenced = asyncio.run(scenario())
+    assert fenced["status"] == "aborted"
+    assert "fenced" in fenced.get("reason", "")
+    assert unfenced["status"] == "committed"

@@ -65,6 +65,8 @@ import typing
 
 from repro.cluster.codec import (
     CodecError,
+    WireCodec,
+    choose_wire_format,
     decode_message,
     encode_value,
     read_frame,
@@ -113,6 +115,40 @@ LIVE_PROTOCOLS = ("dag_wt", "backedge")
 #: belongs at the senders (their unacked windows) and the client
 #: admission bound.
 APPLY_PIPELINE_DEPTH = 8
+
+
+class _GroupCommitSyncer:
+    """Coalesces concurrent durability waiters into shared sync rounds
+    run off the event loop.
+
+    ``wait_durable`` captures the log's ``appended`` high-water mark
+    and returns once ``synced_records`` passes it.  At most one sync
+    round is in flight at a time; every waiter that arrives while a
+    round runs shares the *next* round (leader/follower group commit).
+    The fsync itself runs in the default executor, so the event loop
+    keeps decoding, applying and batching while the disk works — on a
+    single core that overlap, not parallelism, is the win."""
+
+    def __init__(self, log: typing.Any):
+        self._log = log
+        self._round: typing.Optional[asyncio.Task] = None
+
+    async def wait_durable(self) -> None:
+        log = self._log
+        target = log.appended
+        while log.synced_records < target:
+            if self._round is None:
+                loop = asyncio.get_running_loop()
+                self._round = loop.create_task(self._run_round(loop))
+            # Shield: a cancelled waiter must not abort the shared
+            # round other waiters (and the durability promise) ride on.
+            await asyncio.shield(self._round)
+
+    async def _run_round(self, loop: asyncio.AbstractEventLoop) -> None:
+        try:
+            await loop.run_in_executor(None, self._log.sync)
+        finally:
+            self._round = None
 
 
 def live_system_config(spec: ClusterSpec) -> SystemConfig:
@@ -207,6 +243,15 @@ class SiteServer:
         self._h_wal_sync = self.metrics.histogram("wal.sync_s")
         self._h_journal_sync = self.metrics.histogram("journal.sync_s")
         self._g_apply_queue = self.metrics.gauge("server.apply_queue")
+        # Wire/apply stage instrumentation: seconds spent decoding one
+        # inbound peer frame body, seconds spent applying one frame
+        # (dispatch + kernel drive), and how many inbound connections
+        # negotiated each wire format.
+        self._h_decode = self.metrics.histogram("server.decode_s")
+        self._h_apply = self.metrics.histogram("server.apply_s")
+        self._m_conns_binary = self.metrics.counter(
+            "server.conns_binary")
+        self._m_conns_json = self.metrics.counter("server.conns_json")
         self._m_catchup_requests = self.metrics.counter(
             "catchup.requests")
         self._m_catchup_replies = self.metrics.counter("catchup.replies")
@@ -231,6 +276,8 @@ class SiteServer:
         self.transport: typing.Optional[LiveTransport] = None
         self.wal: typing.Optional[FileWal] = None
         self.journal: typing.Optional[MessageJournal] = None
+        self._wal_syncer: typing.Optional[_GroupCommitSyncer] = None
+        self._journal_syncer: typing.Optional[_GroupCommitSyncer] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -251,7 +298,8 @@ class SiteServer:
             sync_hook=self._sync_wal,
             metrics=self.metrics if self.spec.obs else None,
             trace_sink=self.trace,
-            faults=self.faults)
+            faults=self.faults,
+            wire_format=self.spec.wire_format)
         self.system = ReplicatedSystem(
             self.env, self.placement, live_system_config(self.spec),
             transport=self.transport, local_sites=[self.site_id])
@@ -272,6 +320,13 @@ class SiteServer:
                 self.wal_path + ".inbox",
                 durability=self.spec.durability,
                 group_commit=True)
+            # Group-commit coalescing off the event loop: fsync/flush
+            # releases the GIL, so running each sync round in the
+            # default executor lets decode/apply/drive proceed during
+            # the disk wait, and every waiter that arrives mid-round
+            # shares the next one (leader/follower).
+            self._wal_syncer = _GroupCommitSyncer(self.wal)
+            self._journal_syncer = _GroupCommitSyncer(self.journal)
             if self.metrics:
                 self.wal.set_sync_observer(
                     lambda dt, _n: self._h_wal_sync.observe(dt))
@@ -312,6 +367,11 @@ class SiteServer:
         self._g_epoch.set(self.epoch)
         protocol = make_protocol(self.spec.protocol, self.system,
                                  **self.spec.protocol_options)
+        # Site-local apply concurrency (conflict-aware partitioning of
+        # secondary subtransactions); a per-process knob, so it is set
+        # on the protocol instance rather than carried in
+        # protocol_options (which enter the cluster fingerprint).
+        protocol.apply_workers = self.spec.apply_workers
         self.system.use_protocol(protocol)
         self.system.remote_wound = self._remote_wound
         if self.recovered:
@@ -489,15 +549,28 @@ class SiteServer:
         self.transport.send(MessageType.WOUND, self.site_id, gid.site,
                             gid=gid, reason=reason)
 
-    def _sync_wal(self) -> None:
+    def _sync_wal(self) -> typing.Optional[typing.Awaitable[None]]:
         """Durability barrier: group-committed WAL records reach stable
         storage.  Runs before a client response leaves (the commit it
         reports must be durable) and before any outbound peer frame
-        (a forwarded update implies its commit record is stable).  With
-        group commit off this is a no-op — every append synced itself.
+        (a forwarded update implies its commit record is stable).
+
+        Returns ``None`` when already durable (or no WAL), otherwise an
+        awaitable that resolves once the records are stable — the sync
+        itself runs in the executor so the event loop keeps decoding and
+        applying during the disk wait, and concurrent waiters coalesce
+        into shared group-commit rounds.  Callers that may be
+        synchronous treat a non-``None`` return as "await me".
         """
-        if self.wal is not None:
-            self.wal.sync()
+        wal = self.wal
+        if wal is None:
+            return None
+        if self._wal_syncer is not None:
+            if wal.synced_records >= wal.appended:
+                return None
+            return self._wal_syncer.wait_durable()
+        wal.sync()
+        return None
 
     def _accept_entry(self, incarnation: str, seq: int,
                       obj_msg: typing.Mapping[str, typing.Any]) -> None:
@@ -545,13 +618,15 @@ class SiteServer:
             self.transport.deliver(message)
 
     def _apply_frame(self, frame: typing.Mapping) -> typing.Optional[int]:
-        """Apply one ``msg`` or ``batch`` frame; returns the cumulative
-        ack sequence (``None`` if the frame carried nothing to ack).
+        """Accept one ``msg`` or ``batch`` frame's entries; returns the
+        cumulative ack sequence (``None`` if the frame carried nothing
+        to ack).
 
         The per-frame shape is the amortization: every entry is
-        dedup-checked and dispatched in arrival order, then ONE journal
-        sync covers all the durable entries and ONE kernel drive runs
-        the protocol over the whole batch."""
+        dedup-checked and dispatched in arrival order; the caller
+        (:meth:`_apply_loop`) then runs ONE journal sync covering all
+        the durable entries and ONE kernel drive over the whole batch —
+        overlapping the two, since the sync runs in the executor."""
         if frame.get("kind") == "batch":
             incarnation = str(frame.get("inc", ""))
             msgs = frame.get("msgs")
@@ -575,9 +650,6 @@ class SiteServer:
             count = 1
         self._m_frames_decoded.inc()
         self._m_frame_msgs.observe(count)
-        if self.journal is not None:
-            self.journal.sync()  # journal-then-ack, once per frame
-        self._drive()
         return last_seq
 
     def _on_wound(self, message: Message) -> None:
@@ -782,17 +854,36 @@ class SiteServer:
                 # The epoch hint lets a client whose spec merely lags
                 # the cluster re-sync and retry; a genuinely mismatched
                 # cluster config still presents neither accepted
-                # fingerprint after adopting the epoch.
+                # fingerprint after adopting the epoch.  Always JSON:
+                # negotiation never happened on this connection.
                 await write_frame(writer, {
                     "kind": "error",
                     "error": "cluster fingerprint mismatch "
                              "(server epoch {})".format(self.epoch),
                     "epoch": self.epoch})
                 return
-            if hello.get("role") == "peer":
-                await self._peer_loop(reader, writer)
+            # Wire-format negotiation: a hello that carries a "wire"
+            # offer gets a hello-ack naming the chosen encoding; a
+            # legacy hello gets no ack at all (so old dialers see the
+            # exact byte stream they always did).  The chosen format
+            # governs both directions of this connection — the dialer
+            # encodes with it, and our acks/responses use it too.
+            codec = WireCodec()
+            if "wire" in hello:
+                chosen = choose_wire_format(
+                    hello.get("wire"),
+                    self.spec.wire_format == "binary")
+                codec = WireCodec(chosen)
+                await write_frame(writer, {
+                    "kind": "hello-ack", "wire": chosen})
+            if codec.binary:
+                self._m_conns_binary.inc()
             else:
-                await self._client_loop(reader, writer)
+                self._m_conns_json.inc()
+            if hello.get("role") == "peer":
+                await self._peer_loop(reader, writer, codec)
+            else:
+                await self._client_loop(reader, writer, codec)
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
         finally:
@@ -804,7 +895,9 @@ class SiteServer:
                 pass
 
     async def _peer_loop(self, reader: asyncio.StreamReader,
-                         writer: asyncio.StreamWriter) -> None:
+                         writer: asyncio.StreamWriter,
+                         codec: typing.Optional[WireCodec] = None
+                         ) -> None:
         """Socket-reading half of the inbound pipeline.
 
         Frames go through a small queue to :meth:`_apply_loop`, so the
@@ -816,10 +909,12 @@ class SiteServer:
         queue: "asyncio.Queue" = asyncio.Queue(
             maxsize=APPLY_PIPELINE_DEPTH)
         apply_task = asyncio.get_running_loop().create_task(
-            self._apply_loop(queue, writer))
+            self._apply_loop(queue, writer, codec))
+        on_decode = self._h_decode.observe if self.metrics else None
         try:
             while not self._closed and not apply_task.done():
-                frame = await read_frame(reader)
+                frame = await read_frame(reader, codec,
+                                         on_decode=on_decode)
                 if frame is None:
                     return
                 if frame.get("kind") in ("msg", "batch"):
@@ -842,19 +937,39 @@ class SiteServer:
                 pass
 
     async def _apply_loop(self, queue: "asyncio.Queue",
-                          writer: asyncio.StreamWriter) -> None:
-        """Applying half of the inbound pipeline: decode + journal +
-        drive each frame, then write its single cumulative ack."""
+                          writer: asyncio.StreamWriter,
+                          codec: typing.Optional[WireCodec] = None
+                          ) -> None:
+        """Applying half of the inbound pipeline: accept + journal +
+        drive each frame, then write its single cumulative ack.
+
+        The journal sync round starts (in the executor) *before* the
+        kernel drive, so the disk wait and the protocol work overlap;
+        the ack still waits for both — journal-then-ack holds."""
         while not self._closed:
             frame = await queue.get()
             if frame is None:
                 return
+            started = time.perf_counter()
             try:
                 last_seq = self._apply_frame(frame)
             except CodecError as exc:
                 print("site s{}: dropping malformed peer frame: {}"
                       .format(self.site_id, exc), file=sys.stderr)
                 continue
+            barrier: typing.Optional[asyncio.Future] = None
+            if self.journal is not None:
+                if self._journal_syncer is not None:
+                    if self.journal.synced_records < \
+                            self.journal.appended:
+                        barrier = asyncio.ensure_future(
+                            self._journal_syncer.wait_durable())
+                else:
+                    self.journal.sync()  # journal-then-ack
+            self._drive()
+            if barrier is not None:
+                await barrier
+            self._h_apply.observe(time.perf_counter() - started)
             if last_seq is None:
                 continue  # empty batch: nothing new to ack
             # Ack only after the frame is journalled (durable classes)
@@ -865,23 +980,26 @@ class SiteServer:
             # unacked sender resends through the dedup filter.
             try:
                 await write_frame(writer, {
-                    "kind": "ack", "seq": last_seq})
+                    "kind": "ack", "seq": last_seq}, codec)
             except (ConnectionError, OSError):
                 continue
 
     async def _client_loop(self, reader: asyncio.StreamReader,
-                           writer: asyncio.StreamWriter) -> None:
+                           writer: asyncio.StreamWriter,
+                           codec: typing.Optional[WireCodec] = None
+                           ) -> None:
         write_lock = asyncio.Lock()
         pending: typing.Set[asyncio.Task] = set()
         try:
             while not self._closed:
-                frame = await read_frame(reader)
+                frame = await read_frame(reader, codec)
                 if frame is None:
                     return
                 if frame.get("kind") != "req":
                     continue
                 task = asyncio.ensure_future(
-                    self._serve_request(frame, writer, write_lock))
+                    self._serve_request(frame, writer, write_lock,
+                                        codec))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
         finally:
@@ -890,7 +1008,9 @@ class SiteServer:
 
     async def _serve_request(self, frame: typing.Mapping,
                              writer: asyncio.StreamWriter,
-                             write_lock: asyncio.Lock) -> None:
+                             write_lock: asyncio.Lock,
+                             codec: typing.Optional[WireCodec] = None
+                             ) -> None:
         rid = frame.get("rid")
         try:
             response = await self._dispatch(frame)
@@ -899,13 +1019,15 @@ class SiteServer:
         response["kind"] = "resp"
         response["rid"] = rid
         # Group-commit barrier: a commit outcome must not reach the
-        # client before its WAL records reach stable storage.  One sync
-        # here covers every transaction that resolved in the same drive
-        # cycle — that coalescing IS the group commit.
-        self._sync_wal()
+        # client before its WAL records reach stable storage.  One
+        # executor-side sync round here covers every transaction that
+        # resolved while it ran — that coalescing IS the group commit.
+        barrier = self._sync_wal()
+        if barrier is not None:
+            await barrier
         try:
             async with write_lock:
-                await write_frame(writer, response)
+                await write_frame(writer, response, codec)
         except (ConnectionError, OSError):
             pass
         # Requests that end the server act after the response is out.
@@ -1203,7 +1325,8 @@ class SiteServer:
     def render_exposition(self) -> str:
         """This site's metrics snapshot as Prometheus text."""
         return render_exposition(self.metrics.snapshot(),
-                                 labels={"site": str(self.site_id)})
+                                 labels={"site": str(self.site_id)},
+                                 wire_format=self.spec.wire_format)
 
     # ------------------------------------------------------------------
     # HTTP scrape plane (spec.metrics_base_port)
@@ -1295,6 +1418,8 @@ class SiteServer:
             "batch": self.spec.batch,
             "durability": self.spec.durability,
             "obs": self.spec.obs,
+            "wire_format": self.spec.wire_format,
+            "apply_workers": self.spec.apply_workers,
             "wal": wal_stats,
             "journal": journal_stats,
             "apply_queue_hwm": self.apply_queue_hwm,

@@ -56,6 +56,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import threading
 import time
 import typing
 import zlib
@@ -81,10 +82,18 @@ def record_checksum(obj: typing.Mapping[str, typing.Any]) -> int:
 
 
 def _checksummed_line(obj: typing.Mapping[str, typing.Any]) -> str:
-    """One JSONL line carrying the record plus its CRC32."""
-    body = dict(obj)
-    body["c"] = record_checksum(obj)
-    return json.dumps(body, sort_keys=True) + "\n"
+    """One JSONL line carrying the record plus its CRC32.
+
+    Serializes the record ONCE: the canonical sorted dump is both the
+    checksum material and the line body — ``"c"`` sorts before every
+    key the WAL and journal use, so splicing it in front reproduces
+    ``json.dumps({**obj, "c": crc}, sort_keys=True)`` byte for byte at
+    half the encoding cost."""
+    material = json.dumps(obj, sort_keys=True)
+    crc = zlib.crc32(material.encode("utf-8")) & 0xFFFFFFFF
+    if material == "{}":
+        return '{"c": %d}\n' % crc
+    return '{"c": %d, %s\n' % (crc, material[1:])
 
 
 def _load_jsonl(path: str) -> typing.Tuple[
@@ -158,11 +167,21 @@ class _JsonlAppender:
         self._handle: typing.Optional[typing.TextIO] = None
         self._pending: typing.List[str] = []
         self._timer: typing.Optional[asyncio.TimerHandle] = None
+        # Sync may run on an executor thread (so fsync does not block
+        # the event loop) while the loop thread keeps appending.  The
+        # io lock serializes writers end to end; the buf lock guards
+        # only the pending list and counters.  Lock order: io ⊃ buf.
+        self._io_lock = threading.Lock()
+        self._buf_lock = threading.Lock()
         #: Number of sync points that actually hit the file (one
         #: write+flush each) — the group-commit amortization metric.
         self.syncs = 0
         #: Records appended by this process (not the recovered ones).
         self.appended = 0
+        #: High-water mark of appended records now on stable storage —
+        #: a group-commit round is complete for a waiter once this
+        #: passes the ``appended`` value it captured.
+        self.synced_records = 0
         #: Bytes this process wrote to the file.
         self.bytes_written = 0
         #: Pending records dropped by :meth:`abandon` (the simulated
@@ -180,10 +199,11 @@ class _JsonlAppender:
         return len(self._pending)
 
     def push(self, line: str) -> None:
-        self._pending.append(line)
-        self.appended += 1
-        if not self.group_commit or \
-                len(self._pending) >= self.max_pending:
+        with self._buf_lock:
+            self._pending.append(line)
+            self.appended += 1
+            pending = len(self._pending)
+        if not self.group_commit or pending >= self.max_pending:
             self.sync()
         else:
             self._arm_timer()
@@ -194,27 +214,34 @@ class _JsonlAppender:
         Returns how many records the sync covered.  The durability
         promise of every record pushed so far attaches to this call
         returning — callers sequence externally visible effects
-        (responses, acks, forwards) after it.
+        (responses, acks, forwards) after it.  Thread-safe: safe to
+        call from an executor thread while the loop thread appends
+        (the buffered-pending timer is never cancelled here — it fires
+        on an empty buffer and is a no-op).
         """
-        self._cancel_timer()
-        if not self._pending:
-            return 0
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        block, self._pending = "".join(self._pending), []
-        count = block.count("\n")
-        observer = self.observe_sync
-        started = time.perf_counter() if observer is not None else 0.0
-        self._handle.write(block)
-        if self.durability != "none":
-            self._handle.flush()
-            if self.durability == "fsync":
-                os.fsync(self._handle.fileno())
-        self.syncs += 1
-        self.bytes_written += len(block)
-        if observer is not None:
-            observer(time.perf_counter() - started, count)
-        return count
+        with self._io_lock:
+            with self._buf_lock:
+                if not self._pending:
+                    return 0
+                block, self._pending = "".join(self._pending), []
+                target = self.appended
+            count = block.count("\n")
+            observer = self.observe_sync
+            started = time.perf_counter() if observer is not None \
+                else 0.0
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(block)
+            if self.durability != "none":
+                self._handle.flush()
+                if self.durability == "fsync":
+                    os.fsync(self._handle.fileno())
+            self.syncs += 1
+            self.bytes_written += len(block)
+            self.synced_records = target
+            if observer is not None:
+                observer(time.perf_counter() - started, count)
+            return count
 
     def close(self) -> None:
         """Graceful close: pending records reach stable storage."""
@@ -227,12 +254,18 @@ class _JsonlAppender:
     def abandon(self) -> None:
         """Crash close: pending (never-promised) records are lost, as
         they would be when the process dies mid-buffer."""
-        self.abandoned += len(self._pending)
-        self._pending = []
-        self._cancel_timer()
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._io_lock:
+            with self._buf_lock:
+                self.abandoned += len(self._pending)
+                self._pending = []
+                # The dropped records will never sync; resolve the
+                # watermark so a durability waiter on a killed appender
+                # fails fast (teardown cancels it) instead of spinning.
+                self.synced_records = self.appended
+            self._cancel_timer()
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def _arm_timer(self) -> None:
         if self._timer is not None:
@@ -317,6 +350,11 @@ class FileWal(WriteAheadLog):
         return self._out.pending_sync
 
     @property
+    def synced_records(self) -> int:
+        """Appended records known to be on stable storage."""
+        return self._out.synced_records
+
+    @property
     def bytes_written(self) -> int:
         """Bytes this process wrote to the log file."""
         return self._out.bytes_written
@@ -390,6 +428,10 @@ class MessageJournal:
     @property
     def pending_sync(self) -> int:
         return self._out.pending_sync
+
+    @property
+    def synced_records(self) -> int:
+        return self._out.synced_records
 
     @property
     def appended(self) -> int:

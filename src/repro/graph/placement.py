@@ -190,10 +190,15 @@ class DataPlacement:
         return grouped
 
     def to_json(self) -> typing.Dict[str, typing.Any]:
-        """JSON-ready form (used by the ``placement`` wire request)."""
+        """JSON-ready form (used by the ``placement`` wire request).
+
+        Item keys are stringified up front: ``json.dumps`` would coerce
+        them silently, but the binary wire codec (rightly) refuses
+        non-``str`` dict keys, and both codecs must carry the same
+        frame."""
         return {
             "n_sites": self.n_sites,
-            "items": {item: [primary, sorted(self._replicas[item])]
+            "items": {str(item): [primary, sorted(self._replicas[item])]
                       for item, primary in self._primary.items()},
         }
 

@@ -1,0 +1,330 @@
+"""Differential battery: JSON and bin1 must agree on every wire op.
+
+Both codecs serialize the same frame-object vocabulary (the JSON-ready
+dicts produced by ``encode_message`` / ``encode_batch_frame`` plus the
+control frames — hello, hello-ack, ack, error, request/response).  The
+properties locked down here:
+
+* every wire op round-trips through BOTH codecs,
+* the binary decode of a frame equals the JSON decode of the same
+  frame (differential equality — neither codec gets to drift),
+* binary encode -> decode -> encode is byte-stable, both for
+  self-contained frames and across a warmed intern-table stream,
+* a truncated or bit-flipped binary body raises :class:`CodecError`,
+  never a partial or garbled frame,
+* tuple- and frozenset-keyed payload values survive both codecs with
+  hashable keys (the ``decode_value`` / ``_hashable`` regression).
+
+Payload builders are shared with ``test_cluster_codec`` so a new
+message type cannot ship without joining this battery too.
+"""
+
+import json
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.codec import (
+    BinaryDecoder,
+    BinaryEncoder,
+    CodecError,
+    decode_frame_body,
+    decode_message,
+    decode_value,
+    encode_batch_frame,
+    encode_frame,
+    encode_message,
+    encode_value,
+)
+from repro.network.message import Message, MessageType
+from repro.types import GlobalTransactionId
+from tests.test_cluster_codec import PAYLOADS, _gid
+
+MESSAGE_TYPES = sorted(MessageType, key=lambda t: t.value)
+
+
+def _message(rng, msg_type):
+    return Message(msg_type, rng.randrange(8), rng.randrange(8),
+                   PAYLOADS[msg_type](rng))
+
+
+def _msg_frame(rng, msg_type):
+    return {"kind": "msg", "inc": "inc-{}".format(rng.randrange(100)),
+            "seq": rng.randrange(10**6),
+            "msg": encode_message(_message(rng, msg_type))}
+
+
+def _batch_frame(rng):
+    base = rng.randrange(10**6)
+    entries = [(base + i, _message(rng, rng.choice(MESSAGE_TYPES)))
+               for i in range(rng.randrange(1, 6))]
+    return encode_batch_frame("inc-{}".format(rng.randrange(100)),
+                              entries)
+
+
+def _control_frames(rng):
+    """The non-message vocabulary one connection exchanges."""
+    return [
+        {"kind": "hello", "role": rng.choice(["peer", "client"]),
+         "site": rng.randrange(8), "fingerprint": "f" * 16,
+         "wire": ["bin1"]},
+        {"kind": "hello-ack", "wire": rng.choice(["bin1", "json"])},
+        {"kind": "ack", "seq": rng.randrange(10**9)},
+        {"kind": "error", "error": "wrong cluster fingerprint",
+         "epoch": rng.choice([None, rng.randrange(10)])},
+        {"kind": "request", "op": rng.choice(["txn", "status"]),
+         "payload": {"reads": [rng.randrange(50)],
+                     "writes": encode_value(
+                         {rng.randrange(50): rng.randrange(10**6)})}},
+        {"kind": "response", "ok": rng.random() < 0.5,
+         "result": encode_value({"gid": _gid(rng),
+                                 "values": (1, 2.5, None)})},
+    ]
+
+
+def _frame_stream(rng):
+    """A realistic connection's worth of frames, in stream order."""
+    frames = [_control_frames(rng)[0], {"kind": "hello-ack",
+                                        "wire": "bin1"}]
+    for _ in range(rng.randrange(4, 10)):
+        roll = rng.random()
+        if roll < 0.5:
+            frames.append(_msg_frame(rng, rng.choice(MESSAGE_TYPES)))
+        elif roll < 0.8:
+            frames.append(_batch_frame(rng))
+        else:
+            frames.append(rng.choice(_control_frames(rng)))
+    frames.append({"kind": "ack", "seq": rng.randrange(10**9)})
+    return frames
+
+
+def _binary_round_trip(frame, encoder=None, decoder=None):
+    """Encode+decode through bin1; returns (body, decoded)."""
+    encoder = encoder or BinaryEncoder()
+    decoder = decoder or BinaryDecoder()
+    wire = encoder.encode_frame(frame)
+    assert wire[4:5] == b"\xb1", "binary body must carry the magic"
+    return wire[4:], decoder.decode_body(wire[4:])
+
+
+# ----------------------------------------------------------------------
+# Differential equality, every wire op
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("msg_type", MESSAGE_TYPES)
+@settings(deadline=None, max_examples=25)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_differential_msg_frames(msg_type, seed):
+    rng = random.Random(seed)
+    frame = _msg_frame(rng, msg_type)
+    via_json = decode_frame_body(encode_frame(frame)[4:])
+    _, via_binary = _binary_round_trip(frame)
+    assert via_json == frame
+    assert via_binary == frame
+    assert via_binary == via_json
+    # And the decoded message is the original message, either way.
+    original = decode_message(frame["msg"])
+    for decoded in (via_json, via_binary):
+        message = decode_message(decoded["msg"])
+        assert message.msg_type is original.msg_type
+        assert message.payload == original.payload
+
+
+@settings(deadline=None, max_examples=60)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_differential_batch_and_control_frames(seed):
+    rng = random.Random(seed)
+    for frame in [_batch_frame(rng)] + _control_frames(rng):
+        via_json = decode_frame_body(encode_frame(frame)[4:])
+        _, via_binary = _binary_round_trip(frame)
+        assert via_json == frame
+        assert via_binary == frame
+
+
+# Generic frame objects beyond the protocol vocabulary: both codecs
+# must agree on arbitrary JSON-shaped frames too (strings that look
+# like intern-table vocabulary, ~-prefixed keys, big ints, unicode).
+_scalars = st.one_of(
+    st.none(), st.booleans(),
+    st.integers(min_value=-2**80, max_value=2**80),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.sampled_from(["kind", "msg", "batch", "~gid", "~map", "seq",
+                     "payload", "é~", "x" * 40]))
+_json_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4)),
+    max_leaves=20)
+
+
+@settings(deadline=None, max_examples=150)
+@given(frame=st.dictionaries(st.text(max_size=8), _json_values,
+                             max_size=5))
+def test_differential_generic_frames(frame):
+    via_json = decode_frame_body(encode_frame(frame)[4:])
+    _, via_binary = _binary_round_trip(frame)
+    assert via_binary == via_json == frame
+
+
+# ----------------------------------------------------------------------
+# Byte stability and warmed intern-table streams
+# ----------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=40)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_binary_stream_is_byte_stable(seed):
+    """encode -> decode -> encode reproduces the exact bytes, frame by
+    frame, with the intern tables warming in stream order on all three
+    parties (sender, receiver, re-sender)."""
+    rng = random.Random(seed)
+    frames = _frame_stream(rng)
+    sender, resender = BinaryEncoder(), BinaryEncoder()
+    receiver = BinaryDecoder()
+    for frame in frames:
+        first = sender.encode_frame(frame)
+        decoded = receiver.decode_body(first[4:])
+        assert decoded == frame
+        assert resender.encode_frame(decoded) == first
+
+
+@settings(deadline=None, max_examples=40)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_stream_decodes_match_json(seed):
+    """A warmed decoder (references into the intern table) produces the
+    same objects a JSON round trip does."""
+    rng = random.Random(seed)
+    encoder, decoder = BinaryEncoder(), BinaryDecoder()
+    for frame in _frame_stream(rng):
+        via_json = json.loads(json.dumps(frame))
+        decoded = decoder.decode_body(encoder.encode_frame(frame)[4:])
+        assert decoded == via_json
+
+
+def test_interning_pays_off_across_a_stream():
+    """Later frames reuse table references: repeated vocabulary must
+    not be re-defined inline (the compactness the format exists for)."""
+    rng = random.Random(5)
+    encoder = BinaryEncoder()
+    frame = _msg_frame(rng, MessageType.SECONDARY)
+    first = len(encoder.encode_frame(dict(frame, inc="warm-me-up")))
+    later = len(encoder.encode_frame(dict(frame, inc="warm-me-up")))
+    assert later < first
+
+
+# ----------------------------------------------------------------------
+# Corruption: CodecError, never garbage
+# ----------------------------------------------------------------------
+
+@settings(deadline=None, max_examples=120)
+@given(seed=st.integers(0, 2**32 - 1), where=st.integers(0, 2**31),
+       bit=st.integers(0, 7))
+def test_bit_flips_raise_codec_error(seed, where, bit):
+    rng = random.Random(seed)
+    frame = _msg_frame(rng, rng.choice(MESSAGE_TYPES))
+    body, _ = _binary_round_trip(frame)
+    corrupt = bytearray(body)
+    corrupt[where % len(body)] ^= 1 << bit
+    with pytest.raises(CodecError):
+        BinaryDecoder().decode_body(bytes(corrupt))
+
+
+@settings(deadline=None, max_examples=120)
+@given(seed=st.integers(0, 2**32 - 1), where=st.integers(0, 2**31))
+def test_truncation_raises_codec_error(seed, where):
+    rng = random.Random(seed)
+    frame = _batch_frame(rng)
+    body, _ = _binary_round_trip(frame)
+    with pytest.raises(CodecError):
+        BinaryDecoder().decode_body(body[:where % len(body)])
+    # JSON bodies too: every strict prefix of a minified frame is
+    # invalid JSON (the object never closes).
+    json_body = encode_frame(frame)[4:]
+    with pytest.raises(CodecError):
+        decode_frame_body(json_body[:where % len(json_body)])
+
+
+def test_exhaustive_corruption_sweep_small_frame():
+    """Every truncation point and two bit flips at every byte of one
+    real frame — the deterministic backstop under the fuzz above."""
+    rng = random.Random(11)
+    body, _ = _binary_round_trip(_msg_frame(rng, MessageType.SECONDARY))
+    for cut in range(len(body)):
+        with pytest.raises(CodecError):
+            BinaryDecoder().decode_body(body[:cut])
+    for pos in range(len(body)):
+        for mask in (0x01, 0x80):
+            corrupt = bytearray(body)
+            corrupt[pos] ^= mask
+            with pytest.raises(CodecError):
+                BinaryDecoder().decode_body(bytes(corrupt))
+
+
+def test_garbage_and_wrong_version_raise():
+    for body in (b"", b"\xb1", b"\xb1\x01", b"not binary at all",
+                 b"\xb1\x02" + b"\x00" * 16, b"\x00" * 24):
+        with pytest.raises(CodecError):
+            BinaryDecoder().decode_body(body)
+
+
+# ----------------------------------------------------------------------
+# Tuple / frozenset keys (decode_value + _hashable regression)
+# ----------------------------------------------------------------------
+
+TRICKY_PAYLOADS = [
+    {"table": {(1, frozenset({2, 3})): "v",
+               (GlobalTransactionId(0, 1), (2,)): 5}},
+    {"index": {frozenset({GlobalTransactionId(1, 2)}): [1, 2]}},
+    {"sets": {frozenset({(1, 2), (3, 4)}),
+              frozenset()}},
+    {"nested": {((1, (2, frozenset({3}))),): {"deep": True}}},
+]
+
+
+@pytest.mark.parametrize("payload", TRICKY_PAYLOADS,
+                         ids=["tuple-keys", "frozenset-key",
+                              "set-of-frozensets", "nested-tuple-key"])
+def test_tuple_and_frozenset_keys_survive_both_codecs(payload):
+    message = Message(MessageType.CATCHUP_REPLY, 0, 1, payload)
+    frame = {"kind": "msg", "inc": "i", "seq": 1,
+             "msg": encode_message(message)}
+    via_json = decode_frame_body(encode_frame(frame)[4:])
+    _, via_binary = _binary_round_trip(frame)
+    for decoded in (via_json, via_binary):
+        got = decode_message(decoded["msg"]).payload
+        assert got == payload
+        # Keys came back hashable: membership must work.
+        for value in got.values():
+            if isinstance(value, dict):
+                for key in value:
+                    assert key in value
+
+
+@settings(deadline=None, max_examples=60)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_random_hashable_keyed_maps_round_trip(seed):
+    rng = random.Random(seed)
+
+    def key(depth=0):
+        kind = rng.choice(["int", "gid", "tuple", "fset"]
+                          if depth < 2 else ["int", "gid"])
+        if kind == "int":
+            return rng.randrange(100)
+        if kind == "gid":
+            return _gid(rng)
+        if kind == "tuple":
+            return tuple(key(depth + 1)
+                         for _ in range(rng.randrange(1, 3)))
+        return frozenset(key(depth + 1)
+                         for _ in range(rng.randrange(2)))
+
+    original = {key(): rng.randrange(1000)
+                for _ in range(rng.randrange(1, 5))}
+    lowered = encode_value(original)
+    # Through real JSON text and through bin1 inside a frame.
+    assert decode_value(json.loads(json.dumps(lowered))) == original
+    _, via_binary = _binary_round_trip({"kind": "x", "v": lowered})
+    assert decode_value(via_binary["v"]) == original

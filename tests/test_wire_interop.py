@@ -1,0 +1,172 @@
+"""Mixed-member wire interop: binary and JSON members, one cluster.
+
+``wire_format`` is deliberately excluded from the cluster fingerprint
+(it is negotiated per connection, and every receiver accepts both
+encodings), so a cluster may mix binary-preferring and JSON-only
+members.  These tests boot exactly that shape on real sockets:
+
+* a 3-site DAG(WT) cluster with one JSON-only member converges and
+  serializes under the standard workload, with the parallel apply
+  scheduler on — and the servers' negotiation counters prove the
+  cluster really ran mixed (the JSON member accepted zero binary
+  connections while the binary members accepted some), and
+* the same shape under chaos — link jitter plus an abrupt kill of a
+  binary member mid-batched-run — passes the oracles and leaves the
+  post-run watchdog critical-free.
+
+Port plan: this file owns 7940-7990.
+"""
+
+import asyncio
+import dataclasses
+import os
+
+import pytest
+
+from repro.chaos.controller import ChaosScenario, run_chaos
+from repro.chaos.plan import FaultPlan, KillFault, LinkFault
+from repro.cluster.client import ClusterClient
+from repro.cluster.loadgen import generate_load
+from repro.cluster.server import SiteServer
+from repro.cluster.spec import ClusterSpec
+from repro.workload.params import WorkloadParams
+
+#: Seed 3 yields a DAG copy graph for these parameters (same pinning
+#: as test_live_cluster).
+PARAMS = WorkloadParams(n_sites=3, n_items=12,
+                        replication_probability=0.8,
+                        threads_per_site=2, transactions_per_thread=6,
+                        read_txn_probability=0.3,
+                        deadlock_timeout=0.05)
+
+#: The JSON-only member in every mixed test below.
+JSON_SITE = 1
+
+
+def make_spec(base_port, **overrides):
+    return ClusterSpec(params=PARAMS, protocol="dag_wt", seed=3,
+                       base_port=base_port, wire_format="binary",
+                       apply_workers=4, **overrides)
+
+
+def test_mixed_member_cluster_converges_under_load(tmp_path):
+    spec = make_spec(7940, batch=8)
+    json_spec = dataclasses.replace(spec, wire_format="json")
+    assert json_spec.fingerprint() == spec.fingerprint(), \
+        "wire_format must stay out of the fingerprint"
+
+    async def scenario():
+        servers = {}
+        for site in range(PARAMS.n_sites):
+            member = json_spec if site == JSON_SITE else spec
+            servers[site] = SiteServer(
+                member, site,
+                wal_path=os.path.join(str(tmp_path),
+                                      "site{}.wal".format(site)),
+                anti_entropy_interval=0.3)
+            await servers[site].start()
+        client = ClusterClient(spec, timeout=5.0)
+        try:
+            await client.wait_ready()
+            report = await generate_load(spec, client, verify=True)
+        finally:
+            await client.close()
+            for server in servers.values():
+                await server.stop()
+        return report, servers
+
+    report, servers = asyncio.run(scenario())
+    expected = (PARAMS.n_sites * PARAMS.threads_per_site *
+                PARAMS.transactions_per_thread)
+    assert report.committed + report.aborted == expected
+    assert report.unknown == 0
+    assert report.committed > 0
+    assert report.convergent, "divergent: {}".format(report.divergent)
+    assert report.serializable
+
+    def conns(server, name):
+        return server.metrics.counter("server." + name).value
+
+    # The JSON member negotiated every inbound connection down to JSON
+    # (peers and client all offered bin1 and were declined) ...
+    assert conns(servers[JSON_SITE], "conns_binary") == 0
+    assert conns(servers[JSON_SITE], "conns_json") > 0
+    # ... while the binary members accepted binary from their binary
+    # peers and the client, AND at least one JSON connection from the
+    # JSON member's outbound channels (it offers nothing).
+    for site in range(PARAMS.n_sites):
+        if site == JSON_SITE:
+            continue
+        assert conns(servers[site], "conns_binary") > 0
+    assert sum(conns(servers[site], "conns_json")
+               for site in range(PARAMS.n_sites)
+               if site != JSON_SITE) > 0
+
+
+def test_json_only_client_talks_to_binary_cluster(tmp_path):
+    """A client that never offers bin1 must work against binary-
+    preferring servers (the hello is byte-identical to the legacy
+    JSON-only protocol)."""
+    spec = make_spec(7955)
+    json_client_spec = dataclasses.replace(spec, wire_format="json")
+
+    async def scenario():
+        servers = {}
+        for site in range(PARAMS.n_sites):
+            servers[site] = SiteServer(
+                spec, site,
+                wal_path=os.path.join(str(tmp_path),
+                                      "site{}.wal".format(site)))
+            await servers[site].start()
+        client = ClusterClient(json_client_spec, timeout=5.0)
+        try:
+            await client.wait_ready()
+            status = await client.status(0)
+        finally:
+            await client.close()
+            for server in servers.values():
+                await server.stop()
+        return status
+
+    status = asyncio.run(scenario())
+    assert status["wire_format"] == "binary"
+    assert status["apply_workers"] == 4
+
+
+def test_mixed_member_chaos_kill_binary_member(tmp_path):
+    """Link jitter everywhere plus a SIGKILL-style crash of a *binary*
+    member mid-batched-run, with the JSON-only member alive throughout
+    and ``apply_workers=4`` on every site: the oracles must hold and
+    the post-run watchdog polls must be critical-free (the kill is
+    out-of-model, so during-run alerts are reported, not charged)."""
+    scenario = ChaosScenario(
+        spec=make_spec(7965, batch=8),
+        member_overrides={JSON_SITE: {"wire_format": "json"}},
+        plan=FaultPlan(seed=9, events=(
+            LinkFault(delay=0.001, jitter=0.004),
+            KillFault(site=2, at=0.25, down_for=0.4),
+        )),
+        name="wire-interop/kill-binary-member")
+    report = run_chaos(scenario, str(tmp_path / "wal"))
+    assert report.ok, report.violations
+    assert report.committed > 0
+    assert report.convergent and report.serializable
+    assert report.alerts_post.get("critical", 0) == 0
+    assert report.kills, "the kill really happened"
+    assert report.injections, "jitter really was on the wire"
+
+
+def test_member_overrides_guard_the_fingerprint():
+    """An override that would change the fingerprint is a config
+    error, not a split-brain cluster."""
+    scenario = ChaosScenario(
+        spec=make_spec(7975),
+        member_overrides={0: {"seed": 4}})
+    with pytest.raises(ValueError):
+        scenario.validate()
+    # Round trip: overrides survive the replay artifact.
+    good = ChaosScenario(
+        spec=make_spec(7975),
+        member_overrides={JSON_SITE: {"wire_format": "json"}})
+    loaded = ChaosScenario.from_json(good.to_json())
+    assert loaded.member_overrides == good.member_overrides

@@ -56,6 +56,7 @@ import tempfile
 from bench_history import append_history, check_regression
 from common import BENCH_TXNS, run_once
 from repro.cluster.loadgen import spawn_and_load
+from repro.obs.reconstruct import format_attribution
 from repro.cluster.spec import ClusterSpec
 from repro.harness.runner import ExperimentConfig, run_experiment
 from repro.workload.params import WorkloadParams
@@ -165,6 +166,14 @@ def test_live_cluster_batching_speedup(benchmark):
     assert propagation["p50"] <= propagation["p95"] \
         <= propagation["max"]
     assert version_lag["samples"] >= 1
+    # The stage timers attributed the propagation hops: per-hop
+    # components (queue/wal/wire/apply) must cover >= 95 % of the
+    # total hop time on an instrumented live run.
+    attribution = batched.attribution
+    assert attribution["hops"] > 0
+    assert attribution["coverage"] >= 0.95, \
+        "only {:.0%} of hop latency attributed to stages".format(
+            attribution["coverage"])
     # ...without costing the hot path: within 10 % of the plain run.
     overhead_ratio = batched.throughput / plain.throughput
     assert overhead_ratio >= 0.9, \
@@ -204,6 +213,18 @@ def test_live_cluster_batching_speedup(benchmark):
             "trees_propagating": propagation["propagating"],
         },
         "replica_version_lag": version_lag,
+        "latency_attribution": {
+            "hops": attribution["hops"],
+            "coverage": round(attribution["coverage"], 4),
+            "unattributed_ms": round(
+                attribution["unattributed_s"] * 1000.0, 3),
+            "components": {
+                name: {"share": round(component["share"], 4),
+                       "p95_ms": round(
+                           component["p95_s"] * 1000.0, 3)}
+                for name, component in
+                attribution["components"].items()},
+        },
         "monitor_alerts": batched.alerts,
         "sim": {
             "committed": sim.committed, "aborted": sim.aborted,
@@ -230,6 +251,10 @@ def test_live_cluster_batching_speedup(benchmark):
         "speedup": round(speedup, 3),
         "obs_overhead_ratio": round(overhead_ratio, 3),
         "propagation_p95_ms": round(propagation["p95"] * 1000.0, 3),
+        "attribution_coverage": round(attribution["coverage"], 4),
+        "attribution_top_stage": max(
+            attribution["components"],
+            key=lambda name: attribution["components"][name]["share"]),
         "monitor_critical": batched.alerts.get("critical", 0),
         "monitor_warning": batched.alerts.get("warning", 0),
         "regression_warning": warning,
@@ -283,6 +308,7 @@ def test_live_cluster_batching_speedup(benchmark):
               version_lag["mean"], version_lag["p95"],
               version_lag["max"], version_lag["fraction_current"],
               version_lag["samples"]))
+    print(format_attribution(attribution))
     print("monitor: {} critical / {} warning alert(s) over {} "
           "poll(s)".format(batched.alerts.get("critical", 0),
                            batched.alerts.get("warning", 0),
@@ -299,6 +325,8 @@ def test_live_cluster_batching_speedup(benchmark):
         overhead_ratio, 3)
     benchmark.extra_info["propagation_p95_ms"] = round(
         propagation["p95"] * 1000.0, 3)
+    benchmark.extra_info["attribution_coverage"] = round(
+        attribution["coverage"], 4)
     benchmark.extra_info["baseline_throughput"] = round(
         baseline.throughput, 2)
     benchmark.extra_info["batched_throughput"] = round(

@@ -311,7 +311,39 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--json", metavar="PATH", default=None,
                               help="also write the propagation summary "
                                    "as JSON")
+    trace_parser.add_argument("--attribute", action="store_true",
+                              help="attribute per-hop latency to "
+                                   "queue/wal/wire/apply components "
+                                   "and print the aggregate table + "
+                                   "slowest critical paths")
+    trace_parser.add_argument("--export-chrome", metavar="PATH",
+                              default=None,
+                              help="write the spans as Chrome/Perfetto "
+                                   "trace-event JSON (load in "
+                                   "ui.perfetto.dev)")
     _add_param_flags(trace_parser)
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="sample a live site's wall-clock stacks via "
+                        "the in-process profiler")
+    _add_cluster_flags(profile_parser)
+    profile_parser.add_argument("--site", type=int, default=None,
+                                help="profile one site instead of all")
+    profile_parser.add_argument("--duration", type=float, default=2.0,
+                                help="seconds to sample before "
+                                     "collecting (default 2)")
+    profile_parser.add_argument("--interval", type=float, default=0.005,
+                                help="sampling interval in seconds "
+                                     "(default 0.005)")
+    profile_parser.add_argument("--out", metavar="PATH", default=None,
+                                help="write flamegraph-compatible "
+                                     "collapsed stacks (site-prefixed) "
+                                     "to a file")
+    profile_parser.add_argument("--top", type=int, default=10,
+                                metavar="N",
+                                help="print the N hottest stacks per "
+                                     "site (default 10)")
+    _add_param_flags(profile_parser)
 
     metrics_parser = subparsers.add_parser(
         "metrics", help="fetch every site's Prometheus text exposition "
@@ -1259,6 +1291,24 @@ def _cmd_trace(args: argparse.Namespace, out: typing.TextIO) -> int:
                       key=lambda tree: tree.delay, reverse=True)
     for tree in complete[:max(0, args.show)]:
         out.write("\n" + format_tree(tree) + "\n")
+    attribution = None
+    if args.attribute:
+        from repro.obs.reconstruct import (attribution_summary,
+                                           format_attribution)
+
+        attribution = attribution_summary(trees, top=max(0, args.show))
+        out.write("\n" + format_attribution(attribution) + "\n")
+    if args.export_chrome:
+        import json
+
+        from repro.obs.export import chrome_trace
+
+        document = chrome_trace(spans, trees)
+        with open(args.export_chrome, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+        out.write("wrote {} ({} events)\n".format(
+            args.export_chrome, len(document["traceEvents"])))
     if args.json:
         import json
 
@@ -1266,6 +1316,8 @@ def _cmd_trace(args: argparse.Namespace, out: typing.TextIO) -> int:
                    "delays_ms": {tid: tree.delay * 1000
                                  for tid, tree in trees.items()
                                  if tree.delay is not None}}
+        if attribution is not None:
+            payload["attribution"] = attribution
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -1273,6 +1325,67 @@ def _cmd_trace(args: argparse.Namespace, out: typing.TextIO) -> int:
     if summary["complete"] < args.require_complete:
         out.write("FAIL: {} complete tree(s) < required {}\n".format(
             summary["complete"], args.require_complete))
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace, out: typing.TextIO) -> int:
+    """Start every target site's sampling profiler, let the cluster
+    run for --duration seconds, stop them and collect the collapsed
+    stacks.  With --out, stacks are written site-prefixed (``s0;...``)
+    so one flamegraph shows all members side by side."""
+    import asyncio
+
+    from repro.cluster.client import ClusterClient, ClusterError
+
+    spec = _cluster_spec_from_args(args)
+    sites = ([args.site] if args.site is not None
+             else sorted(spec.addresses()))
+
+    async def sample():
+        client = ClusterClient(spec)
+        try:
+            await asyncio.gather(*(
+                client.profile(site, "start", interval=args.interval)
+                for site in sites))
+            await asyncio.sleep(max(0.0, args.duration))
+            results = await asyncio.gather(*(
+                client.profile(site, "stop") for site in sites))
+            return dict(zip(sites, results))
+        finally:
+            await client.close()
+
+    try:
+        responses = asyncio.run(sample())
+    except (ClusterError, OSError) as exc:
+        out.write("profile failed: {}\n".format(exc))
+        return 1
+    total_samples = 0
+    collapsed_lines: typing.List[str] = []
+    for site in sites:
+        response = responses[site]
+        samples = int(response.get("samples") or 0)
+        total_samples += samples
+        stacks = response.get("stacks") or {}
+        out.write("s{}: {} sample(s) over {:.2f}s ({} distinct "
+                  "stack(s))\n".format(site, samples,
+                                       float(response.get("duration_s")
+                                             or 0.0), len(stacks)))
+        ranked = sorted(stacks.items(), key=lambda kv: kv[1],
+                        reverse=True)
+        for stack, count in ranked[:max(0, args.top)]:
+            leaf = stack.rsplit(";", 1)[-1]
+            out.write("  {:>6}  {}\n".format(count, leaf))
+        collapsed_lines.extend(
+            "s{};{} {}\n".format(site, stack, count)
+            for stack, count in ranked)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("".join(collapsed_lines))
+        out.write("wrote {} ({} stack line(s))\n".format(
+            args.out, len(collapsed_lines)))
+    if total_samples == 0:
+        out.write("FAIL: no samples collected\n")
         return 1
     return 0
 
@@ -1296,6 +1409,7 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "loadgen": _cmd_loadgen,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "profile": _cmd_profile,
         "metrics": _cmd_metrics,
         "monitor": _cmd_monitor,
         "top": _cmd_top,

@@ -433,6 +433,19 @@ class ClusterClient:
             spans.extend(result.get("spans", ()))
         return spans
 
+    async def profile(self, site: SiteId, action: str = "status",
+                      interval: typing.Optional[float] = None
+                      ) -> typing.Dict[str, typing.Any]:
+        """Drive one site's in-process sampling profiler
+        (``action`` = ``start`` / ``stop`` / ``status``).  All three
+        are retry-safe on the server (start-on-running and
+        stop-on-stopped are no-ops), so the request is idempotent."""
+        frame: typing.Dict[str, typing.Any] = {
+            "op": "profile", "action": action}
+        if interval is not None:
+            frame["interval"] = float(interval)
+        return await self._request(site, frame, idempotent=True)
+
     async def crash(self, site: SiteId) -> None:
         """Ask a site to crash in place (volatile state lost, WAL kept)."""
         await self._request(site, {"op": "crash"}, idempotent=False)

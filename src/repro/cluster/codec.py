@@ -918,8 +918,30 @@ async def read_frame(reader: asyncio.StreamReader,
 
 async def write_frame(writer: asyncio.StreamWriter,
                       obj: typing.Mapping[str, typing.Any],
-                      codec: typing.Optional[WireCodec] = None) -> None:
-    """Write one frame (in ``codec``'s negotiated format) and drain."""
-    writer.write(codec.encode_frame(obj) if codec is not None
-                 else encode_frame(obj))
+                      codec: typing.Optional[WireCodec] = None,
+                      on_encode: typing.Optional[
+                          typing.Callable[[float], typing.Any]] = None,
+                      on_write: typing.Optional[
+                          typing.Callable[[float], typing.Any]] = None
+                      ) -> None:
+    """Write one frame (in ``codec``'s negotiated format) and drain.
+
+    ``on_encode`` / ``on_write`` observe the serialization and the
+    socket write+drain durations in seconds — the server's per-stage
+    histograms.  The unhooked path stays branch-free.
+    """
+    if on_encode is None and on_write is None:
+        writer.write(codec.encode_frame(obj) if codec is not None
+                     else encode_frame(obj))
+        await writer.drain()
+        return
+    started = time.perf_counter()
+    data = (codec.encode_frame(obj) if codec is not None
+            else encode_frame(obj))
+    if on_encode is not None:
+        on_encode(time.perf_counter() - started)
+    started = time.perf_counter()
+    writer.write(data)
     await writer.drain()
+    if on_write is not None:
+        on_write(time.perf_counter() - started)

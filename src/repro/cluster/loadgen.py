@@ -51,7 +51,11 @@ from repro.harness.serializability import (
 )
 from repro.obs.monitor import MonitorConfig, Watchdog
 from repro.obs.probe import LiveStalenessProbe
-from repro.obs.reconstruct import propagation_summary, reconstruct
+from repro.obs.reconstruct import (
+    attribution_summary,
+    propagation_summary,
+    reconstruct,
+)
 from repro.sim.rng import RngRegistry
 from repro.storage.history import SiteHistory
 from repro.types import SubtransactionKind
@@ -95,6 +99,11 @@ class LoadReport:
     #: Live propagation-delay stats (seconds) from reconstructed trace
     #: trees: count / complete / p50 / p95 / max / mean.
     propagation: typing.Dict[str, typing.Any] = dataclasses.field(
+        default_factory=dict)
+    #: Per-hop latency attribution over the same trees
+    #: (:func:`repro.obs.reconstruct.attribution_summary`): component
+    #: totals/shares, coverage, top critical paths.
+    attribution: typing.Dict[str, typing.Any] = dataclasses.field(
         default_factory=dict)
     #: Replica version-lag stats sampled by the live staleness probe.
     version_lag: typing.Dict[str, typing.Any] = dataclasses.field(
@@ -145,6 +154,19 @@ class LoadReport:
                     prop.get("p50", 0.0) * 1000,
                     prop.get("p95", 0.0) * 1000,
                     prop.get("max", 0.0) * 1000))
+        if self.attribution and self.attribution.get("hops"):
+            attribution = self.attribution
+            shares = "  ".join(
+                "{} {:.0f}%".format(
+                    name, component.get("share", 0.0) * 100)
+                for name, component in sorted(
+                    attribution.get("components", {}).items())
+                if component.get("share", 0.0) > 0.0)
+            lines.append(
+                "attribution: {} hop(s), {:.0f}% attributed{}".format(
+                    attribution.get("hops", 0),
+                    attribution.get("coverage", 0.0) * 100,
+                    " — " + shares if shares else ""))
         if self.version_lag:
             lag = self.version_lag
             lines.append(
@@ -259,6 +281,7 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
 
     statuses = await wait_quiescent(client, timeout=quiesce_timeout)
     propagation: typing.Dict[str, typing.Any] = {}
+    attribution: typing.Dict[str, typing.Any] = {}
     version_lag: typing.Dict[str, typing.Any] = {}
     if spec.obs:
         version_lag = probe.summary()
@@ -267,7 +290,9 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
         except ClusterError:
             spans = []
         if spans:
-            propagation = propagation_summary(reconstruct(spans))
+            trees = reconstruct(spans)
+            propagation = propagation_summary(trees)
+            attribution = attribution_summary(trees)
     convergent, divergent, serializable, dsg_nodes = True, 0, True, 0
     if verify:
         state = {site: decode_value(status["items"])
@@ -310,6 +335,7 @@ async def generate_load(spec: ClusterSpec, client: ClusterClient,
                       for status in statuses.values()),
         obs=spec.obs,
         propagation=propagation,
+        attribution=attribution,
         version_lag=version_lag,
         alerts=alerts,
     )

@@ -84,6 +84,7 @@ from repro.obs.registry import (
     SIZE_BUCKETS,
     MetricsRegistry,
 )
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.trace import TraceSink, message_trace_ids, traces_of_obj
 # Imported from the change module directly (not repro.reconfig) to keep
 # the import graph acyclic: repro.reconfig -> coordinator -> client ->
@@ -249,6 +250,22 @@ class SiteServer:
         # negotiated each wire format.
         self._h_decode = self.metrics.histogram("server.decode_s")
         self._h_apply = self.metrics.histogram("server.apply_s")
+        # Stage timers along the inbound hot path (all perf_counter
+        # deltas, all skipped when obs is off): socket wait for the
+        # next peer frame, time a decoded frame sits in the apply
+        # pipeline queue, time the apply loop blocks on the journal
+        # group-commit barrier, response/ack serialization and socket
+        # write, and — shared with the transport — time any waiter
+        # spends parked on the WAL group-commit barrier.
+        self._h_read_wait = self.metrics.histogram("server.read_wait_s")
+        self._h_queue_wait = self.metrics.histogram(
+            "server.queue_wait_s")
+        self._h_journal_wait = self.metrics.histogram(
+            "server.journal_wait_s")
+        self._h_encode = self.metrics.histogram("server.encode_s")
+        self._h_write = self.metrics.histogram("server.write_s")
+        self._h_wal_barrier = self.metrics.histogram(
+            "wal.barrier_wait_s")
         self._m_conns_binary = self.metrics.counter(
             "server.conns_binary")
         self._m_conns_json = self.metrics.counter("server.conns_json")
@@ -278,6 +295,17 @@ class SiteServer:
         self.journal: typing.Optional[MessageJournal] = None
         self._wal_syncer: typing.Optional[_GroupCommitSyncer] = None
         self._journal_syncer: typing.Optional[_GroupCommitSyncer] = None
+        #: In-process sampling profiler (``profile`` wire op).  Like
+        #: every other obs knob it is per-process and outside the
+        #: cluster fingerprint; unlike metrics it works on a --no-obs
+        #: member too — it samples threads, not instruments.
+        self.profiler: typing.Optional[SamplingProfiler] = None
+        # Stage context of the frame currently being applied, read by
+        # _accept_entry when stamping "received" spans.  Safe as plain
+        # members: _apply_loop sets them and calls _apply_frame
+        # synchronously, with no await in between.
+        self._frame_queue_s = 0.0
+        self._frame_decode_s = 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -328,10 +356,19 @@ class SiteServer:
             self._wal_syncer = _GroupCommitSyncer(self.wal)
             self._journal_syncer = _GroupCommitSyncer(self.journal)
             if self.metrics:
+                # Each sync round reports its duration and how many
+                # records it coalesced — the group-commit amortization
+                # in histogram form.
+                h_wal_records = self.metrics.histogram(
+                    "wal.sync_records", SIZE_BUCKETS)
+                h_journal_records = self.metrics.histogram(
+                    "journal.sync_records", SIZE_BUCKETS)
                 self.wal.set_sync_observer(
-                    lambda dt, _n: self._h_wal_sync.observe(dt))
+                    lambda dt, n: (self._h_wal_sync.observe(dt),
+                                   h_wal_records.observe(n)))
                 self.journal.set_sync_observer(
-                    lambda dt, _n: self._h_journal_sync.observe(dt))
+                    lambda dt, n: (self._h_journal_sync.observe(dt),
+                                   h_journal_records.observe(n)))
             if self.wal.recovered_records:
                 # Crash recovery: rebuild the engine from the redo log.
                 site.engine = recover(
@@ -439,6 +476,8 @@ class SiteServer:
         # through a simulated crash only helps the post-mortem.
         if self.trace is not None:
             self.trace.close()
+        if self.profiler is not None:
+            self.profiler.stop()
 
     async def _teardown(self) -> None:
         self._closed = True
@@ -462,6 +501,8 @@ class SiteServer:
             self.journal.close()
         if self.trace is not None:
             self.trace.close()
+        if self.profiler is not None:
+            self.profiler.stop()
 
     # ------------------------------------------------------------------
     # The real-time clock driver
@@ -591,10 +632,17 @@ class SiteServer:
             # trace invariant must not depend on the peer's config.
             traces = traces_of_obj(obj_msg) or message_trace_ids(message)
             if traces:
+                # Stage stamps refine the receiver side of the hop for
+                # attribution: how long this frame sat in the apply
+                # pipeline queue and how long its body took to decode.
                 self.trace.emit(
                     "received", trace=traces[0],
                     traces=traces if len(traces) > 1 else None,
-                    peer=message.src, type=message.msg_type.value)
+                    peer=message.src, type=message.msg_type.value,
+                    q=(round(self._frame_queue_s, 6)
+                       if self._frame_queue_s else None),
+                    dec=(round(self._frame_decode_s, 6)
+                         if self._frame_decode_s else None))
         if message.msg_type is MessageType.SECONDARY and \
                 self.journal is not None:
             # Journal before ack: once the sender retires this update,
@@ -910,15 +958,35 @@ class SiteServer:
             maxsize=APPLY_PIPELINE_DEPTH)
         apply_task = asyncio.get_running_loop().create_task(
             self._apply_loop(queue, writer, codec))
-        on_decode = self._h_decode.observe if self.metrics else None
+        # ``decoded`` carries the last frame's decode seconds from the
+        # read_frame callback to the queue entry, so the apply side can
+        # stamp it onto that frame's "received" spans.
+        decoded = [0.0]
+        on_decode: typing.Optional[typing.Callable[[float], None]] = None
+        if self.metrics:
+            hist_decode = self._h_decode
+
+            def on_decode(seconds: float) -> None:
+                hist_decode.observe(seconds)
+                decoded[0] = seconds
+        timed = bool(self.metrics)
         try:
             while not self._closed and not apply_task.done():
+                started = time.perf_counter() if timed else 0.0
                 frame = await read_frame(reader, codec,
                                          on_decode=on_decode)
                 if frame is None:
                     return
+                if timed:
+                    # Socket wait for this frame, decode included (the
+                    # decode share is histogrammed separately).
+                    self._h_read_wait.observe(
+                        time.perf_counter() - started)
                 if frame.get("kind") in ("msg", "batch"):
-                    await queue.put(frame)
+                    await queue.put(
+                        (time.perf_counter() if timed else 0.0,
+                         decoded[0], frame))
+                    decoded[0] = 0.0
                     depth = queue.qsize()
                     if depth > self.apply_queue_hwm:
                         self.apply_queue_hwm = depth
@@ -946,17 +1014,27 @@ class SiteServer:
         The journal sync round starts (in the executor) *before* the
         kernel drive, so the disk wait and the protocol work overlap;
         the ack still waits for both — journal-then-ack holds."""
+        on_encode = self._h_encode.observe if self.metrics else None
+        on_write = self._h_write.observe if self.metrics else None
         while not self._closed:
-            frame = await queue.get()
-            if frame is None:
+            item = await queue.get()
+            if item is None:
                 return
+            enqueued, decode_s, frame = item
             started = time.perf_counter()
+            if self.metrics and enqueued:
+                self._frame_queue_s = started - enqueued
+                self._frame_decode_s = decode_s
+                self._h_queue_wait.observe(self._frame_queue_s)
             try:
                 last_seq = self._apply_frame(frame)
             except CodecError as exc:
                 print("site s{}: dropping malformed peer frame: {}"
                       .format(self.site_id, exc), file=sys.stderr)
                 continue
+            finally:
+                self._frame_queue_s = 0.0
+                self._frame_decode_s = 0.0
             barrier: typing.Optional[asyncio.Future] = None
             if self.journal is not None:
                 if self._journal_syncer is not None:
@@ -968,7 +1046,11 @@ class SiteServer:
                     self.journal.sync()  # journal-then-ack
             self._drive()
             if barrier is not None:
+                waited = time.perf_counter()
                 await barrier
+                if self.metrics:
+                    self._h_journal_wait.observe(
+                        time.perf_counter() - waited)
             self._h_apply.observe(time.perf_counter() - started)
             if last_seq is None:
                 continue  # empty batch: nothing new to ack
@@ -980,7 +1062,8 @@ class SiteServer:
             # unacked sender resends through the dedup filter.
             try:
                 await write_frame(writer, {
-                    "kind": "ack", "seq": last_seq}, codec)
+                    "kind": "ack", "seq": last_seq}, codec,
+                    on_encode=on_encode, on_write=on_write)
             except (ConnectionError, OSError):
                 continue
 
@@ -1024,10 +1107,19 @@ class SiteServer:
         # resolved while it ran — that coalescing IS the group commit.
         barrier = self._sync_wal()
         if barrier is not None:
+            waited = time.perf_counter() if self.metrics else 0.0
             await barrier
+            if self.metrics:
+                self._h_wal_barrier.observe(
+                    time.perf_counter() - waited)
         try:
             async with write_lock:
-                await write_frame(writer, response, codec)
+                await write_frame(
+                    writer, response, codec,
+                    on_encode=(self._h_encode.observe
+                               if self.metrics else None),
+                    on_write=(self._h_write.observe
+                              if self.metrics else None))
         except (ConnectionError, OSError):
             pass
         # Requests that end the server act after the response is out.
@@ -1129,11 +1221,54 @@ class SiteServer:
             self._drive()
             return {"ok": True, "site": self.site_id,
                     "requested": items}
+        if op == "profile":
+            return self._profile_op(frame)
         if op == "crash":
             return {"ok": True, "_crash": True}
         if op == "shutdown":
             return {"ok": True, "_shutdown": True}
         return {"ok": False, "error": "unknown op {!r}".format(op)}
+
+    def _profile_op(self, frame: typing.Mapping
+                    ) -> typing.Dict[str, typing.Any]:
+        """``profile`` wire op: drive the in-process sampling profiler.
+
+        ``action`` is ``start`` / ``stop`` / ``status``.  ``stop`` and
+        ``status`` return the collapsed stacks gathered so far
+        (bounded, so the response stays under the frame cap); ``start``
+        on a running profiler is a no-op, so the op is retry-safe."""
+        action = str(frame.get("action", "status"))
+        profiler = self.profiler
+        if action == "start":
+            if profiler is None or not profiler.running:
+                interval = float(frame.get("interval") or 0.005)
+                profiler = SamplingProfiler(interval=interval)
+                profiler.start()
+                self.profiler = profiler
+            return {"ok": True, "site": self.site_id, "running": True,
+                    "samples": self.profiler.samples}
+        if action == "stop":
+            if profiler is None:
+                return {"ok": True, "site": self.site_id,
+                        "running": False, "samples": 0,
+                        "duration_s": 0.0, "stacks": {}}
+            profiler.stop()
+            return {"ok": True, "site": self.site_id, "running": False,
+                    "samples": profiler.samples,
+                    "duration_s": profiler.duration_s,
+                    "interval_s": profiler.interval,
+                    "stacks": profiler.top_stacks()}
+        if action == "status":
+            running = profiler is not None and profiler.running
+            return {"ok": True, "site": self.site_id,
+                    "running": running,
+                    "samples": profiler.samples if profiler else 0,
+                    "duration_s": (profiler.duration_s
+                                   if profiler else 0.0),
+                    "stacks": (profiler.top_stacks()
+                               if profiler else {})}
+        return {"ok": False,
+                "error": "unknown profile action {!r}".format(action)}
 
     # ------------------------------------------------------------------
     # Reconfiguration plane (repro.reconfig)
@@ -1457,13 +1592,14 @@ def _appender_stats(log) -> typing.Dict[str, int]:
     (zeroes for a memory-only site)."""
     if log is None:
         return {"appended": 0, "syncs": 0, "bytes": 0, "pending": 0,
-                "abandoned": 0}
+                "abandoned": 0, "sync_seconds": 0.0}
     return {
         "appended": log.appended,
         "syncs": log.syncs,
         "bytes": log.bytes_written,
         "pending": log.pending_sync,
         "abandoned": log.abandoned,
+        "sync_seconds": round(log.sync_seconds, 6),
     }
 
 

@@ -61,6 +61,7 @@ import asyncio
 import collections
 import inspect
 import itertools
+import time
 import typing
 import uuid
 
@@ -184,16 +185,28 @@ class _Channel:
                         writer = await self._drop_connection(writer)
                         continue
                 sync_hook = self.transport.sync_hook
+                sync_s = 0.0
                 if sync_hook is not None:
                     # Durability barrier: whatever these messages imply
                     # is committed must be on stable storage before the
                     # bytes leave the process.  An async hook lets the
                     # server coalesce the fsync with concurrent waiters
                     # off the event loop; a plain callable still runs
-                    # synchronously (the historical contract).
+                    # synchronously (the historical contract).  The
+                    # wall wait is the sender's WAL-barrier stage; it
+                    # is also stamped onto the frame's forwarded spans
+                    # so attribution can split the pre-wire segment.
                     maybe = sync_hook()
                     if inspect.isawaitable(maybe):
+                        timed = bool(self.transport.metrics) or \
+                            self.transport.trace_sink is not None
+                        waited = time.perf_counter() if timed else 0.0
                         await maybe
+                        if timed:
+                            sync_s = time.perf_counter() - waited
+                            if self.transport.metrics:
+                                self.transport._h_wal_barrier.observe(
+                                    sync_s)
                 # Trace ids ride beside the payload on each wire object
                 # (stamped only when this member traces; the receiver
                 # can re-derive them from the payload regardless).
@@ -215,13 +228,19 @@ class _Channel:
                     frame = encode_batch_frame(
                         self.transport.incarnation, entries, stamp=stamp)
                 try:
-                    await write_frame(writer, frame, self._codec)
+                    await write_frame(
+                        writer, frame, self._codec,
+                        on_encode=(self.transport._h_encode.observe
+                                   if self.transport.metrics else None),
+                        on_write=(self.transport._h_write.observe
+                                  if self.transport.metrics else None))
                 except (ConnectionError, OSError):
                     writer = await self._drop_connection(writer)
                     continue
                 for _ in range(count):
                     self.unacked.append(self.unsent.popleft())
-                self.transport._note_frame(self.dst, entries)
+                self.transport._note_frame(self.dst, entries,
+                                           sync_s=sync_s)
                 if verdict is not None and verdict.ack_loss:
                     # The frame arrived but its ack is "lost": sever
                     # after the write.  The unacked tail is requeued
@@ -388,6 +407,14 @@ class LiveTransport:
         self._m_resent = self.metrics.counter("net.resent")
         self._m_dedup = self.metrics.counter("net.dedup_dropped")
         self._m_acked = self.metrics.counter("net.acked")
+        # Sender-side stage timers, shared by name with the server's
+        # instruments (one registry per process): time a frame waits on
+        # the WAL group-commit barrier before its bytes may leave, and
+        # its encode / socket-write durations.
+        self._h_wal_barrier = self.metrics.histogram(
+            "wal.barrier_wait_s")
+        self._h_encode = self.metrics.histogram("server.encode_s")
+        self._h_write = self.metrics.histogram("server.write_s")
 
     # ------------------------------------------------------------------
     # The Network contract (called synchronously from sim processes)
@@ -429,8 +456,12 @@ class LiveTransport:
 
     def _note_frame(self, dst: SiteId,
                     entries: typing.Sequence[
-                        typing.Tuple[int, Message]]) -> None:
-        """One frame's bytes left the process."""
+                        typing.Tuple[int, Message]],
+                    sync_s: float = 0.0) -> None:
+        """One frame's bytes left the process.  ``sync_s`` is the wall
+        time the frame spent on the WAL group-commit barrier; stamped
+        onto its forwarded spans (``wal``), it lets attribution split
+        the commit→forward segment into barrier wait vs queueing."""
         count = len(entries)
         self.frames_sent += 1
         self.batched_messages += count
@@ -438,12 +469,14 @@ class LiveTransport:
         self._m_batch.observe(count)
         sink = self.trace_sink
         if sink is not None:
+            wal = round(sync_s, 6) if sync_s > 0.0 else None
             for _seq, message in entries:
                 ids = message_trace_ids(message)
                 if ids:
                     sink.emit("forwarded", trace=ids[0],
                               traces=ids if len(ids) > 1 else None,
-                              peer=dst, type=message.msg_type.value)
+                              peer=dst, type=message.msg_type.value,
+                              wal=wal)
 
     def _note_acked(self, dst: SiteId, message: Message) -> None:
         """The receiver durably took responsibility for ``message``."""

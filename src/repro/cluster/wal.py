@@ -187,6 +187,12 @@ class _JsonlAppender:
         #: Pending records dropped by :meth:`abandon` (the simulated
         #: crash loss — they were never promised to anyone).
         self.abandoned = 0
+        #: Cumulative wall seconds spent inside sync drains
+        #: (write+flush+fsync).  Always tracked — syncs are disk
+        #: operations, so two clock reads per round are noise — and
+        #: served by the status plane so even a --no-obs member can
+        #: answer "how much of this process's life went to fsync".
+        self.sync_seconds = 0.0
         #: Optional observer called as ``observe_sync(seconds, records)``
         #: after each sync that actually wrote — the server points it at
         #: a latency histogram.  ``None`` costs nothing.
@@ -227,8 +233,7 @@ class _JsonlAppender:
                 target = self.appended
             count = block.count("\n")
             observer = self.observe_sync
-            started = time.perf_counter() if observer is not None \
-                else 0.0
+            started = time.perf_counter()
             if self._handle is None:
                 self._handle = open(self.path, "a", encoding="utf-8")
             self._handle.write(block)
@@ -239,8 +244,10 @@ class _JsonlAppender:
             self.syncs += 1
             self.bytes_written += len(block)
             self.synced_records = target
+            elapsed = time.perf_counter() - started
+            self.sync_seconds += elapsed
             if observer is not None:
-                observer(time.perf_counter() - started, count)
+                observer(elapsed, count)
             return count
 
     def close(self) -> None:
@@ -364,6 +371,11 @@ class FileWal(WriteAheadLog):
         """Pending records dropped by :meth:`abandon` (crash loss)."""
         return self._out.abandoned
 
+    @property
+    def sync_seconds(self) -> float:
+        """Cumulative wall seconds spent inside sync drains."""
+        return self._out.sync_seconds
+
     def set_sync_observer(self, observer: typing.Optional[
             typing.Callable[[float, int], typing.Any]]) -> None:
         """Install a per-sync latency observer (``seconds, records``)."""
@@ -444,6 +456,10 @@ class MessageJournal:
     @property
     def abandoned(self) -> int:
         return self._out.abandoned
+
+    @property
+    def sync_seconds(self) -> float:
+        return self._out.sync_seconds
 
     def set_sync_observer(self, observer: typing.Optional[
             typing.Callable[[float, int], typing.Any]]) -> None:

@@ -32,6 +32,39 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 #: Eight-level bar glyphs, lowest to highest.
 SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
+#: Hot-path stage histograms behind the ``stage`` column: short label
+#: -> instrument name, in pipeline order.  The column shows the stage
+#: with the largest share of the summed per-stage p95 — a one-glance
+#: answer to "where is this site spending its time right now".
+STAGE_HISTOGRAMS = (
+    ("read", "server.read_wait_s"),
+    ("decode", "server.decode_s"),
+    ("queue", "server.queue_wait_s"),
+    ("wal", "wal.barrier_wait_s"),
+    ("journal", "server.journal_wait_s"),
+    ("drive", "server.drive_s"),
+    ("apply", "server.apply_s"),
+    ("encode", "server.encode_s"),
+    ("write", "server.write_s"),
+)
+
+
+def top_stage(histograms: typing.Mapping[str, typing.Any]
+              ) -> typing.Optional[typing.Tuple[str, float]]:
+    """``(label, share)`` for the dominant stage, or None if no stage
+    histogram has recorded anything (plain members, idle sites)."""
+    p95s: typing.Dict[str, float] = {}
+    for label, name in STAGE_HISTOGRAMS:
+        hist = histograms.get(name) or {}
+        p95 = hist.get("p95")
+        if hist.get("count") and p95:
+            p95s[label] = p95
+    if not p95s:
+        return None
+    total = sum(p95s.values())
+    label = max(p95s, key=lambda key: p95s[key])
+    return label, p95s[label] / total
+
 
 def sparkline(values: typing.Sequence[float], width: int = 30) -> str:
     """Render the last ``width`` values as a unicode sparkline."""
@@ -146,6 +179,7 @@ class Dashboard:
             wal = histograms.get("wal.sync_s") or {}
             row["wal_p95_s"] = wal.get("p95") if wal.get("count") \
                 else None
+            row["top_stage"] = top_stage(histograms)
             previous = self._prev.get(site)
             if previous is not None and elapsed > 0 and row["up"]:
                 row["commit_rate"] = _rate(
@@ -219,16 +253,20 @@ class Dashboard:
         lines.append("")
         lines.append(
             "site  state  commit/s  abort/s  applyq  lag  "
-            "drive p95  wal p95  trend")
+            "drive p95  wal p95        stage  trend")
         for row in model["rows"]:
             state = "up" if row["up"] else "DOWN"
+            stage = row.get("top_stage")
+            stage_cell = "{} {:.0f}%".format(stage[0], stage[1] * 100) \
+                if stage else "-"
             lines.append(
                 "s{:<4} {:<5} {:>8.1f} {:>8.1f} {:>7} {:>4} "
-                "{:>9} {:>8}  {}".format(
+                "{:>9} {:>8} {:>12}  {}".format(
                     row["site"], state, row["commit_rate"],
                     row["abort_rate"], row["queue"], row["lag"],
                     _fmt_ms(row["drive_p95_s"]),
-                    _fmt_ms(row["wal_p95_s"]), row["spark"]))
+                    _fmt_ms(row["wal_p95_s"]), stage_cell,
+                    row["spark"]))
         alerts = model.get("alerts") or []
         lines.append("")
         if alerts:

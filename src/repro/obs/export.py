@@ -1,0 +1,149 @@
+"""Chrome/Perfetto trace-event export of propagation spans.
+
+Converts the span records of :mod:`repro.obs.trace` (plus the
+reconstructed per-hop attribution of :mod:`repro.obs.reconstruct`)
+into the Trace Event JSON format both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+- one **process** per site (``pid`` = site id, named via ``M``
+  metadata events),
+- one **thread** per trace id (``tid`` = dense index, named after the
+  trace), so a transaction's propagation reads as one horizontal lane
+  fanning across the site processes,
+- every span becomes an instant event (``ph: "i"``), and every
+  attributable hop segment (queue / wal / wire / apply) becomes a
+  complete event (``ph: "X"``) with real duration on the replica's
+  lane.
+
+Timestamps are microseconds relative to the earliest span, emitted in
+non-decreasing order — the CI schema check asserts exactly that, plus
+the envelope shape, before calling the export loadable.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.reconstruct import (
+    HOP_COMPONENTS,
+    PropagationTree,
+    hop_attributions,
+    reconstruct,
+)
+
+
+def chrome_trace(spans: typing.Iterable[typing.Mapping[str, typing.Any]],
+                 trees: typing.Optional[
+                     typing.Mapping[str, PropagationTree]] = None
+                 ) -> typing.Dict[str, typing.Any]:
+    """Build the Trace Event JSON envelope for ``spans``.
+
+    ``trees`` (as from :func:`repro.obs.reconstruct.reconstruct`) may
+    be passed to avoid re-grouping; otherwise it is derived here.
+    Spans without a wall-clock ``t`` or site are skipped — a torn or
+    foreign record degrades the picture, it never breaks the export.
+    """
+    span_list = [dict(span) for span in spans
+                 if isinstance(span.get("t"), (int, float))
+                 and isinstance(span.get("site"), int)]
+    if trees is None:
+        trees = reconstruct(span_list)
+    base = min((span["t"] for span in span_list), default=0.0)
+
+    def ts(wall: float) -> int:
+        return max(0, int(round((wall - base) * 1e6)))
+
+    # Dense thread ids per trace, allocation order = first appearance
+    # in trace-id sort order so the lane layout is deterministic.
+    tids: typing.Dict[str, int] = {}
+    for tid in sorted(trees):
+        tids[tid] = len(tids) + 1
+    untraced_tid = 0
+
+    events: typing.List[typing.Dict[str, typing.Any]] = []
+    sites = sorted({span["site"] for span in span_list})
+    for site in sites:
+        events.append({"ph": "M", "name": "process_name", "pid": site,
+                       "tid": 0, "args": {"name": "site {}".format(site)}})
+    for trace, lane in tids.items():
+        for site in sites:
+            events.append({"ph": "M", "name": "thread_name", "pid": site,
+                           "tid": lane, "args": {"name": trace}})
+
+    timed: typing.List[typing.Dict[str, typing.Any]] = []
+    for span in span_list:
+        trace = span.get("trace")
+        lane = tids.get(trace, untraced_tid) \
+            if isinstance(trace, str) else untraced_tid
+        args = {key: value for key, value in span.items()
+                if key not in ("t", "site", "event") and value is not None}
+        timed.append({
+            "ph": "i", "s": "t",
+            "name": str(span.get("event", "span")),
+            "pid": span["site"], "tid": lane,
+            "ts": ts(span["t"]),
+            "args": args,
+        })
+    for trace, tree in trees.items():
+        lane = tids.get(trace, untraced_tid)
+        for hop in hop_attributions(tree).values():
+            cursor = hop["anchor"]
+            for name in HOP_COMPONENTS:
+                duration = hop["components"][name]
+                if duration <= 0.0:
+                    continue
+                timed.append({
+                    "ph": "X", "name": name,
+                    "cat": "attribution",
+                    "pid": hop["site"], "tid": lane,
+                    "ts": ts(cursor),
+                    "dur": max(1, int(round(duration * 1e6))),
+                    "args": {"trace": trace,
+                             "src": hop["src"]},
+                })
+                cursor += duration
+    timed.sort(key=lambda event: event["ts"])
+    events.extend(timed)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: typing.Any) -> typing.List[str]:
+    """Schema + monotonicity check; returns problems (empty = valid).
+
+    The same assertions the CI ``attribution-smoke`` job runs: the
+    envelope is an object with a ``traceEvents`` list, every event
+    carries ``ph``/``name``/``pid``/``tid`` (+ ``ts``/``dur`` ints
+    where applicable), and non-metadata timestamps never decrease.
+    """
+    problems: typing.List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    last_ts: typing.Optional[int] = None
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append("event {} is not an object".format(index))
+            continue
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                problems.append(
+                    "event {} missing {!r}".format(index, key))
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(
+                "event {} ts is not a non-negative int".format(index))
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                "event {} ts {} decreases below {}".format(
+                    index, ts, last_ts))
+        last_ts = ts
+        if phase == "X" and not isinstance(event.get("dur"), int):
+            problems.append(
+                "event {} complete event without int dur".format(index))
+    return problems

@@ -29,6 +29,12 @@ evaluates live rules derived from the offline oracles:
     histogram between polls) regressed by more than a factor over the
     run's baseline window — the group-commit amortisation stopped
     holding, usually a disk or contention problem.
+``stage-regression:<stage>``
+    One hot-path stage's share of the windowed per-stage p95 latency
+    (read / queue / wal / journal / drive / apply / encode / write,
+    from the stage histograms of :mod:`repro.cluster.server`) grew by
+    more than a factor over its share in the run's baseline window —
+    the latency profile shifted, and the rule name says *where*.
 ``divergence``
     Sampled convergence: two copies report the **same committed
     version with different values**.  With the paper's writer-lineage
@@ -62,6 +68,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 #: Severity order, mildest first.
 SEVERITIES = ("warning", "critical")
 
+#: Hot-path stage histograms judged by ``stage-regression:<stage>``:
+#: stage label -> instrument name (the server's stage timers).  The
+#: stage rides in the rule name, so dedup is per (rule, site, stage).
+STAGE_RULE_HISTOGRAMS = (
+    ("read", "server.read_wait_s"),
+    ("queue", "server.queue_wait_s"),
+    ("wal", "wal.barrier_wait_s"),
+    ("journal", "server.journal_wait_s"),
+    ("drive", "server.drive_s"),
+    ("apply", "server.apply_s"),
+    ("encode", "server.encode_s"),
+    ("write", "server.write_s"),
+)
+
 
 @dataclasses.dataclass
 class MonitorConfig:
@@ -85,6 +105,12 @@ class MonitorConfig:
     #: window, with a floor below which jitter never alerts.
     wal_regression_factor: float = 4.0
     wal_floor_s: float = 0.002
+    #: Per-stage latency-profile regression: a stage whose share of
+    #: the summed per-stage windowed p95 grows by more than this
+    #: factor over its baseline-window share fires; the floor keeps
+    #: sub-millisecond jitter from alerting.
+    stage_regression_factor: float = 2.0
+    stage_floor_s: float = 0.002
     #: Run the sampled convergence check every N polls (0 disables).
     convergence_every: int = 5
     #: Consecutive unreachable polls before ``site-down`` fires.
@@ -199,6 +225,12 @@ class Watchdog:
         self._wal_prev: typing.Dict[int, typing.Dict[str, typing.Any]] \
             = {}
         self._wal_baseline: typing.Dict[int, float] = {}
+        #: Per-(site, stage) cumulative stage-histogram snapshots and
+        #: baseline windowed-p95 shares for the stage-regression rule.
+        self._stage_prev: typing.Dict[
+            typing.Tuple[int, str], typing.Dict[str, typing.Any]] = {}
+        self._stage_baseline: typing.Dict[
+            typing.Tuple[int, str], float] = {}
         self._started = time.time()
         self._stopping = asyncio.Event()
 
@@ -312,6 +344,7 @@ class Watchdog:
             if snapshot.get("enabled"):
                 self._check_queue(fired, site, snapshot)
                 self._check_wal(fired, site, snapshot)
+                self._check_stage(fired, site, snapshot)
 
         if config.trace_limit > 0:
             await self._check_stuck(fired)
@@ -474,6 +507,61 @@ class Watchdog:
                 {"window_p95_s": p95, "baseline_p95_s": baseline,
                  "window_syncs": window,
                  "factor": config.wal_regression_factor})
+
+    def _check_stage(self, fired: typing.List[Alert], site: int,
+                     snapshot: typing.Mapping[str, typing.Any]) -> None:
+        """Latency-profile shift: one stage's share of the windowed
+        per-stage p95 regressed past the factor over its share in the
+        run's first (baseline) window.  Same windowed-delta mechanics
+        as :meth:`_check_wal`, run per stage histogram; the stage name
+        rides in the rule, so a queue regression and a write
+        regression at the same site are separate alerts."""
+        config = self.config
+        histograms = snapshot.get("histograms", {})
+        window_p95: typing.Dict[str, float] = {}
+        for stage, name in STAGE_RULE_HISTOGRAMS:
+            hist = histograms.get(name)
+            if not isinstance(hist, dict) or not hist.get("count"):
+                continue
+            key = (site, stage)
+            previous = self._stage_prev.get(key)
+            self._stage_prev[key] = hist
+            if previous is None or \
+                    previous.get("buckets") != hist.get("buckets"):
+                continue
+            window = hist["count"] - previous["count"]
+            if window <= 0:
+                continue
+            delta = [now - before for now, before
+                     in zip(hist["counts"], previous["counts"])]
+            p95 = bucket_percentile(hist["buckets"], delta, window,
+                                    hist.get("max"), 95.0)
+            if p95 > 0.0:
+                window_p95[stage] = p95
+        total = sum(window_p95.values())
+        if total <= 0.0:
+            return
+        for stage, p95 in window_p95.items():
+            share = p95 / total
+            key = (site, stage)
+            baseline = self._stage_baseline.get(key)
+            if baseline is None:
+                self._stage_baseline[key] = share
+                continue
+            if p95 > config.stage_floor_s and \
+                    share > config.stage_regression_factor * max(
+                        baseline, 1e-9):
+                self._fire(
+                    fired, "stage-regression:" + stage, "warning",
+                    site,
+                    "stage {} at {:.0%} of windowed stage p95 vs "
+                    "{:.0%} baseline share (p95 {:.1f} ms, "
+                    "x{:.1f})".format(
+                        stage, share, baseline, p95 * 1000.0,
+                        share / max(baseline, 1e-9)),
+                    {"stage": stage, "window_p95_s": p95,
+                     "share": share, "baseline_share": baseline,
+                     "factor": config.stage_regression_factor})
 
     async def _check_stuck(self, fired: typing.List[Alert]) -> None:
         """Committed updates past the propagation deadline, localised

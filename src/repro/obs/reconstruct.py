@@ -23,6 +23,17 @@ from repro.harness.metrics import percentile
 #: Hop events recorded per replica site, in their causal order.
 HOP_EVENTS = ("received", "journaled", "applied", "caught-up")
 
+#: Per-hop latency components, in hot-path order.  They telescope:
+#: ``queue`` + ``wal`` span commit→forward on the sender (channel
+#: queueing vs the WAL group-commit barrier, split by the ``wal``
+#: stamp on the forwarded span), ``wire`` spans forward→receive
+#: (socket, receiver read + apply-queue wait + decode), and ``apply``
+#: spans receive→apply (journal append, kernel drive, apply workers).
+#: With all four span events present the components sum to the hop
+#: delay *exactly* — attribution is a partition of measured time, not
+#: an estimate.
+HOP_COMPONENTS = ("queue", "wal", "wire", "apply")
+
 
 @dataclasses.dataclass
 class PropagationTree:
@@ -150,6 +161,236 @@ def propagation_summary(trees: typing.Mapping[str, PropagationTree]
         "max": max(delays, default=0.0),
         "mean": (sum(delays) / len(delays)) if delays else 0.0,
     }
+
+
+# ----------------------------------------------------------------------
+# Critical-path latency attribution
+# ----------------------------------------------------------------------
+
+def hop_attributions(tree: PropagationTree
+                     ) -> typing.Dict[int, typing.Dict[str, typing.Any]]:
+    """Attribute each replica hop's delay to :data:`HOP_COMPONENTS`.
+
+    Per replica site with an applied (or caught-up) mark, the hop's
+    **anchor** is the moment the update became available at its
+    forwarder — the origin commit, or the upstream relay's own apply —
+    and the hop delay ``applied - anchor`` is partitioned along the
+    span timestamps::
+
+        anchor ──queue+wal── forwarded ──wire── received ──apply── applied
+
+    Attribution degrades to partial, never fails: a hop whose
+    ``forwarded`` span is missing (an obs-off sender) or that applied
+    via catch-up only keeps its measurable segments and banks the rest
+    in ``unattributed``, so components + unattributed always sum to
+    the hop delay.
+    """
+    hops: typing.Dict[int, typing.Dict[str, typing.Any]] = {}
+    if tree.committed_t is None:
+        return hops
+    # Earliest forward toward each replica, with its sender and the
+    # WAL-barrier stamp the transport put on the span.
+    forwards: typing.Dict[int, typing.Tuple[float, float,
+                                            typing.Optional[int]]] = {}
+    for span in tree.events:
+        if span.get("event") != "forwarded":
+            continue
+        peer = span.get("peer")
+        wall = span.get("t")
+        if not isinstance(peer, int) or \
+                not isinstance(wall, (int, float)):
+            continue
+        if peer not in forwards or wall < forwards[peer][0]:
+            wal = span.get("wal")
+            src = span.get("site")
+            forwards[peer] = (
+                float(wall),
+                float(wal) if isinstance(wal, (int, float)) else 0.0,
+                src if isinstance(src, int) else None)
+    for site, marks in tree.hops.items():
+        applied = tree.applied_at(site)
+        if applied is None:
+            continue
+        forward = forwards.get(site)
+        src = forward[2] if forward is not None else None
+        anchor = tree.committed_t
+        if src is not None and src != tree.origin:
+            upstream = tree.applied_at(src)
+            if upstream is not None and upstream > anchor:
+                anchor = upstream
+        total = max(0.0, applied - anchor)
+        components = {name: 0.0 for name in HOP_COMPONENTS}
+        received = marks.get("received")
+        if forward is not None and received is not None and \
+                anchor <= forward[0] <= received <= applied:
+            pre_wire = forward[0] - anchor
+            components["wal"] = min(forward[1], pre_wire)
+            components["queue"] = pre_wire - components["wal"]
+            components["wire"] = received - forward[0]
+            components["apply"] = applied - received
+        elif received is not None and anchor <= received <= applied:
+            # No forward span (obs-off sender, ring overflow): only
+            # the receiver side is measurable.
+            components["apply"] = applied - received
+        # else: applied/caught-up only — nothing to partition.
+        unattributed = max(0.0, total - sum(components.values()))
+        hops[site] = {
+            "site": site,
+            "src": src,
+            "anchor": anchor,
+            "applied": applied,
+            "total": total,
+            "components": components,
+            "unattributed": unattributed,
+        }
+    return hops
+
+
+def attribute_tree(tree: PropagationTree
+                   ) -> typing.Optional[typing.Dict[str, typing.Any]]:
+    """Critical-path attribution of one tree's end-to-end latency.
+
+    The critical path is the relay chain from the origin to the
+    slowest replica (expected replicas when the tree is complete, any
+    observed hop otherwise), followed backwards through each hop's
+    forwarder.  Because every hop's anchor is its forwarder's apply
+    instant, the chain's hop delays telescope — summing their
+    components reproduces the end-to-end delay, any gap (a missing
+    upstream span) lands in ``unattributed``.
+    """
+    hops = hop_attributions(tree)
+    if not hops or tree.committed_t is None:
+        return None
+    candidates = [site for site in
+                  (tree.expected if tree.complete else hops)
+                  if site in hops]
+    if not candidates:
+        return None
+    target = max(candidates, key=lambda site: hops[site]["applied"])
+    total = max(0.0, hops[target]["applied"] - tree.committed_t)
+    path: typing.List[int] = []
+    seen: typing.Set[int] = set()
+    site: typing.Optional[int] = target
+    while site is not None and site in hops and site not in seen:
+        seen.add(site)
+        path.append(site)
+        src = hops[site]["src"]
+        site = src if (src is not None and src != tree.origin
+                       and src in hops) else None
+    path.reverse()
+    components = {name: 0.0 for name in HOP_COMPONENTS}
+    for hop_site in path:
+        for name in HOP_COMPONENTS:
+            components[name] += hops[hop_site]["components"][name]
+    unattributed = max(0.0, total - sum(components.values()))
+    full_path = ([tree.origin] if tree.origin is not None else []) + path
+    return {
+        "trace": tree.trace,
+        "complete": tree.complete,
+        "target": target,
+        "path": full_path,
+        "total": total,
+        "components": components,
+        "unattributed": unattributed,
+    }
+
+
+def attribution_summary(trees: typing.Mapping[str, PropagationTree],
+                        top: int = 5) -> typing.Dict[str, typing.Any]:
+    """Aggregate attribution over every observed hop (seconds).
+
+    ``coverage`` is the attributed share of total hop time — 1.0 when
+    every hop carried all four span events; a cluster with obs-off
+    members degrades it instead of breaking.  ``top`` critical-path
+    breakdowns of the slowest complete trees ride along for the
+    "which traces should I stare at" question.
+    """
+    per_component: typing.Dict[str, typing.List[float]] = {
+        name: [] for name in HOP_COMPONENTS}
+    totals: typing.List[float] = []
+    unattributed_s = 0.0
+    attributed_hops = 0
+    for tree in trees.values():
+        for hop in hop_attributions(tree).values():
+            totals.append(hop["total"])
+            unattributed_s += hop["unattributed"]
+            if hop["total"] == 0.0 or \
+                    hop["unattributed"] <= 0.05 * hop["total"]:
+                attributed_hops += 1
+            for name in HOP_COMPONENTS:
+                per_component[name].append(hop["components"][name])
+    total_s = sum(totals)
+    components: typing.Dict[str, typing.Dict[str, float]] = {}
+    for name in HOP_COMPONENTS:
+        values = per_component[name]
+        component_total = sum(values)
+        components[name] = {
+            "total_s": component_total,
+            "share": (component_total / total_s) if total_s else 0.0,
+            "mean_s": (component_total / len(values)) if values else 0.0,
+            "p95_s": percentile(values, 95.0),
+        }
+    slowest = sorted(
+        (tree for tree in trees.values() if tree.delay is not None),
+        key=lambda tree: tree.delay, reverse=True)
+    top_paths = []
+    for tree in slowest[:max(0, top)]:
+        attributed = attribute_tree(tree)
+        if attributed is not None:
+            top_paths.append(attributed)
+    return {
+        "hops": len(totals),
+        "attributed_hops": attributed_hops,
+        "total_s": total_s,
+        "unattributed_s": unattributed_s,
+        "coverage": ((total_s - unattributed_s) / total_s)
+        if total_s else 1.0,
+        "components": components,
+        "top": top_paths,
+    }
+
+
+def _ms(seconds: float) -> str:
+    return "{:.2f}ms".format(seconds * 1000.0)
+
+
+def format_attribution(summary: typing.Mapping[str, typing.Any]) -> str:
+    """Render an :func:`attribution_summary` as the aggregate table +
+    top-k critical paths."""
+    lines = ["latency attribution: {} hops, {:.1f}% of hop time "
+             "attributed".format(summary["hops"],
+                                 summary["coverage"] * 100.0)]
+    lines.append("  {:<10} {:>10} {:>7} {:>10} {:>10}".format(
+        "component", "total", "share", "mean", "p95"))
+    for name in HOP_COMPONENTS:
+        component = summary["components"][name]
+        lines.append("  {:<10} {:>10} {:>6.1f}% {:>10} {:>10}".format(
+            name, _ms(component["total_s"]),
+            component["share"] * 100.0,
+            _ms(component["mean_s"]), _ms(component["p95_s"])))
+    if summary["unattributed_s"] > 0.0:
+        lines.append("  {:<10} {:>10} {:>6.1f}%".format(
+            "(other)", _ms(summary["unattributed_s"]),
+            (summary["unattributed_s"] / summary["total_s"] * 100.0)
+            if summary["total_s"] else 0.0))
+    for attributed in summary.get("top", ()):
+        lines.append("  " + format_attributed_path(attributed))
+    return "\n".join(lines)
+
+
+def format_attributed_path(attributed: typing.Mapping[str, typing.Any]
+                           ) -> str:
+    """One-line critical-path rendering of an :func:`attribute_tree`."""
+    path = "→".join("s{}".format(site)
+                         for site in attributed["path"])
+    parts = ["{} {}".format(name, _ms(attributed["components"][name]))
+             for name in HOP_COMPONENTS
+             if attributed["components"][name] > 0.0]
+    if attributed["unattributed"] > 0.0:
+        parts.append("other {}".format(_ms(attributed["unattributed"])))
+    return "{}  {} via {}  [{}]".format(
+        attributed["trace"], _ms(attributed["total"]), path,
+        "  ".join(parts) if parts else "no span detail")
 
 
 def format_tree(tree: PropagationTree) -> str:

@@ -156,6 +156,7 @@ class TraceSink:
         self._total = 0
         self._pending: typing.List[typing.Dict[str, typing.Any]] = []
         self._handle: typing.Optional[typing.TextIO] = None
+        self._closed = False
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -194,7 +195,11 @@ class TraceSink:
         self._total += 1
         if self.path is not None:
             self._pending.append(span)
-            if len(self._pending) >= self.flush_every:
+            # Write-through once closed: teardown orders transport
+            # shutdown before the sink close, but an in-flight apply
+            # task can still emit a late span — deferring it to a
+            # flush that will never come loses it silently.
+            if len(self._pending) >= self.flush_every or self._closed:
                 self.flush()
         return span
 
@@ -223,8 +228,15 @@ class TraceSink:
         self._handle.write("".join(
             json.dumps(span, sort_keys=True) + "\n" for span in pending))
         self._handle.flush()
+        if self._closed:
+            self._handle.close()
+            self._handle = None
 
     def close(self) -> None:
+        """Flush everything queued and close the file.  The sink stays
+        usable: later spans (teardown stragglers) write straight
+        through instead of queueing behind ``flush_every``."""
+        self._closed = True
         self.flush()
         if self._handle is not None:
             self._handle.close()

@@ -83,24 +83,41 @@ def load_history(bench: str,
 
 def check_regression(bench: str, metric: str, current: float,
                      threshold: float = 0.2,
-                     path: typing.Optional[pathlib.Path] = None
+                     path: typing.Optional[pathlib.Path] = None,
+                     direction: str = "higher"
                      ) -> typing.Optional[str]:
     """Compare ``current`` against the best recorded value of
-    ``metric``; returns a warning string when it dropped more than
+    ``metric``; returns a warning string when it regressed more than
     ``threshold`` (fraction), else ``None``.
+
+    ``direction`` declares which way is good: ``"higher"`` (throughput
+    — best is the max, a drop below it warns) or ``"lower"`` (latency —
+    best is the min, an excursion above it warns).
 
     Call *before* appending the current run, so a regressed run does
     not rank against itself.
     """
+    if direction not in ("higher", "lower"):
+        raise ValueError("direction must be 'higher' or 'lower'")
+    lower = direction == "lower"
     best: typing.Optional[float] = None
     best_sha = None
     for record in load_history(bench, path=path):
         value = record.get("metrics", {}).get(metric)
         if isinstance(value, (int, float)) and \
-                (best is None or value > best):
+                (best is None or
+                 (value < best if lower else value > best)):
             best = float(value)
             best_sha = record.get("git_sha")
     if best is None or best <= 0:
+        return None
+    if lower:
+        if current > best * (1.0 + threshold):
+            return ("REGRESSION WARNING: {} {} = {:.4g} is {:.0f}% "
+                    "above the best recorded run ({:.4g} at "
+                    "{})".format(
+                        bench, metric, current,
+                        (current / best - 1.0) * 100.0, best, best_sha))
         return None
     if current < best * (1.0 - threshold):
         return ("REGRESSION WARNING: {} {} = {:.2f} is {:.0f}% below "

@@ -241,13 +241,20 @@ def test_live_cluster_batching_speedup(benchmark):
         handle.write("\n")
 
     # Bench trajectory: compare against the best recorded batched
-    # throughput *before* appending this run, then append it.
+    # throughput — and, in the other direction, the best (lowest)
+    # recorded batched p95 latency — *before* appending this run, so a
+    # regressed run does not rank against itself.
     warning = check_regression("live_cluster",
                                "batched_throughput_txn_s",
                                batched.throughput, threshold=0.2)
+    p95_warning = check_regression(
+        "live_cluster", "batched_p95_ms",
+        batched.latency["p95"] * 1000.0, threshold=0.2,
+        direction="lower")
     history_record = append_history("live_cluster", {
         "baseline_throughput_txn_s": round(baseline.throughput, 2),
         "batched_throughput_txn_s": round(batched.throughput, 2),
+        "batched_p95_ms": round(batched.latency["p95"] * 1000.0, 3),
         "speedup": round(speedup, 3),
         "obs_overhead_ratio": round(overhead_ratio, 3),
         "propagation_p95_ms": round(propagation["p95"] * 1000.0, 3),
@@ -258,6 +265,7 @@ def test_live_cluster_batching_speedup(benchmark):
         "monitor_critical": batched.alerts.get("critical", 0),
         "monitor_warning": batched.alerts.get("warning", 0),
         "regression_warning": warning,
+        "p95_regression_warning": p95_warning,
     })
 
     print("")
@@ -315,6 +323,8 @@ def test_live_cluster_batching_speedup(benchmark):
                            batched.alerts.get("polls", 0)))
     if warning:
         print(warning)
+    if p95_warning:
+        print(p95_warning)
     print("wrote {}".format(os.path.relpath(ARTIFACT)))
     print("appended run {} to {}".format(
         history_record["git_sha"],
@@ -485,3 +495,94 @@ def test_live_cluster_wire_apply_matrix(benchmark):
     for label, report in results.items():
         benchmark.extra_info[label + "_throughput"] = round(
             report.throughput, 2)
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder dump latency
+# ----------------------------------------------------------------------
+
+def _filled_recorder():
+    """A flight recorder at realistic incident sizes: a span ring with
+    thousands of entries, a populated registry, full event and
+    checkpoint rings, and a couple of state sources."""
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import TraceSink
+    from repro.types import GlobalTransactionId
+
+    trace = TraceSink(0, capacity=8192)
+    for index in range(8192):
+        trace.emit("applied", trace="t0.{}".format(index % 512),
+                   gid=GlobalTransactionId(site=0, seq=index),
+                   peer=(index % 3))
+    metrics = MetricsRegistry()
+    metrics.counter("txn.committed").inc(12345)
+    metrics.gauge("server.apply_queue").set(7)
+    hist = metrics.histogram("server.apply_s")
+    for index in range(1000):
+        hist.observe(0.0001 * (index % 50 + 1))
+    recorder = FlightRecorder(0, trace=trace, metrics=metrics,
+                              epoch=lambda: 3)
+    recorder.add_source("wal", lambda: {"appended": 9000,
+                                        "synced_records": 9000})
+    recorder.add_source("watermarks",
+                        lambda: {str(item): item * 7
+                                 for item in range(32)})
+    for index in range(600):  # overflows the 512-deep event ring
+        recorder.record_event("alert", rule="lag", index=index)
+    for _ in range(70):  # overflows the 64-deep checkpoint ring
+        recorder.checkpoint()
+    return recorder
+
+
+def test_flight_dump_latency(benchmark, tmp_path):
+    """An incident dump must be cheap enough to run inline on a
+    struggling site: bound the p50 over repeated full-size dumps and
+    track the trajectory like every other headline number."""
+    import time as _time
+
+    from repro.obs.flight import load_bundle, validate_bundle
+
+    recorder = _filled_recorder()
+    durations = []
+
+    def dumps():
+        for index in range(20):
+            start = _time.perf_counter()
+            path = recorder.dump("bench", out_dir=str(tmp_path))
+            durations.append(_time.perf_counter() - start)
+        return path
+
+    last_path = run_once(benchmark, dumps)
+    problems = validate_bundle(last_path)
+    assert not problems, problems
+    manifest, records = load_bundle(last_path)
+    assert manifest["trigger"] == "bench"
+    assert len(records) == sum(manifest["counts"].values())
+
+    durations.sort()
+    p50_ms = durations[len(durations) // 2] * 1000.0
+    max_ms = durations[-1] * 1000.0
+    # Generous absolute ceiling (shared CI boxes): a full-ring dump —
+    # gather + serialize + fsync — must stay well under a second.
+    assert p50_ms < 500.0, \
+        "flight dump p50 {:.1f} ms".format(p50_ms)
+
+    warning = check_regression("flight_dump", "dump_p50_ms", p50_ms,
+                               threshold=0.2, direction="lower")
+    history_record = append_history("flight_dump", {
+        "dump_p50_ms": round(p50_ms, 3),
+        "dump_max_ms": round(max_ms, 3),
+        "records": len(records),
+        "regression_warning": warning,
+    })
+
+    print("")
+    print("flight dump: {} record(s)  p50 {:.2f} ms  max {:.2f} ms"
+          .format(len(records), p50_ms, max_ms))
+    if warning:
+        print(warning)
+    print("appended run {} to BENCH_history.jsonl".format(
+        history_record["git_sha"]))
+    benchmark.extra_info["dump_p50_ms"] = round(p50_ms, 3)
+    benchmark.extra_info["dump_records"] = len(records)

@@ -241,6 +241,8 @@ class ChaosRunReport:
     #: The injector's canonical (sorted) injection log.
     injections: typing.List[typing.Dict[str, typing.Any]] = \
         dataclasses.field(default_factory=list)
+    #: Flight-recorder bundles dumped on a failing verdict (paths).
+    bundles: typing.List[str] = dataclasses.field(default_factory=list)
 
     def to_json(self) -> typing.Dict[str, typing.Any]:
         return dataclasses.asdict(self)
@@ -283,6 +285,11 @@ class ChaosRunReport:
                              self.alerts_post.get("critical", 0),
                              self.alerts_post.get("warning", 0),
                              self.alerts_post.get("polls", 0)))
+        if self.bundles:
+            lines.append(
+                "flight bundles: {} dumped under {}".format(
+                    len(self.bundles),
+                    os.path.dirname(self.bundles[0]) or "."))
         for violation in self.violations:
             lines.append("VIOLATION: " + violation)
         return "\n".join(lines)
@@ -426,6 +433,17 @@ async def _drive_reconfigs(scenario: ChaosScenario, client,
 # The controller
 # ----------------------------------------------------------------------
 
+def _broadcast_event(servers: typing.Dict[int, SiteServer],
+                     kind: str, **fields) -> None:
+    """Stamp a wall-clock event into every site's flight recorder —
+    faults and alerts are cluster-level facts, and carrying them in
+    each bundle is what lets the postmortem align them against the
+    per-site spans.  Recording into a killed server's recorder is
+    harmless (pure memory on a dead object)."""
+    for server in servers.values():
+        server.flight.record_event(kind, **fields)
+
+
 async def _start_site(scenario: ChaosScenario, wal_dir: str, site: int,
                       injector: LinkFaultInjector) -> SiteServer:
     server = SiteServer(
@@ -453,12 +471,17 @@ async def _site_schedule(scenario: ChaosScenario, wal_dir: str,
     servers[kill.site].kill()
     report.kills.append({"site": kill.site, "at": kill.at,
                          "down_for": kill.down_for})
+    _broadcast_event(servers, "fault", fault="kill", victim=kill.site,
+                     down_for=kill.down_for)
     pristine: typing.Dict[str, bytes] = {}
     applied = []
     for event in scenario.plan.corrupt_events(kill.site):
         path = _corrupt_path(scenario, wal_dir, kill.site, event.target)
         if _apply_corruption(event, path, pristine):
             applied.append((event, path))
+            _broadcast_event(servers, "fault", fault="corrupt",
+                             victim=kill.site, target=event.target,
+                             mode=event.mode)
     await asyncio.sleep(kill.down_for)
 
     detected_error: typing.Optional[str] = None
@@ -508,7 +531,8 @@ async def _site_schedule(scenario: ChaosScenario, wal_dir: str,
 async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
                      quiesce_timeout: float, txn_timeout: float,
                      monitor: bool,
-                     monitor_config: typing.Optional[MonitorConfig]
+                     monitor_config: typing.Optional[MonitorConfig],
+                     bundle_dir: typing.Optional[str] = None
                      ) -> ChaosRunReport:
     spec = scenario.spec
     injector = LinkFaultInjector(scenario.plan)
@@ -531,7 +555,12 @@ async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
             config = monitor_config if monitor_config is not None \
                 else MonitorConfig(interval=0.25, convergence_every=0,
                                    trace_limit=0)
-            watchdog = Watchdog(spec, client, config=config)
+            watchdog = Watchdog(
+                spec, client, config=config,
+                on_alert=lambda alert: _broadcast_event(
+                    servers, "alert", rule=alert.rule,
+                    severity=alert.severity, alert_site=alert.site,
+                    message=alert.message))
             watchdog_task = asyncio.get_running_loop().create_task(
                 watchdog.run())
 
@@ -656,6 +685,21 @@ async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
                         report.alerts_post["critical"],
                         ", ".join(sorted(
                             report.alerts_post["by_rule"]))))
+
+        # Failing verdict: dump every member's flight recorder before
+        # teardown so the postmortem has a bundle per surviving site.
+        # A crashed-and-restarted member's recorder only spans its
+        # current incarnation — the previous life's black box is its
+        # WAL and trace file on disk.
+        if bundle_dir is not None and report.violations:
+            os.makedirs(bundle_dir, exist_ok=True)
+            for site in sorted(servers):
+                try:
+                    report.bundles.append(
+                        await servers[site].flight.dump_async(
+                            "chaos-verdict", out_dir=bundle_dir))
+                except OSError:
+                    pass
     finally:
         if watchdog is not None:
             watchdog.request_stop()
@@ -682,7 +726,8 @@ async def _run_chaos(scenario: ChaosScenario, wal_dir: str,
 def run_chaos(scenario: ChaosScenario, wal_dir: str,
               quiesce_timeout: float = 30.0, txn_timeout: float = 30.0,
               monitor: bool = True,
-              monitor_config: typing.Optional[MonitorConfig] = None
+              monitor_config: typing.Optional[MonitorConfig] = None,
+              bundle_dir: typing.Optional[str] = None
               ) -> ChaosRunReport:
     """Execute one chaos scenario end to end (synchronous entry point).
 
@@ -690,11 +735,23 @@ def run_chaos(scenario: ChaosScenario, wal_dir: str,
     the crash-recovery substrate and the corruption target.
     ``monitor_config`` overrides the during-run watchdog config (e.g.
     to turn on stuck-propagation localisation via ``trace_limit``).
+    ``bundle_dir`` arms the chaos-verdict flight-recorder trigger: a
+    run with violations dumps one incident bundle per member there,
+    plus the injection log as ``injections.json`` for
+    ``repro postmortem --injections``.
     """
     scenario.validate()
     os.makedirs(wal_dir, exist_ok=True)
-    return asyncio.run(_run_chaos(scenario, wal_dir,
-                                  quiesce_timeout=quiesce_timeout,
-                                  txn_timeout=txn_timeout,
-                                  monitor=monitor,
-                                  monitor_config=monitor_config))
+    report = asyncio.run(_run_chaos(scenario, wal_dir,
+                                    quiesce_timeout=quiesce_timeout,
+                                    txn_timeout=txn_timeout,
+                                    monitor=monitor,
+                                    monitor_config=monitor_config,
+                                    bundle_dir=bundle_dir))
+    if bundle_dir is not None and report.bundles:
+        path = os.path.join(bundle_dir, "injections.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.injections, handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    return report

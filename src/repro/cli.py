@@ -233,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--anti-entropy", type=float, default=2.0,
                               help="catch-up poll interval in seconds "
                                    "(0 disables)")
+    serve_parser.add_argument("--dump-dir", metavar="DIR", default=None,
+                              help="arm the flight-recorder exit "
+                                   "triggers: SIGTERM and fatal "
+                                   "exceptions dump an incident bundle "
+                                   "here before the process dies")
     _add_param_flags(serve_parser)
 
     loadgen_parser = subparsers.add_parser(
@@ -399,6 +404,22 @@ def build_parser() -> argparse.ArgumentParser:
     monitor_parser.add_argument("--json", metavar="PATH", default=None,
                                 help="also write the final alert "
                                      "summary as JSON")
+    monitor_parser.add_argument("--dump-dir", metavar="DIR",
+                                default=None,
+                                help="on each new critical alert, fan "
+                                     "a flight-recorder dump to every "
+                                     "reachable site; bundles land "
+                                     "here")
+    monitor_parser.add_argument("--alerts-max-bytes", type=int,
+                                default=None, metavar="BYTES",
+                                help="rotate the --alerts JSONL past "
+                                     "this size (keeps --alerts-backups "
+                                     "older generations; default: "
+                                     "unbounded)")
+    monitor_parser.add_argument("--alerts-backups", type=int, default=3,
+                                metavar="N",
+                                help="rotated --alerts generations to "
+                                     "keep (default 3)")
     _add_param_flags(monitor_parser)
 
     top_parser = subparsers.add_parser(
@@ -418,6 +439,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="per-site span fetch cap for the "
                                  "propagation-delay panel (0 disables "
                                  "it)")
+    top_parser.add_argument("--json", action="store_true",
+                            help="print one machine-readable snapshot "
+                                 "(the same model as the non-TTY "
+                                 "fallback) and exit")
     _add_param_flags(top_parser)
 
     chaos_parser = subparsers.add_parser(
@@ -487,6 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
                               default=None,
                               help="write the canonical injection log "
                                    "as JSON (replay equality evidence)")
+    chaos_parser.add_argument("--bundle-dir", metavar="DIR",
+                              default=None,
+                              help="on a failing verdict, dump every "
+                                   "member's flight-recorder bundle "
+                                   "(plus injections.json) here for "
+                                   "repro postmortem")
     _add_param_flags(chaos_parser)
 
     chaos_sweep_parser = subparsers.add_parser(
@@ -571,6 +602,56 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="permit a change that leaves a "
                                       "site with no primary items")
     _add_param_flags(reconfig_parser)
+
+    dump_parser = subparsers.add_parser(
+        "dump", help="ask live sites to dump their flight-recorder "
+                     "incident bundles now")
+    _add_cluster_flags(dump_parser)
+    dump_parser.add_argument("--site", type=int, default=None,
+                             help="dump one site instead of all")
+    dump_parser.add_argument("--dir", metavar="DIR", default=None,
+                             help="directory the bundles land in "
+                                  "(default: each site's WAL "
+                                  "directory, else its cwd)")
+    dump_parser.add_argument("--trigger", default="manual",
+                             help="trigger label recorded in each "
+                                  "bundle's manifest (default: manual)")
+    _add_param_flags(dump_parser)
+
+    postmortem_parser = subparsers.add_parser(
+        "postmortem", help="merge flight-recorder bundles from all "
+                           "sites into one causally ordered cross-site "
+                           "incident timeline (offline; see "
+                           "docs/OBSERVABILITY.md)")
+    postmortem_parser.add_argument(
+        "bundles", nargs="+", metavar="PATH",
+        help="bundle files and/or directories holding "
+             "flight-s*.jsonl bundles")
+    postmortem_parser.add_argument("--injections", metavar="PATH",
+                                   default=None,
+                                   help="chaos injection log "
+                                        "(injections.json) to fold "
+                                        "into the report")
+    postmortem_parser.add_argument("--json", metavar="PATH",
+                                   default=None,
+                                   help="also write the full analysis "
+                                        "as JSON")
+    postmortem_parser.add_argument("--export-chrome", metavar="PATH",
+                                   default=None,
+                                   help="write the merged spans + "
+                                        "incident timeline as "
+                                        "Chrome/Perfetto trace-event "
+                                        "JSON")
+    postmortem_parser.add_argument("--check", action="store_true",
+                                   help="validate every bundle against "
+                                        "the schema; exit non-zero on "
+                                        "violation or zero loadable "
+                                        "bundles (CI mode)")
+    postmortem_parser.add_argument("--timeline-limit", type=int,
+                                   default=60, metavar="N",
+                                   help="timeline entries to print "
+                                        "(default 60; 0 hides the "
+                                        "timeline)")
 
     return parser
 
@@ -805,9 +886,15 @@ def _cmd_serve(args: argparse.Namespace, out: typing.TextIO) -> int:
 
         loop = asyncio.get_running_loop()
         stopping = asyncio.Event()
+        signals_seen: typing.List[str] = []
+
+        def _on_signal(name: str) -> None:
+            signals_seen.append(name)
+            stopping.set()
+
         for sig in (signal.SIGINT, signal.SIGTERM):
             try:
-                loop.add_signal_handler(sig, stopping.set)
+                loop.add_signal_handler(sig, _on_signal, sig.name)
             except NotImplementedError:  # pragma: no cover - non-unix
                 pass
         serve_task = asyncio.ensure_future(server.serve_forever())
@@ -815,6 +902,16 @@ def _cmd_serve(args: argparse.Namespace, out: typing.TextIO) -> int:
         await asyncio.wait({serve_task, stop_task},
                            return_when=asyncio.FIRST_COMPLETED)
         stop_task.cancel()
+        # SIGTERM with --dump-dir is the "operator pulled the plug"
+        # trigger: capture the black box before the graceful drain
+        # (SIGINT stays quiet — interactive stops are not incidents).
+        if args.dump_dir is not None and "SIGTERM" in signals_seen:
+            try:
+                path = await server.flight.dump_async(
+                    "sigterm", out_dir=args.dump_dir)
+                out.write("dumped flight bundle {}\n".format(path))
+            except OSError as exc:  # pragma: no cover - disk trouble
+                out.write("flight dump failed: {}\n".format(exc))
         if not serve_task.done():
             serve_task.cancel()  # serve_forever() absorbs the cancel
         await serve_task
@@ -824,6 +921,17 @@ def _cmd_serve(args: argparse.Namespace, out: typing.TextIO) -> int:
         asyncio.run(_serve_until_signalled())
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
+    except Exception as exc:
+        # Fatal exception: the whole point of a black box.  The dump
+        # is synchronous — no event loop survives to await one.
+        try:
+            path = server.flight.dump("fatal-exception",
+                                      out_dir=args.dump_dir)
+            out.write("fatal: dumped flight bundle {}\n".format(path))
+        except OSError:  # pragma: no cover - disk trouble
+            pass
+        out.write("fatal: {}: {}\n".format(type(exc).__name__, exc))
+        return 1
     return 0
 
 
@@ -1004,7 +1112,10 @@ def _cmd_monitor(args: argparse.Namespace, out: typing.TextIO) -> int:
         client = ClusterClient(spec, timeout=2.0, retries=1)
         watchdog = Watchdog(
             spec, client, config=config, sink_path=args.alerts,
-            on_alert=lambda alert: out.write(alert.format() + "\n"))
+            on_alert=lambda alert: out.write(alert.format() + "\n"),
+            sink_max_bytes=args.alerts_max_bytes,
+            sink_backups=args.alerts_backups,
+            dump_dir=args.dump_dir)
         try:
             await watchdog.run(duration=duration)
         finally:
@@ -1023,6 +1134,11 @@ def _cmd_monitor(args: argparse.Namespace, out: typing.TextIO) -> int:
                                   summary["warning"]))
     for rule, count in summary["by_rule"].items():
         out.write("  {} x{}\n".format(rule, count))
+    if summary.get("bundles"):
+        out.write("dumped {} flight bundle(s):\n".format(
+            len(summary["bundles"])))
+        for path in summary["bundles"]:
+            out.write("  {}\n".format(path))
     if args.json:
         import json
 
@@ -1044,7 +1160,7 @@ def _cmd_top(args: argparse.Namespace, out: typing.TextIO) -> int:
     from repro.obs.dashboard import Dashboard
 
     spec = _cluster_spec_from_args(args)
-    live = (not args.once and out is sys.stdout
+    live = (not args.once and not args.json and out is sys.stdout
             and sys.stdout.isatty())
 
     async def run() -> None:
@@ -1052,7 +1168,13 @@ def _cmd_top(args: argparse.Namespace, out: typing.TextIO) -> int:
         dashboard = Dashboard(spec, client, interval=args.interval,
                               trace_limit=args.trace_limit)
         try:
-            if live:
+            if args.json:
+                import json
+
+                model = await dashboard.snapshot_json()
+                json.dump(model, out, indent=2, sort_keys=True)
+                out.write("\n")
+            elif live:
                 await dashboard.run(out, iterations=args.iterations)
             elif args.iterations is not None and args.iterations > 1:
                 await dashboard.run(out, iterations=args.iterations,
@@ -1098,7 +1220,8 @@ def _cmd_chaos(args: argparse.Namespace, out: typing.TextIO) -> int:
         wal_dir = args.wal_dir or os.path.join(scratch, "wal")
         report = run_chaos(scenario, wal_dir,
                            quiesce_timeout=args.quiesce_timeout,
-                           monitor=not args.no_monitor)
+                           monitor=not args.no_monitor,
+                           bundle_dir=args.bundle_dir)
         out.write(report.format() + "\n")
 
         final_scenario = scenario
@@ -1390,6 +1513,100 @@ def _cmd_profile(args: argparse.Namespace, out: typing.TextIO) -> int:
     return 0
 
 
+def _cmd_dump(args: argparse.Namespace, out: typing.TextIO) -> int:
+    import asyncio
+
+    from repro.cluster.client import ClusterClient, ClusterError
+
+    spec = _cluster_spec_from_args(args)
+
+    async def fan():
+        client = ClusterClient(spec, timeout=5.0, retries=1)
+        try:
+            fields: typing.Dict[str, typing.Any] = {
+                "trigger": args.trigger}
+            if args.dir is not None:
+                fields["dir"] = args.dir
+            return await client.try_each("dump", **fields)
+        finally:
+            await client.close()
+
+    try:
+        responses, unreachable = asyncio.run(fan())
+    except (ClusterError, OSError) as exc:
+        out.write("dump failed: {}\n".format(exc))
+        return 1
+    if args.site is not None:
+        responses = {site: response
+                     for site, response in responses.items()
+                     if site == args.site}
+        unreachable = [site for site in unreachable
+                       if site == args.site]
+    failures = 0
+    for site, response in sorted(responses.items()):
+        if response.get("ok"):
+            out.write("s{}: {} ({} record(s))\n".format(
+                site, response.get("path"), response.get("records")))
+        else:
+            failures += 1
+            out.write("s{}: FAILED: {}\n".format(
+                site, response.get("error")))
+    for site in sorted(unreachable):
+        failures += 1
+        out.write("s{}: unreachable\n".format(site))
+    return 1 if failures or not responses else 0
+
+
+def _cmd_postmortem(args: argparse.Namespace,
+                    out: typing.TextIO) -> int:
+    import json
+
+    from repro.obs.flight import validate_bundle
+    from repro.obs.postmortem import (analysis_json, analyze,
+                                      chrome_export, collect_bundles,
+                                      format_report)
+
+    bundles, problems = collect_bundles(args.bundles)
+    for problem in problems:
+        out.write("WARN: {}\n".format(problem))
+    if not bundles:
+        out.write("no loadable bundles\n")
+        return 1
+    violations = 0
+    if args.check:
+        for bundle in bundles:
+            for problem in validate_bundle(bundle.path):
+                out.write("SCHEMA VIOLATION {}: {}\n".format(
+                    bundle.path, problem))
+                violations += 1
+        if not violations:
+            out.write("all {} bundle(s) schema-valid\n".format(
+                len(bundles)))
+    injections = None
+    if args.injections:
+        with open(args.injections, "r", encoding="utf-8") as handle:
+            injections = json.load(handle)
+    analysis = analyze(bundles, injections=injections)
+    out.write(format_report(analysis,
+                            timeline_limit=args.timeline_limit) + "\n")
+    if args.export_chrome:
+        document = chrome_export(analysis)
+        with open(args.export_chrome, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+        out.write("wrote {} ({} events)\n".format(
+            args.export_chrome, len(document["traceEvents"])))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(analysis_json(analysis), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        out.write("wrote {}\n".format(args.json))
+    if args.check and (violations or problems):
+        return 1
+    return 0
+
+
 def main(argv: typing.Optional[typing.Sequence[str]] = None,
          out: typing.TextIO = sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
@@ -1416,6 +1633,8 @@ def main(argv: typing.Optional[typing.Sequence[str]] = None,
         "chaos": _cmd_chaos,
         "chaos-sweep": _cmd_chaos_sweep,
         "reconfig": _cmd_reconfig,
+        "dump": _cmd_dump,
+        "postmortem": _cmd_postmortem,
     }
     return handlers[args.command](args, out)
 

@@ -446,6 +446,22 @@ class ClusterClient:
             frame["interval"] = float(interval)
         return await self._request(site, frame, idempotent=True)
 
+    async def dump(self, site: SiteId,
+                   trigger: typing.Optional[str] = None,
+                   out_dir: typing.Optional[str] = None
+                   ) -> typing.Dict[str, typing.Any]:
+        """Ask one site to dump its flight recorder into an incident
+        bundle; returns the server-side bundle path.  Retry-safe (a
+        repeat just writes another bundle), so the request is
+        idempotent.  All-site dumps go through ``try_each("dump", ...)``
+        — a dead member is the finding, not an error."""
+        frame: typing.Dict[str, typing.Any] = {"op": "dump"}
+        if trigger is not None:
+            frame["trigger"] = trigger
+        if out_dir is not None:
+            frame["dir"] = out_dir
+        return await self._request(site, frame, idempotent=True)
+
     async def crash(self, site: SiteId) -> None:
         """Ask a site to crash in place (volatile state lost, WAL kept)."""
         await self._request(site, {"op": "crash"}, idempotent=False)

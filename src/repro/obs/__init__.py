@@ -26,6 +26,15 @@ Three cooperating pieces (see ``docs/OBSERVABILITY.md``):
 - :mod:`repro.obs.dashboard` — the ``repro top`` terminal dashboard
   (per-site rates, lag, propagation percentiles, sparklines, active
   alerts).
+- :mod:`repro.obs.flight` — the per-site black-box flight recorder:
+  a bounded in-memory ring of recent spans, metric checkpoints and
+  cluster events, dumped atomically as a versioned incident bundle on
+  watchdog criticals, chaos verdicts, the ``dump`` wire op, SIGTERM
+  or a fatal exception.
+- :mod:`repro.obs.postmortem` — the ``repro postmortem`` analyzer:
+  merges bundles from all sites into one causally ordered cross-site
+  timeline (clock offsets estimated from trace-id hop pairs) with
+  automatic fault localization.
 """
 
 from repro.obs.registry import (  # noqa: F401
@@ -57,3 +66,16 @@ from repro.obs.monitor import (  # noqa: F401
     Watchdog,
 )
 from repro.obs.dashboard import Dashboard, sparkline  # noqa: F401
+from repro.obs.flight import (  # noqa: F401
+    FlightRecorder,
+    bundle_paths,
+    load_bundle,
+    validate_bundle,
+    write_bundle,
+)
+from repro.obs.postmortem import (  # noqa: F401
+    analyze,
+    collect_bundles,
+    estimate_offsets,
+    format_report,
+)

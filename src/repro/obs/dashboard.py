@@ -84,6 +84,25 @@ def _rate(delta: float, elapsed: float) -> float:
     return delta / elapsed if elapsed > 0 else 0.0
 
 
+def model_json(model: typing.Mapping[str, typing.Any]
+               ) -> typing.Dict[str, typing.Any]:
+    """The sampled model as plain JSON types (``repro top --json``):
+    Alert objects become their ``to_json`` dicts and the top-stage
+    tuple a ``[label, share]`` pair; everything else is already
+    serialisable."""
+    payload = dict(model)
+    payload["alerts"] = [alert.to_json()
+                         for alert in model.get("alerts") or []]
+    rows = []
+    for row in model.get("rows", ()):
+        row = dict(row)
+        stage = row.get("top_stage")
+        row["top_stage"] = list(stage) if stage else None
+        rows.append(row)
+    payload["rows"] = rows
+    return payload
+
+
 def _fmt_ms(seconds: typing.Optional[float]) -> str:
     if seconds is None:
         return "-"
@@ -311,3 +330,12 @@ class Dashboard:
         model = await self.sample()
         out.write(self.render(model))
         out.flush()
+
+    async def snapshot_json(self, warmup: float = 0.3
+                            ) -> typing.Dict[str, typing.Any]:
+        """Single-shot machine-readable snapshot: the same two-poll
+        pipeline as :meth:`snapshot`, returning the model as JSON-safe
+        data instead of a rendered frame."""
+        await self.sample()
+        await asyncio.sleep(warmup)
+        return model_json(await self.sample())

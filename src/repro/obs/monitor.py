@@ -53,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import os
 import time
 import typing
 
@@ -163,20 +164,63 @@ class Alert:
 
 
 class AlertSink:
-    """Append-only JSONL alert log (the CI artifact)."""
+    """Append-only JSONL alert log (the CI artifact).
 
-    def __init__(self, path: typing.Optional[str]):
+    With ``max_bytes`` set the log rotates: an emit that would push the
+    file past the cap first shifts ``path`` to ``path.1`` (and older
+    generations to ``.2`` … up to ``backups``, the oldest dropped), so
+    an unbounded ``repro monitor`` run keeps the newest ~``max_bytes *
+    (backups + 1)`` bytes of alerts instead of growing without bound.
+    ``max_bytes=None`` (the default) keeps the original append-only
+    behaviour."""
+
+    def __init__(self, path: typing.Optional[str],
+                 max_bytes: typing.Optional[int] = None,
+                 backups: int = 3):
         self.path = path
+        self.max_bytes = int(max_bytes) if max_bytes else None
+        self.backups = max(0, int(backups))
         self._handle: typing.Optional[typing.TextIO] = None
+        self._size = 0
 
     def emit(self, alert: Alert) -> None:
         if self.path is None:
             return
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
         record = dict(alert.to_json(), t=time.time())
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._handle is None:
+            self._open()
+        if self.max_bytes is not None and self._size > 0 and \
+                self._size + len(line) > self.max_bytes:
+            self._rotate()
+        self._handle.write(line)
         self._handle.flush()
+        self._size += len(line)
+
+    def _open(self) -> None:
+        self._handle = open(self.path, "a", encoding="utf-8")
+        try:
+            self._size = os.path.getsize(self.path)
+        except OSError:
+            self._size = 0
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        try:
+            if self.backups > 0:
+                for index in range(self.backups - 1, 0, -1):
+                    src = "{}.{}".format(self.path, index)
+                    if os.path.exists(src):
+                        os.replace(src,
+                                   "{}.{}".format(self.path, index + 1))
+                os.replace(self.path, self.path + ".1")
+            else:
+                os.remove(self.path)
+        except OSError:
+            pass  # rotation is best-effort; keep appending regardless
+        self._open()
 
     def close(self) -> None:
         if self._handle is not None:
@@ -196,12 +240,23 @@ class Watchdog:
                  config: typing.Optional[MonitorConfig] = None,
                  sink_path: typing.Optional[str] = None,
                  on_alert: typing.Optional[
-                     typing.Callable[[Alert], None]] = None):
+                     typing.Callable[[Alert], None]] = None,
+                 sink_max_bytes: typing.Optional[int] = None,
+                 sink_backups: int = 3,
+                 dump_dir: typing.Optional[str] = None):
         self.spec = spec
         self.client = client
         self.config = config or MonitorConfig()
-        self.sink = AlertSink(sink_path)
+        self.sink = AlertSink(sink_path, max_bytes=sink_max_bytes,
+                              backups=sink_backups)
         self.on_alert = on_alert
+        #: When set, a *new* critical alert fans a flight-recorder
+        #: ``dump`` to every reachable site, bundles landing here.
+        self.dump_dir = dump_dir
+        self._dumped: typing.Set[
+            typing.Tuple[str, typing.Optional[int]]] = set()
+        #: Bundle paths reported back by sites across all dump fan-outs.
+        self.bundles: typing.List[str] = []
         self.polls = 0
         #: Deduplicated alerts, insertion-ordered.
         self.alerts: typing.Dict[typing.Tuple[str, typing.Optional[int]],
@@ -298,6 +353,7 @@ class Watchdog:
             "by_rule": dict(sorted(by_rule.items())),
             "alerts": [alert.to_json()
                        for alert in self.alerts.values()],
+            "bundles": list(self.bundles),
         }
 
     def close(self) -> None:
@@ -351,7 +407,30 @@ class Watchdog:
         if config.convergence_every > 0 and \
                 self.polls % config.convergence_every == 0:
             await self._check_convergence(fired)
+        if self.dump_dir is not None:
+            await self._dump_on_critical(fired)
         return fired
+
+    async def _dump_on_critical(self, fired: typing.List[Alert]) -> None:
+        """Fan a flight-recorder dump to every reachable site the first
+        time each ``(rule, site)`` goes critical.  One fan-out per poll
+        covers any number of simultaneous new criticals; a site that is
+        itself down simply doesn't answer (its black box is its WAL and
+        trace file on disk)."""
+        new_criticals = [alert for alert in fired
+                         if alert.severity == "critical"
+                         and (alert.rule, alert.site) not in self._dumped]
+        if not new_criticals:
+            return
+        for alert in new_criticals:
+            self._dumped.add((alert.rule, alert.site))
+        trigger = "watchdog:" + new_criticals[0].rule
+        responses, _ = await self.client.try_each(
+            "dump", trigger=trigger, dir=self.dump_dir)
+        for _site, response in sorted(responses.items()):
+            path = response.get("path")
+            if response.get("ok") and path:
+                self.bundles.append(str(path))
 
     async def run(self, duration: typing.Optional[float] = None
                   ) -> None:
@@ -660,7 +739,10 @@ async def watch(spec: "ClusterSpec",
                 sink_path: typing.Optional[str] = None,
                 on_alert: typing.Optional[
                     typing.Callable[[Alert], None]] = None,
-                client: typing.Optional["ClusterClient"] = None
+                client: typing.Optional["ClusterClient"] = None,
+                sink_max_bytes: typing.Optional[int] = None,
+                sink_backups: int = 3,
+                dump_dir: typing.Optional[str] = None
                 ) -> Watchdog:
     """Run a watchdog against ``spec``'s cluster for ``duration``
     seconds (the ``repro monitor`` entry point); returns it with its
@@ -671,7 +753,9 @@ async def watch(spec: "ClusterSpec",
     if client is None:
         client = ClusterClient(spec, timeout=2.0, retries=1)
     watchdog = Watchdog(spec, client, config=config,
-                        sink_path=sink_path, on_alert=on_alert)
+                        sink_path=sink_path, on_alert=on_alert,
+                        sink_max_bytes=sink_max_bytes,
+                        sink_backups=sink_backups, dump_dir=dump_dir)
     try:
         await watchdog.run(duration=duration)
     finally:

@@ -419,6 +419,15 @@ def test_monitoring_commands_against_live_cluster(tmp_path):
         assert "commit/s" in output
         assert "s0" in output and "up" in output
 
+        # Single-shot machine-readable snapshot.
+        code, output = run_cli("top", "--json", *cluster)
+        assert code == 0, output
+        model = json.loads(output)
+        assert len(model["rows"]) == 3
+        assert all(row["up"] for row in model["rows"])
+        assert {"site", "lag", "committed", "queue"} <= \
+            set(model["rows"][0])
+
         # Kill one member abruptly; the watchdog must name it.
         procs[2].send_signal(signal.SIGKILL)
         procs[2].wait(timeout=10)
@@ -454,6 +463,98 @@ def test_loadgen_no_obs_disables_telemetry(tmp_path):
     assert "propagation:" not in output
     assert "replica lag:" not in output
     assert list(tmp_path.glob("*.trace")) == []
+
+
+def test_dump_and_postmortem_args_round_trip():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["dump", "--site", "1", "--dir", "/tmp/bundles",
+         "--trigger", "drill", "--base-port", "7450", "--sites", "3"])
+    assert args.command == "dump"
+    assert args.site == 1
+    assert args.dir == "/tmp/bundles"
+    assert args.trigger == "drill"
+
+    args = parser.parse_args(["dump"])
+    assert args.site is None
+    assert args.dir is None
+    assert args.trigger == "manual"
+
+    args = parser.parse_args(
+        ["postmortem", "bundles/", "extra.jsonl", "--check",
+         "--injections", "inj.json", "--json", "analysis.json",
+         "--export-chrome", "incident.trace.json",
+         "--timeline-limit", "25"])
+    assert args.command == "postmortem"
+    assert args.bundles == ["bundles/", "extra.jsonl"]
+    assert args.check
+    assert args.injections == "inj.json"
+    assert args.json == "analysis.json"
+    assert args.export_chrome == "incident.trace.json"
+    assert args.timeline_limit == 25
+
+    args = parser.parse_args(
+        ["monitor", "--dump-dir", "/tmp/bundles",
+         "--alerts-max-bytes", "65536", "--alerts-backups", "2"])
+    assert args.dump_dir == "/tmp/bundles"
+    assert args.alerts_max_bytes == 65536
+    assert args.alerts_backups == 2
+
+    args = parser.parse_args(
+        ["serve", "--site", "0", "--dump-dir", "/tmp/bundles"])
+    assert args.dump_dir == "/tmp/bundles"
+
+    args = parser.parse_args(["top", "--json"])
+    assert args.json
+
+    args = parser.parse_args(["chaos", "--bundle-dir", "/tmp/b"])
+    assert args.bundle_dir == "/tmp/b"
+
+
+def test_postmortem_cli_offline_roundtrip(tmp_path):
+    """`repro postmortem` over crafted bundles: report + schema check
+    + JSON + Chrome export, all offline (no cluster)."""
+    import json
+
+    from repro.obs.flight import FlightRecorder
+
+    recorder = FlightRecorder(0, cluster={"n_sites": 2})
+    recorder.record_event("alert", rule="site-down",
+                          severity="critical", alert_site=1,
+                          message="site s1 unreachable")
+    recorder.dump("drill", out_dir=str(tmp_path))
+
+    analysis_path = tmp_path / "analysis.json"
+    chrome_path = tmp_path / "incident.trace.json"
+    code, output = run_cli(
+        "postmortem", str(tmp_path), "--check",
+        "--json", str(analysis_path),
+        "--export-chrome", str(chrome_path))
+    assert code == 0, output
+    assert "all 1 bundle(s) schema-valid" in output
+    assert "postmortem: 1 bundle(s) from s0 (missing: s1)" in output
+    assert "fault localization:" in output
+    assert "s1 dark" in output
+
+    analysis = json.loads(analysis_path.read_text())
+    assert analysis["missing_sites"] == [1]
+    assert analysis["findings"][0]["kind"] == "site-down"
+    assert not any(key.startswith("_") for key in analysis)
+    document = json.loads(chrome_path.read_text())
+    assert any(event.get("ph") == "i"
+               for event in document["traceEvents"])
+
+    # A damaged bundle fails --check with a non-zero exit.
+    (tmp_path / "flight-s1-001.jsonl").write_text("not json\n")
+    code, output = run_cli("postmortem", str(tmp_path), "--check")
+    assert code == 1
+    assert "WARN:" in output
+
+
+def test_postmortem_cli_no_bundles_is_an_error(tmp_path):
+    code, output = run_cli("postmortem", str(tmp_path / "empty"))
+    assert code == 1
+    assert "no loadable bundles" in output
 
 
 def test_chaos_args_round_trip():

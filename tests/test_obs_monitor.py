@@ -41,17 +41,20 @@ def make_spec(base_port):
 
 
 class StubClient:
-    """Canned ``try_each`` responses, keyed by op."""
+    """Canned ``try_each`` responses, keyed by op; every call is
+    recorded as ``(op, fields)`` so tests can assert fan-outs."""
 
     def __init__(self):
         self.responses = {}
         self.unreachable = {}
+        self.calls = []
 
     def set(self, op, by_site, unreachable=()):
         self.responses[op] = dict(by_site)
         self.unreachable[op] = list(unreachable)
 
-    async def try_each(self, op, **_fields):
+    async def try_each(self, op, **fields):
+        self.calls.append((op, dict(fields)))
         return (dict(self.responses.get(op, {})),
                 list(self.unreachable.get(op, [])))
 
@@ -303,6 +306,71 @@ def test_alert_sink_writes_first_fire_and_escalation_only(tmp_path):
                for record in records)
 
 
+def make_alert(index, severity="warning"):
+    return Alert(rule="lag-slo", severity=severity, site=index % 3,
+                 message="replica trails by {} versions".format(index),
+                 evidence={"i": index, "pad": "x" * 40},
+                 first_seen=float(index), last_seen=float(index))
+
+
+def test_alert_sink_rotates_at_size_cap(tmp_path):
+    """A size-capped sink keeps the newest generations under
+    ``max_bytes * (backups + 1)`` bytes instead of growing without
+    bound — the unbounded-`repro monitor` regression."""
+    path = tmp_path / "alerts.jsonl"
+    sink = AlertSink(str(path), max_bytes=2048, backups=2)
+    for index in range(200):
+        sink.emit(make_alert(index))
+    sink.close()
+    assert path.stat().st_size <= 2048
+    assert (tmp_path / "alerts.jsonl.1").exists()
+    assert (tmp_path / "alerts.jsonl.2").exists()
+    assert not (tmp_path / "alerts.jsonl.3").exists()
+    # Every surviving line is parseable, and the newest record is in
+    # the live file while rotated generations hold strictly older ones.
+    records = [json.loads(line)
+               for line in path.read_text().splitlines()]
+    assert records and records[-1]["evidence"]["i"] == 199
+    rotated = [json.loads(line) for line in
+               (tmp_path / "alerts.jsonl.1").read_text().splitlines()]
+    assert rotated
+    assert rotated[-1]["evidence"]["i"] < records[0]["evidence"]["i"]
+
+
+def test_alert_sink_resumes_size_accounting_on_reopen(tmp_path):
+    """A fresh sink over an existing file counts its bytes, so a
+    restarted monitor still rotates at the cap."""
+    path = tmp_path / "alerts.jsonl"
+    first = AlertSink(str(path), max_bytes=600, backups=1)
+    first.emit(make_alert(0))
+    first.close()
+    existing = path.stat().st_size
+    second = AlertSink(str(path), max_bytes=600, backups=1)
+    index = 1
+    while not (tmp_path / "alerts.jsonl.1").exists() and index < 50:
+        second.emit(make_alert(index))
+        index += 1
+    second.close()
+    assert existing > 0
+    assert (tmp_path / "alerts.jsonl.1").exists()
+    # The pre-existing bytes counted toward the cap: the rotated
+    # generation still opens with the record of the first sink.
+    rotated = [json.loads(line) for line in
+               (tmp_path / "alerts.jsonl.1").read_text().splitlines()]
+    assert rotated[0]["evidence"]["i"] == 0
+    assert path.stat().st_size <= 600
+
+
+def test_alert_sink_uncapped_keeps_appending(tmp_path):
+    path = tmp_path / "alerts.jsonl"
+    sink = AlertSink(str(path))
+    for index in range(50):
+        sink.emit(make_alert(index))
+    sink.close()
+    assert len(path.read_text().splitlines()) == 50
+    assert not (tmp_path / "alerts.jsonl.1").exists()
+
+
 def test_alert_json_round_trip():
     alert = Alert(rule="lag-slo", severity="critical", site=1,
                   message="m", evidence={"max_lag": 20},
@@ -312,6 +380,169 @@ def test_alert_json_round_trip():
     assert encoded["count"] == 3
     assert alert.format().startswith("[CRITICAL] lag-slo s1:")
     assert AlertSink(None).emit(alert) is None  # no-op without a path
+
+
+# ----------------------------------------------------------------------
+# Epoch transitions: dedup keys and membership must survive the
+# placement swap of _rebuild_pairs mid-stream
+# ----------------------------------------------------------------------
+
+def placement_frame(site, epoch, placement):
+    return {"ok": True, "site": site, "epoch": epoch,
+            "placement": placement.to_json()}
+
+
+def test_alert_dedup_and_escalation_survive_epoch_change():
+    """An epoch bump swaps the judged pairs via ``_rebuild_pairs``; a
+    condition persisting across the swap must keep deduplicating on the
+    same ``(rule, site)`` key — no double-fire — and still escalate."""
+    config = MonitorConfig(lag_warn=4, lag_critical=16,
+                           trace_limit=0, convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    frames, _primary, replica, _item = lagged_pair(spec, lag=6)
+    client.set("versions", frames)
+    client.set("stats", {})
+    fired = asyncio.run(watchdog.poll_once())
+    assert [(a.rule, a.site, a.severity) for a in fired] == \
+        [("lag-slo", replica, "warning")]
+
+    # Epoch 1 commits mid-stream (same placement, new epoch).  The
+    # watchdog refreshes from the cluster; the unchanged lag must
+    # dedup into the existing alert, not fire a second one.
+    placement = spec.build_placement()
+    client.set("versions", {site: dict(frame, epoch=1)
+                            for site, frame in frames.items()})
+    client.set("placement",
+               {site: placement_frame(site, 1, placement)
+                for site in range(spec.params.n_sites)})
+    assert asyncio.run(watchdog.poll_once()) == []
+    assert [op for op, _fields in client.calls].count("placement") == 1
+    assert watchdog.summary()["epoch"] == 1
+    assert len(watchdog.alerts) == 1
+    assert watchdog.alerts[("lag-slo", replica)].count == 2
+
+    # Escalation across the epoch boundary still lands on the same key.
+    worse, _, _, _ = lagged_pair(spec, lag=20)
+    client.set("versions", {site: dict(frame, epoch=1)
+                            for site, frame in worse.items()})
+    fired = asyncio.run(watchdog.poll_once())
+    assert [(a.rule, a.severity) for a in fired] == \
+        [("lag-slo", "critical")]
+    assert len(watchdog.alerts) == 1
+    assert watchdog.critical_count == 1
+
+
+def test_epoch_change_retires_dropped_pairs_and_members():
+    """A placement that drains a site mid-stream must stop judging its
+    pairs (no spurious lag re-fires) and stop paging site-down for the
+    now-removed member."""
+    from repro.graph.placement import DataPlacement
+
+    config = MonitorConfig(lag_warn=4, lag_critical=16, down_polls=2,
+                           trace_limit=0, convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    frames, _primary, replica, _item = lagged_pair(spec, lag=6)
+    client.set("versions", frames)
+    client.set("stats", {})
+    fired = asyncio.run(watchdog.poll_once())
+    assert [(a.rule, a.site) for a in fired] == [("lag-slo", replica)]
+    count_before = watchdog.alerts[("lag-slo", replica)].count
+
+    # Epoch 1: every copy moves off the lagging replica — it is no
+    # longer part of the replication plane, and then stops answering.
+    survivors = [site for site in range(spec.params.n_sites)
+                 if site != replica]
+    drained = DataPlacement(spec.params.n_sites)
+    old = spec.build_placement()
+    for item in old.items:
+        drained.add_item(item, survivors[0], [survivors[1]])
+    versions = {}
+    for site in survivors:
+        held = {item: 30 for item in old.items}
+        versions[site] = dict(versions_frame(site, held), epoch=1)
+    client.set("versions", versions, unreachable=[replica])
+    client.set("placement",
+               {site: placement_frame(site, 1, drained)
+                for site in survivors})
+    assert asyncio.run(watchdog.poll_once()) == []  # miss 1, suppressed
+    assert asyncio.run(watchdog.poll_once()) == []  # miss 2, suppressed
+    assert watchdog.summary()["epoch"] == 1
+    assert ("site-down", replica) not in watchdog.alerts
+    # The stale lag alert neither re-fired nor escalated once its pair
+    # left the placement.
+    assert watchdog.alerts[("lag-slo", replica)].count == count_before
+    assert watchdog.critical_count == 0
+
+
+# ----------------------------------------------------------------------
+# Watchdog dump-on-critical fan-out
+# ----------------------------------------------------------------------
+
+def dump_frames(sites, directory):
+    return {site: {"ok": True, "site": site,
+                   "path": "{}/flight-s{}-001.jsonl".format(directory,
+                                                            site),
+                   "records": 7}
+            for site in sites}
+
+
+def test_new_critical_fans_one_dump_per_key(tmp_path):
+    """The first time a ``(rule, site)`` goes critical the watchdog
+    fans exactly one ``dump`` to the cluster; the persisting critical
+    never re-dumps, a *new* critical key does."""
+    config = MonitorConfig(down_polls=2, trace_limit=0,
+                           convergence_every=0)
+    spec = make_spec(7735)
+    client = StubClient()
+    watchdog = Watchdog(spec, client, config=config,
+                        dump_dir=str(tmp_path))
+    healthy = uniform_versions(spec, 5)
+    client.set("stats", {})
+    client.set("versions", {site: frame for site, frame
+                            in healthy.items() if site != 2},
+               unreachable=[2])
+    client.set("dump", dump_frames([0, 1], str(tmp_path)),
+               unreachable=[2])
+
+    def dump_calls():
+        return [fields for op, fields in client.calls if op == "dump"]
+
+    asyncio.run(watchdog.poll_once())          # miss 1: nothing yet
+    assert dump_calls() == []
+    asyncio.run(watchdog.poll_once())          # miss 2: site-down fires
+    assert len(dump_calls()) == 1
+    assert dump_calls()[0]["trigger"] == "watchdog:site-down"
+    assert dump_calls()[0]["dir"] == str(tmp_path)
+    assert watchdog.bundles == [
+        "{}/flight-s0-001.jsonl".format(tmp_path),
+        "{}/flight-s1-001.jsonl".format(tmp_path)]
+    asyncio.run(watchdog.poll_once())          # persisting: no re-dump
+    assert len(dump_calls()) == 1
+
+    # A second member dies: a new (rule, site) key, a second fan-out.
+    client.set("versions", {0: healthy[0]}, unreachable=[1, 2])
+    client.set("dump", dump_frames([0], str(tmp_path)),
+               unreachable=[1, 2])
+    asyncio.run(watchdog.poll_once())
+    asyncio.run(watchdog.poll_once())
+    assert len(dump_calls()) == 2
+    assert watchdog.summary()["bundles"] == watchdog.bundles
+    assert len(watchdog.bundles) == 3
+
+
+def test_without_dump_dir_no_dump_fanout():
+    config = MonitorConfig(down_polls=1, trace_limit=0,
+                           convergence_every=0)
+    spec, client, watchdog = stub_watchdog(config)
+    healthy = uniform_versions(spec, 5)
+    client.set("stats", {})
+    client.set("versions", {site: frame for site, frame
+                            in healthy.items() if site != 2},
+               unreachable=[2])
+    fired = asyncio.run(watchdog.poll_once())
+    assert [(a.rule, a.site) for a in fired] == [("site-down", 2)]
+    assert [op for op, _fields in client.calls if op == "dump"] == []
+    assert watchdog.bundles == []
 
 
 # ----------------------------------------------------------------------
